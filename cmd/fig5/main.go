@@ -1,0 +1,23 @@
+// Command fig5 regenerates Figure 5 of the paper: latency-optimal mappings
+// of the 512x512 FFT-Hist program under increasing throughput constraints,
+// showing the shift from pure data parallelism to a pipeline to replicated
+// pipeline modules.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"fxpar/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced-size workload")
+	flag.Parse()
+	cfg := experiments.DefaultFig5()
+	if *quick {
+		cfg = experiments.QuickFig5()
+	}
+	rows := experiments.Fig5(cfg)
+	experiments.PrintFig5(os.Stdout, rows, cfg)
+}

@@ -1,0 +1,23 @@
+// Command fig6 regenerates Figure 6 of the paper: Airshed speedup curves
+// for the data-parallel version (which flattens on serial I/O) and the
+// task+data-parallel version with input and output separated onto their own
+// processor subgroups.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"fxpar/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run a reduced-size workload")
+	flag.Parse()
+	cfg := experiments.DefaultFig6()
+	if *quick {
+		cfg = experiments.QuickFig6()
+	}
+	points := experiments.Fig6(cfg)
+	experiments.PrintFig6(os.Stdout, points)
+}

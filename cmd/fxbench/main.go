@@ -1,0 +1,73 @@
+// Command fxbench regenerates the paper's entire evaluation section in one
+// run: Table 1, Figure 5, Figure 6, and the nested-parallelism studies
+// (quicksort scaling and Barnes-Hut worklist/memory behaviour of Figures 4
+// and 7 / Section 5.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxpar/internal/apps/barneshut"
+	"fxpar/internal/apps/qsort"
+	"fxpar/internal/experiments"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size workloads")
+	flag.Parse()
+
+	t1 := experiments.DefaultTable1()
+	f5 := experiments.DefaultFig5()
+	f6 := experiments.DefaultFig6()
+	if *quick {
+		t1, f5, f6 = experiments.QuickTable1(), experiments.QuickFig5(), experiments.QuickFig6()
+	}
+
+	experiments.PrintTable1(os.Stdout, experiments.Table1(t1), t1.Procs)
+	fmt.Println()
+	experiments.PrintFig5(os.Stdout, experiments.Fig5(f5), f5)
+	fmt.Println()
+	experiments.PrintFig6(os.Stdout, experiments.Fig6(f6))
+	fmt.Println()
+
+	// Section 3.4 / Figure 4: nested task-parallel quicksort scaling.
+	fmt.Println("Quicksort (Figure 4): nested task parallel sort of synthetic keys")
+	n := 1 << 17
+	procCounts := []int{1, 4, 16, 64}
+	if *quick {
+		n = 1 << 13
+		procCounts = []int{1, 4, 8}
+	}
+	var t1p float64
+	for _, p := range procCounts {
+		res := qsort.Run(machine.New(p, sim.Paragon()), n, 42)
+		if !res.Sorted {
+			fmt.Printf("  %3d procs: SORT FAILED\n", p)
+			continue
+		}
+		if p == 1 {
+			t1p = res.Makespan
+		}
+		fmt.Printf("  %3d procs: %.4f s  (speedup %.2f)\n", p, res.Makespan, t1p/res.Makespan)
+	}
+	fmt.Println()
+
+	// Section 5.3 / Figure 7: Barnes-Hut worklist and partial-tree memory.
+	fmt.Println("Barnes-Hut (Figure 7): worklist and partial-tree behaviour, uniform cube")
+	bhN, bhK := 8192, 11 // k deep enough that replicated remote cells are ~4 particles
+	bhProcs := []int{1, 8, 64}
+	if *quick {
+		bhN, bhK = 1024, 8
+		bhProcs = []int{1, 8}
+	}
+	for _, p := range bhProcs {
+		cfg := barneshut.Config{N: bhN, Theta: 1.0, Seed: 13, K: bhK}
+		res := barneshut.Run(machine.New(p, sim.Paragon()), cfg)
+		fmt.Printf("  %3d procs: %.4f s, max worklist %d (n=%d), max partial tree %d nodes (full %d)\n",
+			p, res.Makespan, res.MaxWorklist, bhN, res.MaxPartialNodes, 2*bhN-1)
+	}
+}

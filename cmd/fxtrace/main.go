@@ -1,0 +1,64 @@
+// Command fxtrace runs FFT-Hist under the data-parallel and the pipelined
+// mapping with execution tracing enabled and renders virtual-time Gantt
+// charts — making the pipelining that minimal processor subsets enable
+// (Section 4) directly visible: under the pipeline mapping the three stage
+// subgroups' compute bands overlap in steady state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+	"fxpar/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 64, "FFT-Hist array edge (power of two)")
+	sets := flag.Int("sets", 6, "stream length")
+	width := flag.Int("width", 100, "gantt width in characters")
+	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	flag.Parse()
+
+	cfg := ffthist.Config{N: *n, Sets: *sets, Bins: 32}
+	procs := 6
+
+	for _, tc := range []struct {
+		label string
+		mp    ffthist.Mapping
+	}{
+		{"data-parallel(6)", ffthist.DataParallel(procs)},
+		{"pipeline(2,2,2)", ffthist.Pipeline(2, 2, 2)},
+	} {
+		col := &trace.Collector{}
+		m := machine.New(procs, sim.Paragon())
+		m.SetTracer(col)
+		res := ffthist.Run(m, cfg, tc.mp)
+		fmt.Printf("=== %s: %.2f sets/s, latency %.4f s ===\n", tc.label,
+			res.Stream.Throughput, res.Stream.Latency)
+		trace.Gantt(os.Stdout, col, procs, *width)
+		fmt.Println()
+		trace.Utilization(os.Stdout, col, procs)
+		fmt.Println()
+		if *chrome != "" {
+			name := *chrome + "." + tc.label + ".json"
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := trace.WriteChromeTrace(f, col); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n\n", name)
+		}
+	}
+	fmt.Println("In the pipeline chart, rows 0-1 (colffts), 2-3 (rowffts) and 4-5 (hist)")
+	fmt.Println("work on different data sets at the same virtual time: that staggered")
+	fmt.Println("overlap is the task parallelism the minimal-subset assignment preserves.")
+}

@@ -1,0 +1,27 @@
+// Package fxpar is a Go reproduction of the integrated nested task and data
+// parallel programming model of Subhlok & Yang, "A New Model for Integrated
+// Nested Task and Data Parallel Programming" (PPoPP 1997) — the task
+// parallelism model of the Fx compiler at Carnegie Mellon, a precursor of
+// the HPF 2.0 task parallelism extensions.
+//
+// The library packages live under internal/:
+//
+//   - sim, machine, comm: a simulated distributed-memory multicomputer with
+//     deterministic virtual-time cost accounting (the Intel Paragon stand-in)
+//     and group-scoped collective communication;
+//   - group, fx: processor groups, TASK_PARTITION / TASK_REGION /
+//     ON SUBGROUP semantics with nested mapping stacks — the paper's model;
+//   - dist, par: HPF-style distributed arrays (BLOCK / CYCLIC /
+//     BLOCK_CYCLIC), minimal-subset array assignment, transposes, packing,
+//     and do&merge parallel loops;
+//   - mapping: the Subhlok-Vondran latency-optimal pipeline mapping DP with
+//     replication search, used to regenerate Figure 5 and Table 1;
+//   - apps/...: FFT-Hist, narrowband tracking radar, multibaseline stereo,
+//     Airshed, nested quicksort, and Barnes-Hut;
+//   - experiments: drivers that regenerate Table 1, Figure 5 and Figure 6.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation and the design-choice ablations called out in
+// DESIGN.md; cmd/table1, cmd/fig5, cmd/fig6 and cmd/fxbench print them at
+// full scale.
+package fxpar

@@ -1,0 +1,55 @@
+// Multiblock: the paper's second motivating use case — "multiblock codes
+// containing irregularly structured regular meshes are more naturally
+// programmed as interacting tasks". A chain of unequal-width blocks is
+// relaxed by Jacobi iterations; each block owns a processor subgroup and
+// interface columns travel between subgroup arrays through parent-scope
+// section assignments (the Figure 1 structure).
+//
+// Run with: go run ./examples/multiblock
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"fxpar/internal/apps/multiblock"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func main() {
+	cfg := multiblock.Config{
+		H: 48, Widths: []int{30, 18, 42}, Iters: 40, Left: 100, Right: 0,
+	}
+	fmt.Printf("multiblock chain: %d blocks of widths %v, %d Jacobi iterations\n\n",
+		len(cfg.Widths), cfg.Widths, cfg.Iters)
+
+	res := multiblock.Run(machine.New(6, sim.Paragon()), cfg, []int{2, 1, 3})
+	ref := multiblock.Reference(cfg)
+
+	maxErr := 0.0
+	for b, w := range cfg.Widths {
+		for i := 0; i < cfg.H; i++ {
+			for j := 1; j < w-1; j++ {
+				if e := math.Abs(res.Blocks[b][i*w+j] - ref[b][i*w+j]); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	fmt.Printf("virtual makespan: %.4f s on 6 processors (2+1+3 per block)\n", res.Makespan)
+	fmt.Printf("max deviation from the equivalent single-mesh solution: %.2e\n\n", maxErr)
+
+	// Temperature profile along the chain's middle row.
+	fmt.Println("mid-row temperature profile across the chain:")
+	row := cfg.H / 2
+	for b, w := range cfg.Widths {
+		fmt.Printf("  block %d:", b)
+		for j := 1; j < w-1; j += (w - 2) / 6 {
+			fmt.Printf(" %6.2f", res.Blocks[b][row*w+j])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nheat diffuses from the hot left boundary through every interface;")
+	fmt.Println("the blocks compute concurrently on their own subgroups.")
+}

@@ -1,0 +1,29 @@
+// Quicksort: the dynamically nested task parallelism of Figure 4. The
+// processors of the current group are recursively divided in proportion to
+// the pivot partition, each subgroup sorting its side with its own nested
+// task regions.
+//
+// Run with: go run ./examples/quicksort
+package main
+
+import (
+	"fmt"
+
+	"fxpar/internal/apps/qsort"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func main() {
+	const n = 100000
+	fmt.Printf("nested task-parallel quicksort of %d keys\n\n", n)
+	fmt.Printf("%6s %14s %10s %8s\n", "procs", "makespan (s)", "speedup", "sorted")
+	var t1 float64
+	for _, procs := range []int{1, 2, 4, 8, 16, 32} {
+		res := qsort.Run(machine.New(procs, sim.Paragon()), n, 12345)
+		if procs == 1 {
+			t1 = res.Makespan
+		}
+		fmt.Printf("%6d %14.4f %10.2f %8v\n", procs, res.Makespan, t1/res.Makespan, res.Sorted)
+	}
+}

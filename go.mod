@@ -1,0 +1,3 @@
+module fxpar
+
+go 1.22

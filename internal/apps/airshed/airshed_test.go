@@ -1,0 +1,114 @@
+package airshed
+
+import (
+	"math"
+	"testing"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{
+		Layers: 3, Grid: 64, Species: 5,
+		Hours: 2, Steps: 2,
+		ChemFlops: 220, TransFlops: 25, PreFlops: 10,
+	}
+}
+
+func run(t *testing.T, procs int, cfg Config, v Variant) Result {
+	t.Helper()
+	m := machine.New(procs, sim.Paragon())
+	return Run(m, cfg, v)
+}
+
+func TestDataParallelCompletes(t *testing.T) {
+	cfg := smallConfig()
+	res := run(t, 4, cfg, DataParallel)
+	if len(res.Checksums) != cfg.Hours {
+		t.Fatalf("recorded %d hours", len(res.Checksums))
+	}
+	for h, sum := range res.Checksums {
+		if sum <= 0 || math.IsNaN(sum) {
+			t.Errorf("hour %d checksum %g", h, sum)
+		}
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	cfg := smallConfig()
+	ref := run(t, 1, cfg, DataParallel)
+	for _, procs := range []int{2, 4, 7} {
+		res := run(t, procs, cfg, DataParallel)
+		for h := 0; h < cfg.Hours; h++ {
+			if math.Abs(res.Checksums[h]-ref.Checksums[h]) > 1e-9*math.Abs(ref.Checksums[h]) {
+				t.Errorf("DP %d procs hour %d: %g != %g", procs, h, res.Checksums[h], ref.Checksums[h])
+			}
+		}
+	}
+	for _, procs := range []int{3, 4, 8} {
+		res := run(t, procs, cfg, TaskIO)
+		for h := 0; h < cfg.Hours; h++ {
+			if math.Abs(res.Checksums[h]-ref.Checksums[h]) > 1e-9*math.Abs(ref.Checksums[h]) {
+				t.Errorf("TaskIO %d procs hour %d: %g != %g", procs, h, res.Checksums[h], ref.Checksums[h])
+			}
+		}
+	}
+}
+
+func TestTaskIOBeatsDataParallelAtScale(t *testing.T) {
+	// With serial I/O as the bottleneck, the task version must be faster
+	// at high processor counts (Figure 6).
+	cfg := Config{
+		Layers: 3, Grid: 256, Species: 8,
+		Hours: 3, Steps: 2,
+		ChemFlops: 220, TransFlops: 25, PreFlops: 10,
+	}
+	dp := run(t, 16, cfg, DataParallel)
+	task := run(t, 16, cfg, TaskIO)
+	if task.Makespan >= dp.Makespan {
+		t.Errorf("task makespan %.3f >= DP %.3f at 16 procs", task.Makespan, dp.Makespan)
+	}
+}
+
+func TestSpeedupCurveShape(t *testing.T) {
+	// DP speedup must flatten: the efficiency at 16 processors must be
+	// well below the efficiency at 2.
+	cfg := smallConfig()
+	t1 := run(t, 1, cfg, DataParallel).Makespan
+	t2 := run(t, 2, cfg, DataParallel).Makespan
+	t16 := run(t, 16, cfg, DataParallel).Makespan
+	eff2 := t1 / t2 / 2
+	eff16 := t1 / t16 / 16
+	if eff16 >= eff2 {
+		t.Errorf("DP efficiency did not decay: eff2=%.3f eff16=%.3f", eff2, eff16)
+	}
+	if t16 >= t2 {
+		t.Errorf("no speedup at all: t2=%.3f t16=%.3f", t2, t16)
+	}
+}
+
+func TestNstepsVaries(t *testing.T) {
+	cfg := smallConfig()
+	if cfg.nsteps(0) == cfg.nsteps(1) {
+		t.Error("nsteps should vary with the hour")
+	}
+}
+
+func TestTaskIONeedsThreeProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	run(t, 2, smallConfig(), TaskIO)
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := run(t, 8, cfg, TaskIO)
+	b := run(t, 8, cfg, TaskIO)
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan differs: %g vs %g", a.Makespan, b.Makespan)
+	}
+}

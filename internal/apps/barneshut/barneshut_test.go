@@ -1,0 +1,241 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func testMachine(n int) *machine.Machine {
+	return machine.New(n, sim.Paragon())
+}
+
+func TestBuildTreeInvariants(t *testing.T) {
+	ps := UniformParticles(257, 3)
+	tree := Build(ps)
+	if tree.Lo != 0 || tree.Hi != 257 {
+		t.Fatalf("root range [%d,%d)", tree.Lo, tree.Hi)
+	}
+	if tree.CountNodes() != 2*257-1 {
+		t.Errorf("node count %d, want %d", tree.CountNodes(), 2*257-1)
+	}
+	var walk func(n *Node, depth int) int
+	walk = func(n *Node, depth int) int {
+		if n.IsLeaf() {
+			if n.P != ps[n.Lo] {
+				t.Errorf("leaf %d does not hold its tree-ordered particle", n.Lo)
+			}
+			return 1
+		}
+		if n.Left.Lo != n.Lo || n.Right.Hi != n.Hi || n.Left.Hi != n.Right.Lo {
+			t.Errorf("child ranges inconsistent at [%d,%d)", n.Lo, n.Hi)
+		}
+		// Balanced: halves differ by at most one.
+		lh, rh := n.Left.Hi-n.Left.Lo, n.Right.Hi-n.Right.Lo
+		if lh-rh > 1 || rh-lh > 1 {
+			t.Errorf("unbalanced split %d/%d at [%d,%d)", lh, rh, n.Lo, n.Hi)
+		}
+		// Mass conservation.
+		if math.Abs(n.Mass-(n.Left.Mass+n.Right.Mass)) > 1e-12 {
+			t.Errorf("mass not conserved at [%d,%d)", n.Lo, n.Hi)
+		}
+		return walk(n.Left, depth+1) + walk(n.Right, depth+1)
+	}
+	if leaves := walk(tree, 0); leaves != 257 {
+		t.Errorf("%d leaves", leaves)
+	}
+}
+
+func TestBuildCOMProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed)%100 + 2
+		ps := UniformParticles(n, seed)
+		tree := Build(ps)
+		// Root COM equals the explicit center of mass.
+		var com Vec3
+		var mass float64
+		for _, p := range ps {
+			com = com.Add(p.Pos.Scale(p.Mass))
+			mass += p.Mass
+		}
+		com = com.Scale(1 / mass)
+		return com.Sub(tree.COM).Norm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruneKeepsOwnHalfAndStubsOther(t *testing.T) {
+	ps := UniformParticles(128, 7)
+	tree := Build(ps)
+	k := 3
+	t1 := Prune(tree, k, 0, 64, 0, 128)
+	// All leaves of my half must be reachable and non-remote.
+	var countLeaves func(n *Node) int
+	var sawRemote bool
+	countLeaves = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.Remote {
+			sawRemote = true
+			if n.Lo >= 0 && n.Hi <= 64 {
+				t.Errorf("remote stub inside my half: [%d,%d)", n.Lo, n.Hi)
+			}
+			return 0
+		}
+		if n.IsLeaf() {
+			return 1
+		}
+		return countLeaves(n.Left) + countLeaves(n.Right)
+	}
+	leaves := countLeaves(t1)
+	if leaves < 64 {
+		t.Errorf("pruned tree lost own-half leaves: %d < 64", leaves)
+	}
+	if !sawRemote {
+		t.Error("pruned tree has no remote stubs")
+	}
+	// Memory bound: own half (2*64-1 nodes) + replicated top levels + stubs.
+	full := tree.CountNodes()
+	if got := t1.CountNodes(); got >= full {
+		t.Errorf("pruned tree (%d nodes) not smaller than full tree (%d)", got, full)
+	}
+}
+
+func TestTraverseMatchesDirectOnCompleteTree(t *testing.T) {
+	n := 300
+	ps := UniformParticles(n, 11)
+	tree := Build(ps) // Build reorders ps into tree order
+	direct := DirectForces(ps)
+	maxRel := 0.0
+	for i := range ps {
+		f, _, ok := Traverse(tree, ps[i], i, 0.3)
+		if !ok {
+			t.Fatalf("complete tree traversal hit a remote stub for particle %d", i)
+		}
+		rel := f.Sub(direct[i]).Norm() / (direct[i].Norm() + 1e-12)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.05 {
+		t.Errorf("max relative force error %.3f > 5%% at theta=0.3", maxRel)
+	}
+}
+
+func TestTraverseThetaZeroIsExact(t *testing.T) {
+	n := 64
+	ps := UniformParticles(n, 5)
+	tree := Build(ps)
+	direct := DirectForces(ps)
+	for i := range ps {
+		f, _, ok := Traverse(tree, ps[i], i, 1e-9)
+		if !ok {
+			t.Fatal("unexpected remote")
+		}
+		if f.Sub(direct[i]).Norm() > 1e-9*(direct[i].Norm()+1) {
+			t.Errorf("theta~0 traversal differs from direct at %d", i)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := Config{N: 256, Theta: 0.5, Seed: 9}
+	seq := Run(testMachine(1), cfg)
+	for _, procs := range []int{2, 4, 8} {
+		par := Run(testMachine(procs), cfg)
+		for i := range seq.Forces {
+			if par.Forces[i].Sub(seq.Forces[i]).Norm() > 1e-9 {
+				t.Errorf("%d procs: force %d differs: %v vs %v", procs, i, par.Forces[i], seq.Forces[i])
+				break
+			}
+		}
+	}
+}
+
+func TestWorklistSmall(t *testing.T) {
+	// Section 5.3: the worklist passed up is the boundary-layer population
+	// (O(n^(2/3)) for uniform particles with enough replicated levels).
+	// With k deep enough that replicated remote cells are a few particles
+	// wide, only particles near subgroup boundaries propagate upward.
+	cfg := Config{N: 1024, Theta: 1.0, Seed: 13, K: 8}
+	res := Run(testMachine(8), cfg)
+	if res.MaxWorklist > cfg.N/3 {
+		t.Errorf("max worklist %d is not a boundary-layer fraction of n=%d", res.MaxWorklist, cfg.N)
+	}
+	if res.MaxWorklist == 0 {
+		t.Error("expected some worklist traffic at k=8 (boundary particles must propagate)")
+	}
+	// Full replication (k = tree depth) must eliminate worklists entirely.
+	full := Run(testMachine(8), Config{N: 1024, Theta: 1.0, Seed: 13, K: 10})
+	if full.WorklistTotal != 0 {
+		t.Errorf("fully replicated tree still produced %d worklist items", full.WorklistTotal)
+	}
+}
+
+func TestPartialTreeMemoryBound(t *testing.T) {
+	cfg := Config{N: 1024, Theta: 0.5, Seed: 13, K: 4}
+	res := Run(testMachine(8), cfg)
+	fullNodes := 2*cfg.N - 1
+	if res.MaxPartialNodes >= fullNodes {
+		t.Errorf("partial tree (%d nodes) as large as the full tree (%d)", res.MaxPartialNodes, fullNodes)
+	}
+	// Top-level split: own half (2*(n/2)-1) + 2^k replicated + stubs.
+	bound := (cfg.N - 1) + (1 << (cfg.K + 2))
+	if res.MaxPartialNodes > bound {
+		t.Errorf("partial tree %d nodes exceeds bound %d", res.MaxPartialNodes, bound)
+	}
+}
+
+func TestSmallerKMoreWorklist(t *testing.T) {
+	// Replicating fewer levels must not reduce worklist traffic.
+	cfg := Config{N: 1024, Theta: 0.8, Seed: 21}
+	small := Run(testMachine(8), Config{N: cfg.N, Theta: cfg.Theta, Seed: cfg.Seed, K: 1})
+	large := Run(testMachine(8), Config{N: cfg.N, Theta: cfg.Theta, Seed: cfg.Seed, K: 6})
+	if small.WorklistTotal < large.WorklistTotal {
+		t.Errorf("k=1 worklist %d < k=6 worklist %d", small.WorklistTotal, large.WorklistTotal)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	cfg := Config{N: 2048, Theta: 0.5, Seed: 2}
+	t1 := Run(testMachine(1), cfg).Makespan
+	t8 := Run(testMachine(8), cfg).Makespan
+	if t8 >= t1 {
+		t.Errorf("no speedup: 1 proc %.4fs, 8 procs %.4fs", t1, t8)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{N: 512, Theta: 0.5, Seed: 4}
+	a := Run(testMachine(4), cfg)
+	b := Run(testMachine(4), cfg)
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan differs: %g vs %g", a.Makespan, b.Makespan)
+	}
+	if a.WorklistTotal != b.WorklistTotal {
+		t.Errorf("worklist differs: %d vs %d", a.WorklistTotal, b.WorklistTotal)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if v.Add(w) != (Vec3{5, 7, 9}) {
+		t.Error("Add")
+	}
+	if w.Sub(v) != (Vec3{3, 3, 3}) {
+		t.Error("Sub")
+	}
+	if v.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Error("Scale")
+	}
+	if math.Abs(Vec3{3, 4, 0}.Norm()-5) > 1e-15 {
+		t.Error("Norm")
+	}
+}

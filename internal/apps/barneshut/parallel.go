@@ -1,0 +1,214 @@
+package barneshut
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fxpar/internal/comm"
+	"fxpar/internal/fx"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// Config describes a Barnes-Hut run.
+type Config struct {
+	N     int     // number of particles
+	Theta float64 // opening parameter (smaller = more accurate)
+	// K is the number of replicated top tree levels per split
+	// (partition_bh_tree's fixed constant). Section 5.3: at least log2(P)
+	// to avoid excessive communication, within a small multiple of log2(P)
+	// to bound space. 0 selects ceil(log2 P)+1.
+	K    int
+	Seed int64
+}
+
+// DefaultConfig returns a moderate uniform-cube workload.
+func DefaultConfig() Config { return Config{N: 2048, Theta: 0.5, Seed: 1} }
+
+// Result of a run.
+type Result struct {
+	Makespan float64
+	// Forces holds the force on each particle in tree order (gathered from
+	// all processors).
+	Forces []Vec3
+	// Particles holds the tree-ordered particles (for verification).
+	Particles []Particle
+	// MaxWorklist is the largest worklist handed from children to a parent
+	// subgroup; WorklistTotal sums all handed-up worklist lengths.
+	MaxWorklist   int
+	WorklistTotal int
+	// MaxPartialNodes is the largest node count of any pruned tree,
+	// verifying the partial-tree memory bound.
+	MaxPartialNodes int
+}
+
+// workItem carries a worklist particle to the parent subgroup.
+type workItem struct {
+	Idx int
+	P   Particle
+}
+
+// collector accumulates cross-processor statistics (host-side, values are
+// virtual-time-independent so determinism is preserved).
+type collector struct {
+	mu            sync.Mutex
+	maxWorklist   int
+	totalWorklist int
+	maxNodes      int
+	forces        map[int]Vec3
+}
+
+func (c *collector) recordWorklist(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.totalWorklist += n
+	if n > c.maxWorklist {
+		c.maxWorklist = n
+	}
+}
+
+func (c *collector) recordNodes(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.maxNodes {
+		c.maxNodes = n
+	}
+}
+
+func (c *collector) recordForces(pairs []idxForce) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pairs {
+		c.forces[p.Idx] = p.F
+	}
+}
+
+type idxForce struct {
+	Idx int
+	F   Vec3
+}
+
+// Run computes one Barnes-Hut force evaluation with nested task parallelism
+// and returns the forces along with worklist and memory statistics.
+func Run(mach *machine.Machine, cfg Config) Result {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("barneshut: N = %d", cfg.N))
+	}
+	if cfg.Theta <= 0 {
+		panic(fmt.Sprintf("barneshut: Theta = %g", cfg.Theta))
+	}
+	k := cfg.K
+	if k == 0 {
+		k = int(math.Ceil(math.Log2(float64(mach.N())))) + 1
+	}
+	col := &collector{forces: make(map[int]Vec3)}
+	var particles []Particle
+	runStats := fx.Run(mach, func(p *fx.Proc) {
+		// build_bh_tree: the balanced build is deterministic, so every
+		// processor constructs an identical copy; the cost charged models
+		// the parallel quicksort-like build of Section 5.3 (the memory
+		// bound of the *partial* trees is what Figure 7 is about, and is
+		// measured on the pruned copies below).
+		ps := UniformParticles(cfg.N, cfg.Seed)
+		tree := Build(ps)
+		np := p.NumberOfProcessors()
+		p.Compute(float64(cfg.N) * math.Log2(float64(cfg.N)+1) * BuildFlops / float64(np))
+		if p.VP() == 0 {
+			particles = ps
+		}
+		out := make(map[int]Vec3)
+		missing := computeForce(p, cfg, k, ps, tree, 0, cfg.N, out, col)
+		if len(missing) != 0 {
+			panic(fmt.Sprintf("barneshut: %d particles unresolved at the root (tree has no remote branches)", len(missing)))
+		}
+		pairs := make([]idxForce, 0, len(out))
+		for i, f := range out {
+			pairs = append(pairs, idxForce{i, f})
+		}
+		col.recordForces(pairs)
+	})
+	res := Result{
+		Makespan:        runStats.MakespanTime(),
+		Particles:       particles,
+		Forces:          make([]Vec3, cfg.N),
+		MaxWorklist:     col.maxWorklist,
+		WorklistTotal:   col.totalWorklist,
+		MaxPartialNodes: col.maxNodes,
+	}
+	if len(col.forces) != cfg.N {
+		panic(fmt.Sprintf("barneshut: computed %d of %d forces", len(col.forces), cfg.N))
+	}
+	for i, f := range col.forces {
+		res.Forces[i] = f
+	}
+	return res
+}
+
+// computeForce is Figure 7's compute_force: at a single processor, traverse
+// for every owned particle, worklisting those that hit remote branches; at a
+// larger subgroup, split particles and processors in half, recurse on
+// pruned trees inside ON blocks, then retry the children's worklists against
+// this level's fuller tree, passing a (much smaller) worklist up.
+func computeForce(p *fx.Proc, cfg Config, k int, ps []Particle, tree *Node,
+	lo, hi int, out map[int]Vec3, col *collector) []workItem {
+	np := p.NumberOfProcessors()
+	if np == 1 || hi-lo == 1 {
+		if np > 1 && p.VP() != 0 {
+			return nil // degenerate split: one particle, several processors
+		}
+		var missing []workItem
+		visits := 0
+		for i := lo; i < hi; i++ {
+			f, v, ok := Traverse(tree, ps[i], i, cfg.Theta)
+			visits += v
+			if ok {
+				out[i] = f
+			} else {
+				missing = append(missing, workItem{i, ps[i]})
+			}
+		}
+		p.Compute(float64(visits) * InteractFlops)
+		return missing
+	}
+
+	mid := lo + (hi-lo)/2
+	p1 := np / 2
+	part := p.Partition(group.Sub("subTreeG1", p1), group.Sub("subTreeG2", np-p1))
+	var myMissing []workItem
+	p.TaskRegion(part, func(r *fx.Region) {
+		r.On("subTreeG1", func() {
+			t1 := Prune(tree, k, lo, mid, lo, hi)
+			col.recordNodes(t1.CountNodes())
+			p.Compute(float64(t1.CountNodes()) * 4) // partition_bh_tree copy cost
+			myMissing = computeForce(p, cfg, k, ps, t1, lo, mid, out, col)
+		})
+		r.On("subTreeG2", func() {
+			t2 := Prune(tree, k, mid, hi, lo, hi)
+			col.recordNodes(t2.CountNodes())
+			p.Compute(float64(t2.CountNodes()) * 4)
+			myMissing = computeForce(p, cfg, k, ps, t2, mid, hi, out, col)
+		})
+		// Parent scope: pool the children's worklists across the whole
+		// subgroup and retry against this level's fuller tree.
+		parts := comm.AllGather(p.Proc, p.Group(), myMissing)
+		var wl []workItem
+		for _, part := range parts {
+			wl = append(wl, part...)
+		}
+		col.recordWorklist(len(wl))
+		myMissing = nil
+		visits := 0
+		for j := p.VP(); j < len(wl); j += np {
+			f, v, ok := Traverse(tree, wl[j].P, wl[j].Idx, cfg.Theta)
+			visits += v
+			if ok {
+				out[wl[j].Idx] = f
+			} else {
+				myMissing = append(myMissing, wl[j])
+			}
+		}
+		p.Compute(float64(visits) * InteractFlops)
+	})
+	return myMissing
+}

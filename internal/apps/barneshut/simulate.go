@@ -1,0 +1,102 @@
+package barneshut
+
+import (
+	"fmt"
+	"math"
+
+	"fxpar/internal/comm"
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+)
+
+// SimResult summarizes a multi-step N-body simulation (Figure 7's bh
+// subroutine iterated: build tree, compute forces, update positions).
+type SimResult struct {
+	Makespan float64
+	// Positions holds the final particle positions (tree order of the last
+	// step).
+	Positions []Vec3
+	// MomentumDrift is |total momentum change| over the whole run; exact
+	// force evaluation conserves momentum (forces are antisymmetric), so
+	// drift measures the Barnes-Hut approximation error.
+	MomentumDrift float64
+	// WorklistTotal accumulates handed-up worklist items over all steps.
+	WorklistTotal int
+}
+
+// Simulate advances n bodies for the given number of leapfrog steps of
+// length dt, rebuilding the tree and recomputing forces with nested task
+// parallelism every step.
+func Simulate(mach *machine.Machine, cfg Config, steps int, dt float64) SimResult {
+	if steps < 1 || dt <= 0 {
+		panic(fmt.Sprintf("barneshut: Simulate steps=%d dt=%g", steps, dt))
+	}
+	k := cfg.K
+	if k == 0 {
+		k = int(math.Ceil(math.Log2(float64(mach.N())))) + 1
+	}
+	col := &collector{forces: make(map[int]Vec3)}
+	var finalPos []Vec3
+	var drift float64
+	runStats := fx.Run(mach, func(p *fx.Proc) {
+		// Every processor holds the full replicated particle set (as with
+		// Run; the partial-tree memory bound concerns the trees) and
+		// updates it identically from the all-gathered forces, so the
+		// replicated state never diverges.
+		ps := UniformParticles(cfg.N, cfg.Seed)
+		var initialMomentum Vec3 // zero: particles start at rest
+		np := p.NumberOfProcessors()
+		world := p.Group()
+		for step := 0; step < steps; step++ {
+			tree := Build(ps) // reorders ps into tree order
+			p.Compute(float64(cfg.N) * math.Log2(float64(cfg.N)+1) * BuildFlops / float64(np))
+			out := make(map[int]Vec3)
+			missing := computeForce(p, cfg, k, ps, tree, 0, cfg.N, out, col)
+			if len(missing) != 0 {
+				panic("barneshut: unresolved particles at the root")
+			}
+			// Share all forces so every processor updates identically.
+			pairs := make([]idxForce, 0, len(out))
+			for i := 0; i < cfg.N; i++ {
+				if f, ok := out[i]; ok {
+					pairs = append(pairs, idxForce{i, f})
+				}
+			}
+			gathered := comm.AllGather(p.Proc, world, pairs)
+			forces := make([]Vec3, cfg.N)
+			seen := 0
+			for _, part := range gathered {
+				for _, pr := range part {
+					forces[pr.Idx] = pr.F
+					seen++
+				}
+			}
+			if seen != cfg.N {
+				panic(fmt.Sprintf("barneshut: %d of %d forces after all-gather", seen, cfg.N))
+			}
+			// Leapfrog update (cost charged, computation replicated).
+			for i := range ps {
+				ps[i].Vel = ps[i].Vel.Add(forces[i].Scale(dt / ps[i].Mass))
+				ps[i].Pos = ps[i].Pos.Add(ps[i].Vel.Scale(dt))
+			}
+			p.Compute(float64(cfg.N) * 12 / float64(np))
+		}
+		if p.VP() == 0 {
+			var totalMomentum Vec3
+			for _, b := range ps {
+				totalMomentum = totalMomentum.Add(b.Vel.Scale(b.Mass))
+			}
+			drift = totalMomentum.Sub(initialMomentum).Norm()
+			finalPos = make([]Vec3, cfg.N)
+			for i, b := range ps {
+				finalPos[i] = b.Pos
+			}
+		}
+	})
+	return SimResult{
+		Makespan:      runStats.MakespanTime(),
+		Positions:     finalPos,
+		MomentumDrift: drift,
+		WorklistTotal: col.totalWorklist,
+	}
+}

@@ -1,0 +1,268 @@
+// Package barneshut implements the Barnes-Hut N-body force computation with
+// dynamically nested task parallelism, following Figure 7 and Section 5.3 of
+// the paper:
+//
+//   - build_bh_tree builds a *balanced* binary tree by repeatedly
+//     partitioning the particles at the median along one axis at a time
+//     (x, then y, then z, cyclically); the particles end up sorted in the
+//     order of the tree's leaves;
+//   - compute_force recursively divides the particles (and the current
+//     processors) in half; each subgroup receives a partial tree holding the
+//     top k levels of the current tree plus its own half's full subtree,
+//     with branches into the missing half marked *remote*;
+//   - a particle whose traversal would have to open a remote branch is
+//     placed on a worklist and handed to the parent subgroup, which retries
+//     with its more complete tree — worklists shrink rapidly (O(n^(2/3))
+//     expected for a uniform distribution).
+package barneshut
+
+import (
+	"math"
+	"sort"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 [3]float64
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v[0] * s, v[1] * s, v[2] * s} }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 {
+	return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+}
+
+// Particle is a point mass with velocity state for multi-step simulation.
+type Particle struct {
+	Pos  Vec3
+	Vel  Vec3
+	Mass float64
+}
+
+// Node is a cell of the balanced Barnes-Hut tree. Leaves hold one particle;
+// interior nodes hold the aggregate mass, center of mass, and cell size.
+// A Remote node is a stub standing for a subtree that is not present in
+// this (pruned) copy: its aggregate data may be used for far-field
+// approximation, but opening it requires the parent's fuller tree.
+type Node struct {
+	Lo, Hi int // leaf (particle) index range [Lo, Hi) in tree order
+	Mass   float64
+	COM    Vec3    // center of mass
+	Size   float64 // cell diameter along its longest axis
+	Left   *Node
+	Right  *Node
+	Remote bool
+	// Leaf particle payload (valid when Hi-Lo == 1).
+	P Particle
+}
+
+// IsLeaf reports whether the node is a single-particle leaf.
+func (n *Node) IsLeaf() bool { return n.Hi-n.Lo == 1 }
+
+// CountNodes returns the number of present (non-nil) nodes, counting remote
+// stubs — used to verify the memory bound of partial trees.
+func (n *Node) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.CountNodes() + n.Right.CountNodes()
+}
+
+// BuildFlops is the modeled per-key-per-level cost of the balanced build.
+const BuildFlops = 6
+
+// Build constructs the balanced tree over particles, reordering the slice
+// into tree (leaf) order, partitioning along axes x, y, z cyclically.
+func Build(particles []Particle) *Node {
+	return build(particles, 0, len(particles), 0)
+}
+
+func build(ps []Particle, lo, hi, axis int) *Node {
+	if hi-lo == 1 {
+		p := ps[lo]
+		return &Node{Lo: lo, Hi: hi, Mass: p.Mass, COM: p.Pos, Size: 0, P: p}
+	}
+	seg := ps[lo:hi]
+	sort.Slice(seg, func(i, j int) bool { return seg[i].Pos[axis] < seg[j].Pos[axis] })
+	mid := lo + (hi-lo)/2
+	left := build(ps, lo, mid, (axis+1)%3)
+	right := build(ps, mid, hi, (axis+1)%3)
+	n := &Node{Lo: lo, Hi: hi, Left: left, Right: right}
+	n.Mass = left.Mass + right.Mass
+	if n.Mass > 0 {
+		n.COM = left.COM.Scale(left.Mass / n.Mass).Add(right.COM.Scale(right.Mass / n.Mass))
+	}
+	// Cell size: extent of the particles along each axis.
+	var min, max Vec3
+	for d := 0; d < 3; d++ {
+		min[d] = math.Inf(1)
+		max[d] = math.Inf(-1)
+	}
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			if ps[i].Pos[d] < min[d] {
+				min[d] = ps[i].Pos[d]
+			}
+			if ps[i].Pos[d] > max[d] {
+				max[d] = ps[i].Pos[d]
+			}
+		}
+	}
+	// Cell size: the diagonal extent. Median-split cells can be elongated,
+	// so the diagonal (rather than the longest axis) keeps the opening
+	// criterion conservative.
+	var diag2 float64
+	for d := 0; d < 3; d++ {
+		s := max[d] - min[d]
+		diag2 += s * s
+	}
+	n.Size = math.Sqrt(diag2)
+	return n
+}
+
+// Prune returns the partial tree of Figure 7's partition_bh_tree for the
+// child covering [keepLo, keepHi) of the current recursion range
+// [curLo, curHi): the top k levels of the subtree covering the *current*
+// range are replicated; below that, subtrees inside the keep range are kept
+// whole and all other branches become remote stubs (aggregate data retained,
+// children dropped). Remnants above the current range — coarse cells and
+// stubs inherited from earlier recursion levels — are kept as they are, so
+// every level sees fine cells near its own particles and coarse cells far
+// away, which is what keeps the worklists small (Section 5.3).
+func Prune(t *Node, k, keepLo, keepHi, curLo, curHi int) *Node {
+	if t == nil {
+		return nil
+	}
+	if t.Lo >= curLo && t.Hi <= curHi {
+		return prune(t, 0, k, keepLo, keepHi)
+	}
+	// Ancestor remnant: keep this node, descend toward the current range,
+	// and share the off-path child (already a remnant from earlier levels).
+	c := *t
+	if t.Left != nil && t.Left.Lo <= curLo && t.Left.Hi >= curHi {
+		c.Left = Prune(t.Left, k, keepLo, keepHi, curLo, curHi)
+	} else if t.Right != nil && t.Right.Lo <= curLo && t.Right.Hi >= curHi {
+		c.Right = Prune(t.Right, k, keepLo, keepHi, curLo, curHi)
+	}
+	return &c
+}
+
+func prune(n *Node, depth, k, keepLo, keepHi int) *Node {
+	if n == nil {
+		return nil
+	}
+	inside := n.Lo >= keepLo && n.Hi <= keepHi
+	overlaps := n.Lo < keepHi && n.Hi > keepLo
+	if inside {
+		return n // my half: keep the whole subtree (shared, immutable)
+	}
+	if depth >= k && !overlaps {
+		// Below the replicated levels and disjoint from my half: stub.
+		stub := *n
+		stub.Left, stub.Right = nil, nil
+		stub.Remote = true
+		return &stub
+	}
+	if n.IsLeaf() {
+		return n
+	}
+	c := *n
+	c.Left = prune(n.Left, depth+1, k, keepLo, keepHi)
+	c.Right = prune(n.Right, depth+1, k, keepLo, keepHi)
+	return &c
+}
+
+// Gravitational softening to avoid singularities.
+const softening = 1e-3
+
+// InteractFlops is the modeled cost of one particle-node interaction.
+const InteractFlops = 20
+
+// Traverse computes the force on particle p from the tree with opening
+// parameter theta. It returns the force, the number of node interactions
+// (for cost accounting), and ok=false if the traversal needed to open a
+// remote stub — in which case the force is invalid and the particle belongs
+// on the worklist.
+func Traverse(t *Node, p Particle, selfIdx int, theta float64) (f Vec3, visits int, ok bool) {
+	ok = true
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil || !ok {
+			return
+		}
+		visits++
+		if n.IsLeaf() {
+			if n.Lo == selfIdx {
+				return // no self-force
+			}
+			f = f.Add(pairForce(p, n.COM, n.Mass))
+			return
+		}
+		d := n.COM.Sub(p.Pos).Norm()
+		if n.Size/(d+softening) < theta && !(selfIdx >= n.Lo && selfIdx < n.Hi) {
+			// Far field: use the aggregate (valid for remote stubs too).
+			f = f.Add(pairForce(p, n.COM, n.Mass))
+			return
+		}
+		if n.Remote {
+			ok = false // must open a missing subtree
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t)
+	if !ok {
+		return Vec3{}, visits, false
+	}
+	return f, visits, true
+}
+
+func pairForce(p Particle, pos Vec3, mass float64) Vec3 {
+	d := pos.Sub(p.Pos)
+	r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2] + softening*softening
+	r := math.Sqrt(r2)
+	s := p.Mass * mass / (r2 * r)
+	return d.Scale(s)
+}
+
+// DirectForces computes exact O(n^2) pairwise forces — the verification
+// baseline.
+func DirectForces(ps []Particle) []Vec3 {
+	out := make([]Vec3, len(ps))
+	for i := range ps {
+		for j := range ps {
+			if i == j {
+				continue
+			}
+			out[i] = out[i].Add(pairForce(ps[i], ps[j].Pos, ps[j].Mass))
+		}
+	}
+	return out
+}
+
+// UniformParticles generates n particles uniformly distributed in the unit
+// cube with unit total mass.
+func UniformParticles(n int, seed int64) []Particle {
+	ps := make([]Particle, n)
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%(1<<53)) / (1 << 53)
+	}
+	for i := range ps {
+		ps[i] = Particle{
+			Pos:  Vec3{next(), next(), next()},
+			Mass: 1.0 / float64(n),
+		}
+	}
+	return ps
+}

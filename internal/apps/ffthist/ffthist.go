@@ -1,0 +1,272 @@
+// Package ffthist implements the FFT-Hist image processing kernel of
+// Sections 3.2/3.3 and Figure 2: a stream of N-by-N complex arrays flows
+// through column FFTs, row FFTs and histogramming. It supports the paper's
+// three mapping families —
+//
+//   - pure data parallelism (Figure 2(a)): every stage on all processors,
+//   - a 3-stage data-parallel pipeline (Figure 2(c)): subgroups G1/G2/G3
+//     connected by parent-scope array assignments,
+//   - replicated (modules) data parallelism (Figure 3): alternate data sets
+//     on disjoint subgroups, each module itself data-parallel or pipelined,
+//
+// all over the same numerical kernels, so results are comparable across
+// mappings (tests verify the histograms are identical).
+//
+// Orientation trick: stage 1 stores the array transposed (column j of the
+// data set is local row j), so "column FFTs" are local row FFTs, and the
+// corner turn to row orientation is the parent-scope Transpose2D — the
+// communication the paper's A2 = A1 assignment performs.
+package ffthist
+
+import (
+	"fmt"
+
+	"fxpar/internal/apps/streams"
+	"fxpar/internal/comm"
+	"fxpar/internal/dist"
+	"fxpar/internal/fft"
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+	"fxpar/internal/stats"
+)
+
+// Config describes the workload.
+type Config struct {
+	// N is the data set edge: each data set is an N-by-N complex array.
+	N int
+	// Sets is the stream length.
+	Sets int
+	// Bins is the number of histogram buckets.
+	Bins int
+}
+
+// DefaultConfig returns the 256x256 workload of Table 1 with a short stream.
+func DefaultConfig() Config { return Config{N: 256, Sets: 8, Bins: 64} }
+
+// Mapping selects how processors are applied to the stream.
+type Mapping struct {
+	// Modules is the replication factor: the machine is divided into this
+	// many identical modules processing alternate data sets (Section 3.3).
+	Modules int
+	// Stages gives processors per pipeline stage within one module
+	// (Figure 2(c)); len 3 for the cffts/rffts/hist pipeline. A single
+	// entry means the module runs all phases data-parallel on that many
+	// processors (Figure 2(a)).
+	Stages []int
+}
+
+// DataParallel returns the pure data-parallel mapping on p processors.
+func DataParallel(p int) Mapping { return Mapping{Modules: 1, Stages: []int{p}} }
+
+// Pipeline returns a single-module 3-stage pipeline mapping.
+func Pipeline(pc, pr, ph int) Mapping { return Mapping{Modules: 1, Stages: []int{pc, pr, ph}} }
+
+// Procs returns the total processors the mapping uses.
+func (mp Mapping) Procs() int {
+	s := 0
+	for _, q := range mp.Stages {
+		s += q
+	}
+	return mp.Modules * s
+}
+
+// Validate checks the mapping against a machine size.
+func (mp Mapping) Validate(total int) error {
+	if mp.Modules < 1 {
+		return fmt.Errorf("ffthist: Modules = %d", mp.Modules)
+	}
+	if len(mp.Stages) != 1 && len(mp.Stages) != 3 {
+		return fmt.Errorf("ffthist: need 1 or 3 stage sizes, got %v", mp.Stages)
+	}
+	for _, q := range mp.Stages {
+		if q < 1 {
+			return fmt.Errorf("ffthist: non-positive stage size in %v", mp.Stages)
+		}
+	}
+	if mp.Procs() > total {
+		return fmt.Errorf("ffthist: mapping uses %d processors, machine has only %d", mp.Procs(), total)
+	}
+	return nil
+}
+
+func (mp Mapping) String() string {
+	if len(mp.Stages) == 1 {
+		if mp.Modules == 1 {
+			return fmt.Sprintf("data-parallel(%d)", mp.Stages[0])
+		}
+		return fmt.Sprintf("replicated(%d modules x dp %d)", mp.Modules, mp.Stages[0])
+	}
+	if mp.Modules == 1 {
+		return fmt.Sprintf("pipeline(%d,%d,%d)", mp.Stages[0], mp.Stages[1], mp.Stages[2])
+	}
+	return fmt.Sprintf("replicated(%d modules x pipeline(%d,%d,%d))", mp.Modules, mp.Stages[0], mp.Stages[1], mp.Stages[2])
+}
+
+// Result of a run.
+type Result struct {
+	Stream stats.Result
+	// Hists maps data set index to its histogram, for cross-mapping
+	// verification.
+	Hists map[int][]int64
+	// Makespan is the maximum processor finish time.
+	Makespan float64
+}
+
+// sample generates element (i, j) of data set s deterministically.
+func sample(s, i, j, n int) complex128 {
+	h := uint32(s*2654435761) ^ uint32(i*40503+j*9973)
+	h ^= h >> 13
+	h *= 1103515245
+	h ^= h >> 16
+	re := float64(h%1024)/1024 - 0.5
+	im := float64((h>>10)%1024)/1024 - 0.5
+	return complex(re, im)
+}
+
+// histMax is the histogram range upper bound; FFT outputs of unit-scale
+// inputs of size N are bounded well within N.
+func histMax(n int) float64 { return float64(n) }
+
+// Run executes the stream under the given mapping and returns metered
+// results. The mapping must exactly cover the machine.
+func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
+	if err := mp.Validate(mach.N()); err != nil {
+		panic(err)
+	}
+	if cfg.N <= 0 || cfg.N&(cfg.N-1) != 0 {
+		panic(fmt.Sprintf("ffthist: N must be a positive power of two, got %d", cfg.N))
+	}
+	meter := stats.NewStream()
+	res := Result{Hists: make(map[int][]int64)}
+	var histMu chan struct{} = make(chan struct{}, 1)
+	histMu <- struct{}{}
+	record := func(set int, h []int64) {
+		<-histMu
+		res.Hists[set] = h
+		histMu <- struct{}{}
+	}
+
+	runStats := fx.Run(mach, func(p *fx.Proc) {
+		streams.RunModules(p, mp.Modules, mp.Procs(), func(p *fx.Proc, module int) {
+			runModule(p, cfg, mp.Stages, module, mp.Modules, meter, record)
+		})
+	})
+	res.Stream = meter.Summarize()
+	res.Makespan = runStats.MakespanTime()
+	return res
+}
+
+// runModule processes data sets first, first+stride, ... < cfg.Sets on the
+// current group.
+func runModule(p *fx.Proc, cfg Config, stages []int, first, stride int,
+	meter *stats.Stream, record func(int, []int64)) {
+	if len(stages) == 1 {
+		runDataParallel(p, cfg, first, stride, meter, record)
+		return
+	}
+	runPipeline(p, cfg, stages, first, stride, meter, record)
+}
+
+// inputSet models reading one data set from the sensor stream: rank 0 of g
+// performs the (serial) I/O, generates the transposed data, and scatters it
+// over the stage-1 array.
+func inputSet(p *fx.Proc, a *dist.Array[complex128], set, n int) {
+	if !a.IsMember() {
+		return
+	}
+	var full []complex128
+	if a.Rank() == 0 {
+		p.IO(n * n * 16)
+		full = make([]complex128, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				// Transposed orientation: local row i holds column i.
+				full[i*n+j] = sample(set, j, i, n)
+			}
+		}
+	}
+	dist.ScatterGlobal(p.Proc, a, full)
+}
+
+// fftLocalRows runs forward FFTs over every local row and charges the cost.
+func fftLocalRows(p *fx.Proc, a *dist.Array[complex128]) {
+	if !a.IsMember() || len(a.Local()) == 0 {
+		return
+	}
+	flops := fft.Rows(a.Local(), a.LocalShape()[1])
+	p.Compute(flops)
+}
+
+// histSet computes the distributed histogram of a, reduces it to the
+// group's rank 0, which writes it out and records completion.
+func histSet(p *fx.Proc, a *dist.Array[complex128], cfg Config, set int,
+	meter *stats.Stream, record func(int, []int64)) {
+	if !a.IsMember() {
+		return
+	}
+	counts, flops := fft.Histogram(a.Local(), cfg.Bins, histMax(cfg.N))
+	p.Compute(flops)
+	g := a.Layout().Group()
+	total := comm.ReduceSlice(p.Proc, g, 0, counts, func(x, y int64) int64 { return x + y })
+	if a.Rank() == 0 {
+		p.IO(cfg.Bins * 8)
+		meter.Complete(set, p.Now())
+		record(set, total)
+	}
+}
+
+// Data-parallel module: every phase on the whole current group (Figure 2(a),
+// and one module of Figure 3).
+func runDataParallel(p *fx.Proc, cfg Config, first, stride int,
+	meter *stats.Stream, record func(int, []int64)) {
+	g := p.Group()
+	// aT holds the data set transposed (stage-1 orientation); b holds it in
+	// natural row orientation after the corner turn.
+	aT := dist.New[complex128](p.Proc, dist.RowBlock2D(g, cfg.N, cfg.N))
+	b := dist.New[complex128](p.Proc, dist.RowBlock2D(g, cfg.N, cfg.N))
+	for set := first; set < cfg.Sets; set += stride {
+		if aT.Rank() == 0 {
+			meter.Inject(set, p.Now())
+		}
+		inputSet(p, aT, set, cfg.N)
+		fftLocalRows(p, aT)             // column FFTs (transposed orientation)
+		dist.Transpose2D(p.Proc, b, aT) // corner turn
+		fftLocalRows(p, b)              // row FFTs
+		histSet(p, b, cfg, set, meter, record)
+	}
+}
+
+// Pipeline module: Figure 2(c). Three subgroups connected by parent-scope
+// assignments; the corner turn is the G1->G2 transfer.
+func runPipeline(p *fx.Proc, cfg Config, stages []int, first, stride int,
+	meter *stats.Stream, record func(int, []int64)) {
+	g := p.Group()
+	g1 := g.Subrange(0, stages[0])
+	g2 := g.Subrange(stages[0], stages[0]+stages[1])
+	g3 := g.Subrange(stages[0]+stages[1], stages[0]+stages[1]+stages[2])
+	a1 := dist.New[complex128](p.Proc, dist.RowBlock2D(g1, cfg.N, cfg.N)) // transposed orientation
+	a2 := dist.New[complex128](p.Proc, dist.RowBlock2D(g2, cfg.N, cfg.N))
+	a3 := dist.New[complex128](p.Proc, dist.RowBlock2D(g3, cfg.N, cfg.N))
+	fx.PipelineLoop(p, fx.PipelineSpec{
+		Sets: cfg.Sets, First: first, Stride: stride,
+		Stages: []fx.Stage{
+			{Name: "G1", Procs: stages[0], Body: func(set int) {
+				if a1.Rank() == 0 {
+					meter.Inject(set, p.Now())
+				}
+				inputSet(p, a1, set, cfg.N)
+				fftLocalRows(p, a1) // cffts
+			}},
+			{Name: "G2", Procs: stages[1], Body: func(set int) {
+				fftLocalRows(p, a2) // rffts
+			}},
+			{Name: "G3", Procs: stages[2], Body: func(set int) {
+				histSet(p, a3, cfg, set, meter, record) // hist
+			}},
+		},
+		Transfer: []func(int){
+			func(int) { dist.Transpose2D(p.Proc, a2, a1) }, // A2 = A1 (corner turn)
+			func(int) { dist.Assign(p.Proc, a3, a2) },      // A3 = A2
+		},
+	})
+}

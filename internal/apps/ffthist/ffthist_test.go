@@ -1,0 +1,158 @@
+package ffthist
+
+import (
+	"testing"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func smallConfig() Config { return Config{N: 16, Sets: 6, Bins: 8} }
+
+func run(t *testing.T, procs int, cfg Config, mp Mapping) Result {
+	t.Helper()
+	m := machine.New(procs, sim.Paragon())
+	return Run(m, cfg, mp)
+}
+
+func TestMappingValidate(t *testing.T) {
+	cases := []struct {
+		mp    Mapping
+		procs int
+		ok    bool
+	}{
+		{DataParallel(8), 8, true},
+		{Pipeline(2, 4, 2), 8, true},
+		{Mapping{Modules: 2, Stages: []int{4}}, 8, true},
+		{Mapping{Modules: 2, Stages: []int{2, 1, 1}}, 8, true},
+		{DataParallel(8), 9, true}, // one idle processor is allowed
+		{DataParallel(9), 8, false},
+		{Mapping{Modules: 0, Stages: []int{8}}, 8, false},
+		{Mapping{Modules: 1, Stages: []int{4, 4}}, 8, false},
+		{Mapping{Modules: 1, Stages: []int{0, 4, 4}}, 8, false},
+	}
+	for _, tc := range cases {
+		err := tc.mp.Validate(tc.procs)
+		if (err == nil) != tc.ok {
+			t.Errorf("%v on %d procs: err=%v, want ok=%v", tc.mp, tc.procs, err, tc.ok)
+		}
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	if got := DataParallel(64).String(); got != "data-parallel(64)" {
+		t.Errorf("got %q", got)
+	}
+	if got := Pipeline(1, 2, 3).String(); got != "pipeline(1,2,3)" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Mapping{Modules: 2, Stages: []int{4}}).String(); got != "replicated(2 modules x dp 4)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDataParallelCompletesAllSets(t *testing.T) {
+	cfg := smallConfig()
+	res := run(t, 4, cfg, DataParallel(4))
+	if res.Stream.Sets != cfg.Sets {
+		t.Fatalf("completed %d sets, want %d", res.Stream.Sets, cfg.Sets)
+	}
+	if len(res.Hists) != cfg.Sets {
+		t.Fatalf("recorded %d histograms", len(res.Hists))
+	}
+	for set, h := range res.Hists {
+		var total int64
+		for _, c := range h {
+			total += c
+		}
+		if total != int64(cfg.N*cfg.N) {
+			t.Errorf("set %d histogram sums to %d, want %d", set, total, cfg.N*cfg.N)
+		}
+	}
+}
+
+// All mappings must compute identical histograms: the directives are
+// assertions, not semantics (Section 2.2).
+func TestMappingsAgree(t *testing.T) {
+	cfg := smallConfig()
+	ref := run(t, 4, cfg, DataParallel(4))
+	mappings := []struct {
+		procs int
+		mp    Mapping
+	}{
+		{1, DataParallel(1)},
+		{6, Pipeline(2, 3, 1)},
+		{3, Pipeline(1, 1, 1)},
+		{8, Mapping{Modules: 2, Stages: []int{4}}},
+		{8, Mapping{Modules: 2, Stages: []int{2, 1, 1}}},
+		{6, Mapping{Modules: 3, Stages: []int{2}}},
+	}
+	for _, tc := range mappings {
+		res := run(t, tc.procs, cfg, tc.mp)
+		if res.Stream.Sets != cfg.Sets {
+			t.Errorf("%v: completed %d sets", tc.mp, res.Stream.Sets)
+			continue
+		}
+		for set := 0; set < cfg.Sets; set++ {
+			want, got := ref.Hists[set], res.Hists[set]
+			if len(got) != len(want) {
+				t.Errorf("%v set %d: missing histogram", tc.mp, set)
+				continue
+			}
+			for b := range want {
+				if got[b] != want[b] {
+					t.Errorf("%v set %d bin %d: %d != %d", tc.mp, set, b, got[b], want[b])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineImprovesThroughput(t *testing.T) {
+	// With the serial per-set input on stage 1, a pipeline must beat the
+	// data-parallel mapping on throughput for a long enough stream.
+	cfg := Config{N: 32, Sets: 10, Bins: 16}
+	dp := run(t, 6, cfg, DataParallel(6))
+	pl := run(t, 6, cfg, Pipeline(2, 2, 2))
+	if pl.Stream.Throughput <= dp.Stream.Throughput {
+		t.Errorf("pipeline throughput %.2f <= data-parallel %.2f",
+			pl.Stream.Throughput, dp.Stream.Throughput)
+	}
+	// And data-parallel must win on latency (Figure 5, leftmost mapping).
+	if dp.Stream.Latency >= pl.Stream.Latency {
+		t.Errorf("data-parallel latency %.4f >= pipeline %.4f",
+			dp.Stream.Latency, pl.Stream.Latency)
+	}
+}
+
+func TestReplicationScalesThroughput(t *testing.T) {
+	cfg := Config{N: 32, Sets: 12, Bins: 16}
+	one := run(t, 4, cfg, DataParallel(4))
+	two := run(t, 8, cfg, Mapping{Modules: 2, Stages: []int{4}})
+	if two.Stream.Throughput < one.Stream.Throughput*1.5 {
+		t.Errorf("2 modules throughput %.2f not ~2x single %.2f",
+			two.Stream.Throughput, one.Stream.Throughput)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := smallConfig()
+	a := run(t, 6, cfg, Pipeline(2, 3, 1))
+	b := run(t, 6, cfg, Pipeline(2, 3, 1))
+	if a.Stream.Throughput != b.Stream.Throughput || a.Stream.Latency != b.Stream.Latency {
+		t.Errorf("virtual-time results differ across runs: %+v vs %+v", a.Stream, b.Stream)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan differs: %g vs %g", a.Makespan, b.Makespan)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two N")
+		}
+	}()
+	run(t, 2, Config{N: 12, Sets: 1, Bins: 4}, DataParallel(2))
+}

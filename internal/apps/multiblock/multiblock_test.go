@@ -1,0 +1,141 @@
+package multiblock
+
+import (
+	"math"
+	"testing"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{H: 10, Widths: []int{8, 5, 7}, Iters: 12, Left: 50, Right: -10}
+}
+
+func run(t *testing.T, procs int, cfg Config, per []int) Result {
+	t.Helper()
+	m := machine.New(procs, sim.Paragon())
+	return Run(m, cfg, per)
+}
+
+// compareInterior checks the parallel blocks against the reference on all
+// interior columns plus the chain's fixed outer boundary (halo columns of
+// the parallel version are stale by design after the last iteration).
+func compareInterior(t *testing.T, cfg Config, got, want [][]float64) {
+	t.Helper()
+	for b, w := range cfg.Widths {
+		loJ, hiJ := 1, w-1
+		if b == 0 {
+			loJ = 0
+		}
+		if b == len(cfg.Widths)-1 {
+			hiJ = w
+		}
+		for i := 0; i < cfg.H; i++ {
+			for j := loJ; j < hiJ; j++ {
+				g, r := got[b][i*w+j], want[b][i*w+j]
+				if math.Abs(g-r) > 1e-12*(math.Abs(r)+1) {
+					t.Fatalf("block %d cell (%d,%d): %g != reference %g", b, i, j, g, r)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesReferenceOneProcPerBlock(t *testing.T) {
+	cfg := smallConfig()
+	res := run(t, 3, cfg, []int{1, 1, 1})
+	compareInterior(t, cfg, res.Blocks, Reference(cfg))
+}
+
+func TestMatchesReferenceMultiProcBlocks(t *testing.T) {
+	cfg := smallConfig()
+	res := run(t, 7, cfg, []int{3, 2, 2})
+	compareInterior(t, cfg, res.Blocks, Reference(cfg))
+}
+
+func TestMatchesReferenceWithIdleProcs(t *testing.T) {
+	cfg := smallConfig()
+	res := run(t, 6, cfg, []int{2, 1, 1}) // 2 idle
+	compareInterior(t, cfg, res.Blocks, Reference(cfg))
+}
+
+func TestSingleBlock(t *testing.T) {
+	cfg := Config{H: 8, Widths: []int{9}, Iters: 10, Left: 10, Right: 20}
+	res := run(t, 2, cfg, []int{2})
+	compareInterior(t, cfg, res.Blocks, Reference(cfg))
+}
+
+func TestZeroIterationsKeepsInitialState(t *testing.T) {
+	cfg := Config{H: 5, Widths: []int{4, 4}, Iters: 0, Left: 7, Right: 3}
+	res := run(t, 2, cfg, []int{1, 1})
+	for i := 0; i < cfg.H; i++ {
+		if res.Blocks[0][i*4] != 7 {
+			t.Errorf("left boundary row %d = %g", i, res.Blocks[0][i*4])
+		}
+		if res.Blocks[1][i*4+3] != 3 {
+			t.Errorf("right boundary row %d = %g", i, res.Blocks[1][i*4+3])
+		}
+	}
+}
+
+func TestHeatFlowsAcrossBlocks(t *testing.T) {
+	// With a hot left boundary, heat must reach the last block's interior
+	// after enough iterations — i.e. the couplings genuinely transfer data.
+	cfg := Config{H: 8, Widths: []int{6, 6, 6}, Iters: 60, Left: 100, Right: 0}
+	res := run(t, 3, cfg, []int{1, 1, 1})
+	last := res.Blocks[2]
+	w := 6
+	mid := last[(cfg.H/2)*w+2]
+	if mid <= 0 {
+		t.Errorf("no heat reached block 2 interior: %g", mid)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{H: 2, Widths: []int{5}, Iters: 1},
+		{H: 5, Widths: nil, Iters: 1},
+		{H: 5, Widths: []int{2}, Iters: 1},
+		{H: 5, Widths: []int{5}, Iters: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTooManyProcsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	run(t, 2, smallConfig(), []int{2, 2, 2})
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := run(t, 5, cfg, []int{2, 2, 1})
+	b := run(t, 5, cfg, []int{2, 2, 1})
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan differs: %g vs %g", a.Makespan, b.Makespan)
+	}
+}
+
+func TestBlocksRunConcurrently(t *testing.T) {
+	// Three equal blocks on three subgroups should take roughly the time of
+	// one block, not three (parallel sections actually overlap).
+	// The blocks are coupled, so each iteration synchronizes neighbours
+	// (coupling latency is genuinely on the critical path); but the three
+	// compute phases must still overlap — well under 3x the single-block
+	// time, which is what a serialized execution would cost.
+	cfg := Config{H: 32, Widths: []int{20, 20, 20}, Iters: 20, Left: 1, Right: 0}
+	three := run(t, 3, cfg, []int{1, 1, 1})
+	one := run(t, 1, Config{H: 32, Widths: []int{20}, Iters: 20, Left: 1, Right: 0}, []int{1})
+	if three.Makespan > one.Makespan*2.5 {
+		t.Errorf("three blocks on three procs (%.4fs) look serialized vs one block (%.4fs)",
+			three.Makespan, one.Makespan)
+	}
+}

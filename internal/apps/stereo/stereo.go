@@ -1,0 +1,462 @@
+// Package stereo implements the CMU multibaseline stereo benchmark of
+// Section 5.1 (Okutomi & Kanade): each data set is a triple of camera
+// images; processing computes difference images (sum of squared differences
+// between corresponding pixels of the match images for each candidate
+// disparity), error images (sum over a surrounding pixel window), and the
+// depth image (per-pixel minimum over disparities).
+//
+// The three steps form a natural 3-stage data parallel pipeline; the error
+// step needs halo rows from neighbouring processors (a window sum across the
+// block-distributed image rows), which exercises subgroup-internal
+// communication inside an ON block.
+package stereo
+
+import (
+	"fmt"
+
+	"fxpar/internal/apps/streams"
+	"fxpar/internal/comm"
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/stats"
+)
+
+// Config describes the stereo workload. Images are H-by-W pixels; the
+// paper's data set is 256x240 (W=256, H=240) with three cameras.
+type Config struct {
+	W, H        int
+	Disparities int // candidate disparities searched
+	Window      int // half-width of the error window (full window 2w+1)
+	Sets        int
+}
+
+// DefaultConfig is the paper's 256x240 data set.
+func DefaultConfig() Config {
+	return Config{W: 256, H: 240, Disparities: 16, Window: 2, Sets: 8}
+}
+
+// Mapping: Modules replicas of either a data-parallel module (one entry) or
+// a 3-stage pipeline (diff, error, depth).
+type Mapping struct {
+	Modules int
+	Stages  []int
+}
+
+// DataParallel returns the data-parallel mapping on p processors.
+func DataParallel(p int) Mapping { return Mapping{Modules: 1, Stages: []int{p}} }
+
+// Procs returns the processors the mapping occupies.
+func (mp Mapping) Procs() int {
+	s := 0
+	for _, q := range mp.Stages {
+		s += q
+	}
+	return mp.Modules * s
+}
+
+// Validate checks the mapping.
+func (mp Mapping) Validate(total int, cfg Config) error {
+	if mp.Modules < 1 {
+		return fmt.Errorf("stereo: Modules = %d", mp.Modules)
+	}
+	if len(mp.Stages) != 1 && len(mp.Stages) != 3 {
+		return fmt.Errorf("stereo: need 1 or 3 stage sizes, got %v", mp.Stages)
+	}
+	for _, q := range mp.Stages {
+		if q < 1 {
+			return fmt.Errorf("stereo: non-positive stage size in %v", mp.Stages)
+		}
+		if q > cfg.H {
+			return fmt.Errorf("stereo: stage of %d processors exceeds %d image rows", q, cfg.H)
+		}
+	}
+	if mp.Procs() > total {
+		return fmt.Errorf("stereo: mapping uses %d processors, machine has %d", mp.Procs(), total)
+	}
+	return nil
+}
+
+func (mp Mapping) String() string {
+	if len(mp.Stages) == 1 {
+		if mp.Modules == 1 {
+			return fmt.Sprintf("data-parallel(%d)", mp.Stages[0])
+		}
+		return fmt.Sprintf("replicated(%d x dp %d)", mp.Modules, mp.Stages[0])
+	}
+	return fmt.Sprintf("replicated(%d x pipeline%v)", mp.Modules, mp.Stages)
+}
+
+// Result of a run. DepthSum maps data set index to the sum of the depth
+// image's disparity indices — a checksum verified across mappings.
+type Result struct {
+	Stream   stats.Result
+	DepthSum map[int]int64
+	Makespan float64
+}
+
+// Cost constants (flops per pixel) for the three phases.
+const (
+	DiffFlops  = 3 // subtract, square, accumulate — per pixel per disparity per match image
+	ErrorFlops = 4 // separable window sum, two passes of add+store
+	DepthFlops = 1 // compare per disparity
+)
+
+// scene returns the "true" disparity at pixel (i, j) of set s: a blocky
+// pattern so window sums have clear minima.
+func scene(s, i, j, disparities int) int {
+	return ((i/24)*7 + (j/32)*3 + s) % disparities
+}
+
+// refPixel generates the reference image.
+func refPixel(s, i, j int) float64 {
+	h := uint32(s*2654435761) ^ uint32(i*40503+j*9973)
+	h ^= h >> 13
+	h *= 1103515245
+	h ^= h >> 16
+	return float64(h%4096) / 4096
+}
+
+// matchPixel generates match image m: the reference shifted by the scene
+// disparity (per epipolar geometry, match m at disparity d sees pixel
+// (i, j-d*m)); pixels shifted out of range replicate the edge.
+func matchPixel(s, m, i, j, disparities int) float64 {
+	d := scene(s, i, j, disparities)
+	jj := j - d*m
+	if jj < 0 {
+		jj = 0
+	}
+	return refPixel(s, i, jj)
+}
+
+// Run executes the stream under the mapping.
+func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
+	if err := mp.Validate(mach.N(), cfg); err != nil {
+		panic(err)
+	}
+	meter := stats.NewStream()
+	res := Result{DepthSum: make(map[int]int64)}
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	record := func(set int, sum int64) {
+		<-mu
+		res.DepthSum[set] = sum
+		mu <- struct{}{}
+	}
+	runStats := fx.Run(mach, func(p *fx.Proc) {
+		streams.RunModules(p, mp.Modules, mp.Procs(), func(p *fx.Proc, module int) {
+			runModule(p, cfg, mp.Stages, module, mp.Modules, meter, record)
+		})
+	})
+	res.Stream = meter.Summarize()
+	res.Makespan = runStats.MakespanTime()
+	return res
+}
+
+// RunCaptureDepth processes data set 0 data-parallel on the whole machine
+// and returns the full depth image in row-major order — used by tests and
+// diagnostics to validate the stereo pipeline against the generating scene.
+func RunCaptureDepth(mach *machine.Machine, cfg Config) []int32 {
+	var captured []int32
+	meter := stats.NewStream()
+	fx.Run(mach, func(p *fx.Proc) {
+		g := p.Group()
+		vol := newVolume(p, g, cfg)
+		depth := dist.New[int32](p.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+		if vol.Rank() == 0 {
+			meter.Inject(0, p.Now())
+		}
+		diffStage(p, vol, cfg, 0)
+		errorStage(p, vol, cfg)
+		depthStage(p, vol, depth, cfg, 0, meter, func(int, int64) {})
+		full := dist.GatherGlobal(p.Proc, depth)
+		if full != nil {
+			captured = full
+		}
+	})
+	return captured
+}
+
+func runModule(p *fx.Proc, cfg Config, stages []int, first, stride int,
+	meter *stats.Stream, record func(int, int64)) {
+	if len(stages) == 1 {
+		g := p.Group()
+		vol := newVolume(p, g, cfg)
+		depth := dist.New[int32](p.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+		for set := first; set < cfg.Sets; set += stride {
+			if vol.Rank() == 0 {
+				meter.Inject(set, p.Now())
+			}
+			diffStage(p, vol, cfg, set)
+			errorStage(p, vol, cfg)
+			depthStage(p, vol, depth, cfg, set, meter, record)
+		}
+		return
+	}
+	g := p.Group()
+	g1 := g.Subrange(0, stages[0])
+	g2 := g.Subrange(stages[0], stages[0]+stages[1])
+	g3 := g.Subrange(stages[0]+stages[1], stages[0]+stages[1]+stages[2])
+	vol1 := newVolume(p, g1, cfg)
+	vol2 := newVolume(p, g2, cfg)
+	vol3 := newVolume(p, g3, cfg)
+	depth := dist.New[int32](p.Proc, dist.RowBlock2D(g3, cfg.H, cfg.W))
+	fx.PipelineLoop(p, fx.PipelineSpec{
+		Sets: cfg.Sets, First: first, Stride: stride,
+		Stages: []fx.Stage{
+			{Name: "Gdiff", Procs: stages[0], Body: func(set int) {
+				if vol1.Rank() == 0 {
+					meter.Inject(set, p.Now())
+				}
+				diffStage(p, vol1, cfg, set)
+			}},
+			{Name: "Gerr", Procs: stages[1], Body: func(set int) { errorStage(p, vol2, cfg) }},
+			{Name: "Gdep", Procs: stages[2], Body: func(set int) {
+				depthStage(p, vol3, depth, cfg, set, meter, record)
+			}},
+		},
+		Transfer: []func(int){
+			func(int) { dist.Assign(p.Proc, vol2, vol1) },
+			func(int) { dist.Assign(p.Proc, vol3, vol2) },
+		},
+	})
+}
+
+// newVolume allocates the (Disparities, H, W) difference volume distributed
+// over the image rows.
+func newVolume(p *fx.Proc, g *group.Group, cfg Config) *dist.Array[float64] {
+	l := dist.MustLayout(g,
+		[]int{cfg.Disparities, cfg.H, cfg.W},
+		[]dist.Axis{dist.CollapsedAxis(), dist.BlockAxis(), dist.CollapsedAxis()},
+		[]int{1, g.Size(), 1})
+	return dist.New[float64](p.Proc, l)
+}
+
+// diffStage reads the camera images (serial I/O on the stage's rank 0,
+// scattered row-block) and computes the SSD difference volume.
+func diffStage(p *fx.Proc, vol *dist.Array[float64], cfg Config, set int) {
+	if !vol.IsMember() {
+		return
+	}
+	g := vol.Layout().Group()
+	// Input: three images; rank 0 reads them, then scatters rows.
+	ref := dist.New[float64](p.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+	m1 := dist.New[float64](p.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+	m2 := dist.New[float64](p.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+	var fRef, fM1, fM2 []float64
+	if vol.Rank() == 0 {
+		p.IO(3 * cfg.H * cfg.W * 8)
+		fRef = make([]float64, cfg.H*cfg.W)
+		fM1 = make([]float64, cfg.H*cfg.W)
+		fM2 = make([]float64, cfg.H*cfg.W)
+		for i := 0; i < cfg.H; i++ {
+			for j := 0; j < cfg.W; j++ {
+				fRef[i*cfg.W+j] = refPixel(set, i, j)
+				fM1[i*cfg.W+j] = matchPixel(set, 1, i, j, cfg.Disparities)
+				fM2[i*cfg.W+j] = matchPixel(set, 2, i, j, cfg.Disparities)
+			}
+		}
+	}
+	dist.ScatterGlobal(p.Proc, ref, fRef)
+	dist.ScatterGlobal(p.Proc, m1, fM1)
+	dist.ScatterGlobal(p.Proc, m2, fM2)
+
+	// vol[d][i][j] = sum over match images m of (ref[i][j-d*m] - match_m[i][j])^2,
+	// following the match geometry of matchPixel (edge-replicated).
+	localRows := ref.LocalShape()[0]
+	w := cfg.W
+	volLocal := vol.Local()
+	for d := 0; d < cfg.Disparities; d++ {
+		for li := 0; li < localRows; li++ {
+			refRow := ref.Local()[li*w : (li+1)*w]
+			m1Row := m1.Local()[li*w : (li+1)*w]
+			m2Row := m2.Local()[li*w : (li+1)*w]
+			out := volLocal[(d*localRows+li)*w : (d*localRows+li+1)*w]
+			for j := 0; j < w; j++ {
+				jd1 := j - d
+				if jd1 < 0 {
+					jd1 = 0
+				}
+				jd2 := j - 2*d
+				if jd2 < 0 {
+					jd2 = 0
+				}
+				e1 := refRow[jd1] - m1Row[j]
+				e2 := refRow[jd2] - m2Row[j]
+				out[j] = e1*e1 + e2*e2
+			}
+		}
+	}
+	p.Compute(float64(cfg.Disparities*localRows*w) * DiffFlops * 2)
+}
+
+// errorStage replaces each difference value with the sum over a
+// (2w+1)x(2w+1) window, using separable passes; the vertical pass exchanges
+// halo rows with neighbouring processors of the stage subgroup.
+func errorStage(p *fx.Proc, vol *dist.Array[float64], cfg Config) {
+	if !vol.IsMember() {
+		return
+	}
+	g := vol.Layout().Group()
+	w := cfg.W
+	win := cfg.Window
+	localRows := vol.LocalShape()[1]
+	local := vol.Local()
+	rank := vol.Rank()
+	// BLOCK distribution can leave trailing ranks empty (ceil division);
+	// the non-empty ranks form a contiguous prefix that carries the halo
+	// protocol. Empty ranks skip the stage entirely.
+	size := 0
+	for r := 0; r < g.Size(); r++ {
+		if vol.Layout().LocalCount(r) > 0 {
+			size++
+		}
+	}
+	if localRows == 0 {
+		return
+	}
+	if rank < size-1 && localRows < win {
+		panic(fmt.Sprintf("stereo: interior rank %d holds %d rows < window %d; halo exchange would span several processors", rank, localRows, win))
+	}
+
+	// Horizontal pass (in place via temp row).
+	tmp := make([]float64, w)
+	for d := 0; d < cfg.Disparities; d++ {
+		for li := 0; li < localRows; li++ {
+			row := local[(d*localRows+li)*w : (d*localRows+li+1)*w]
+			for j := 0; j < w; j++ {
+				s := 0.0
+				for k := -win; k <= win; k++ {
+					jj := j + k
+					if jj < 0 {
+						jj = 0
+					} else if jj >= w {
+						jj = w - 1
+					}
+					s += row[jj]
+				}
+				tmp[j] = s
+			}
+			copy(row, tmp)
+		}
+	}
+
+	// Halo exchange: send my top win rows down to rank-1 and bottom win rows
+	// up to rank+1 (all disparities), then receive the neighbours' halos.
+	rowBytes := w * 8
+	packRows := func(fromTop bool) []float64 {
+		buf := make([]float64, 0, cfg.Disparities*win*w)
+		for d := 0; d < cfg.Disparities; d++ {
+			for k := 0; k < win; k++ {
+				li := k
+				if !fromTop {
+					li = localRows - win + k
+				}
+				if li < 0 || li >= localRows {
+					li = clamp(li, 0, localRows-1)
+				}
+				buf = append(buf, local[(d*localRows+li)*w:(d*localRows+li+1)*w]...)
+			}
+		}
+		return buf
+	}
+	var above, below []float64
+	if win > 0 && size > 1 {
+		if rank > 0 {
+			p.Send(g.Phys(rank-1), packRows(true), cfg.Disparities*win*rowBytes)
+		}
+		if rank < size-1 {
+			p.Send(g.Phys(rank+1), packRows(false), cfg.Disparities*win*rowBytes)
+		}
+		if rank > 0 {
+			above = p.Recv(g.Phys(rank - 1)).Data.([]float64)
+		}
+		if rank < size-1 {
+			below = p.Recv(g.Phys(rank + 1)).Data.([]float64)
+		}
+	}
+	haloRow := func(buf []float64, d, k int) []float64 {
+		off := (d*win + k) * w
+		return buf[off : off+w]
+	}
+
+	// Vertical pass.
+	out := make([]float64, len(local))
+	for d := 0; d < cfg.Disparities; d++ {
+		for li := 0; li < localRows; li++ {
+			dst := out[(d*localRows+li)*w : (d*localRows+li+1)*w]
+			for j := 0; j < w; j++ {
+				dst[j] = 0
+			}
+			for k := -win; k <= win; k++ {
+				gi := li + k
+				var src []float64
+				switch {
+				case gi >= 0 && gi < localRows:
+					src = local[(d*localRows+gi)*w : (d*localRows+gi+1)*w]
+				case gi < 0 && above != nil:
+					src = haloRow(above, d, win+gi) // gi in [-win,-1] -> [0,win)
+				case gi >= localRows && below != nil:
+					src = haloRow(below, d, gi-localRows)
+				case gi < 0: // global top edge: replicate
+					src = local[(d*localRows)*w : (d*localRows+1)*w]
+				default: // global bottom edge: replicate
+					src = local[(d*localRows+localRows-1)*w : (d*localRows+localRows)*w]
+				}
+				for j := 0; j < w; j++ {
+					dst[j] += src[j]
+				}
+			}
+		}
+	}
+	copy(local, out)
+	p.Compute(float64(cfg.Disparities*localRows*w) * ErrorFlops)
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// depthStage computes the per-pixel argmin over disparities, checksums the
+// depth image, and completes the data set on the stage's rank 0.
+func depthStage(p *fx.Proc, vol *dist.Array[float64], depth *dist.Array[int32],
+	cfg Config, set int, meter *stats.Stream, record func(int, int64)) {
+	if !vol.IsMember() {
+		return
+	}
+	w := cfg.W
+	localRows := vol.LocalShape()[1]
+	local := vol.Local()
+	var sum int64
+	for li := 0; li < localRows; li++ {
+		drow := depth.Local()[li*w : (li+1)*w]
+		for j := 0; j < w; j++ {
+			best := local[li*w+j]
+			bestD := 0
+			for d := 1; d < cfg.Disparities; d++ {
+				v := local[(d*localRows+li)*w+j]
+				if v < best {
+					best = v
+					bestD = d
+				}
+			}
+			drow[j] = int32(bestD)
+			sum += int64(bestD)
+		}
+	}
+	p.Compute(float64(cfg.Disparities*localRows*w) * DepthFlops)
+	g := vol.Layout().Group()
+	total := comm.Reduce(p.Proc, g, 0, sum, func(x, y int64) int64 { return x + y })
+	if vol.Rank() == 0 {
+		p.IO(cfg.H * cfg.W * 4)
+		meter.Complete(set, p.Now())
+		record(set, total)
+	}
+}

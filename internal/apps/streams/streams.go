@@ -1,0 +1,51 @@
+// Package streams holds the shared harness structure of the stream-based
+// sensor applications (FFT-Hist, radar, stereo): dividing the machine into
+// replicated modules (Section 3.3) that process alternate data sets, with
+// leftover processors idling — the skeleton every one of those programs
+// shares around its per-module pipeline or data-parallel body.
+package streams
+
+import (
+	"fmt"
+
+	"fxpar/internal/fx"
+	"fxpar/internal/group"
+)
+
+// RunModules partitions the current group into `modules` equal subgroups
+// using the first `used` processors (the rest idle, like the nodes the
+// paper's data-parallel radar could not exploit) and runs body on each
+// module with its index. With one module and no idle processors the body
+// runs directly on the current group, avoiding a needless partition level.
+// used must be divisible by modules and not exceed the current group.
+func RunModules(p *fx.Proc, modules, used int, body func(p *fx.Proc, module int)) {
+	np := p.NumberOfProcessors()
+	if modules < 1 || used < modules || used > np || used%modules != 0 {
+		panic(fmt.Sprintf("streams: cannot run %d modules on %d of %d processors", modules, used, np))
+	}
+	idle := np - used
+	if modules == 1 && idle == 0 {
+		body(p, 0)
+		return
+	}
+	per := used / modules
+	specs := make([]group.Spec, 0, modules+1)
+	for i := 0; i < modules; i++ {
+		specs = append(specs, group.Sub(ModuleName(i), per))
+	}
+	if idle > 0 {
+		specs = append(specs, group.Sub("idle", idle))
+	}
+	part := p.Partition(specs...)
+	p.TaskRegion(part, func(r *fx.Region) {
+		for i := 0; i < modules; i++ {
+			i := i
+			r.On(ModuleName(i), func() {
+				body(p, i)
+			})
+		}
+	})
+}
+
+// ModuleName returns the subgroup name of module i.
+func ModuleName(i int) string { return fmt.Sprintf("mod%d", i) }

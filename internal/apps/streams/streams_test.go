@@ -1,0 +1,96 @@
+package streams
+
+import (
+	"sync"
+	"testing"
+
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func testMachine(n int) *machine.Machine {
+	return machine.New(n, sim.Paragon())
+}
+
+func TestSingleModuleNoPartition(t *testing.T) {
+	m := testMachine(4)
+	fx.Run(m, func(p *fx.Proc) {
+		RunModules(p, 1, 4, func(p *fx.Proc, mod int) {
+			if mod != 0 || p.NumberOfProcessors() != 4 || p.Depth() != 1 {
+				t.Errorf("mod=%d np=%d depth=%d", mod, p.NumberOfProcessors(), p.Depth())
+			}
+		})
+	})
+}
+
+func TestModulesSplitEvenly(t *testing.T) {
+	m := testMachine(6)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	fx.Run(m, func(p *fx.Proc) {
+		RunModules(p, 3, 6, func(p *fx.Proc, mod int) {
+			if p.NumberOfProcessors() != 2 {
+				t.Errorf("module %d np=%d", mod, p.NumberOfProcessors())
+			}
+			mu.Lock()
+			seen[mod]++
+			mu.Unlock()
+		})
+	})
+	for mod := 0; mod < 3; mod++ {
+		if seen[mod] != 2 {
+			t.Errorf("module %d ran on %d procs", mod, seen[mod])
+		}
+	}
+}
+
+func TestIdleProcessorsSkip(t *testing.T) {
+	m := testMachine(5)
+	stats := fx.Run(m, func(p *fx.Proc) {
+		RunModules(p, 2, 4, func(p *fx.Proc, mod int) {
+			p.Compute(1000)
+		})
+	})
+	if stats.Procs[4].Finish != 0 {
+		t.Errorf("idle processor advanced to %g", stats.Procs[4].Finish)
+	}
+}
+
+func TestSingleModuleWithIdle(t *testing.T) {
+	m := testMachine(5)
+	var mu sync.Mutex
+	ran := 0
+	fx.Run(m, func(p *fx.Proc) {
+		RunModules(p, 1, 3, func(p *fx.Proc, mod int) {
+			if p.NumberOfProcessors() != 3 {
+				t.Errorf("np = %d", p.NumberOfProcessors())
+			}
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		})
+	})
+	if ran != 3 {
+		t.Errorf("ran on %d procs", ran)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	cases := []struct{ modules, used int }{
+		{0, 4}, {3, 4}, {2, 6}, {2, 1},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("modules=%d used=%d accepted", tc.modules, tc.used)
+				}
+			}()
+			m := testMachine(4)
+			fx.Run(m, func(p *fx.Proc) {
+				RunModules(p, tc.modules, tc.used, func(*fx.Proc, int) {})
+			})
+		}()
+	}
+}

@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"fmt"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// AlltoAll performs a personalized total exchange: every member i provides
+// parts[j] for every member j and receives a slice from every member,
+// indexed by source rank (its own contribution is returned as-is). All
+// sends are injected before any receive (the deposit model makes this
+// deadlock-free), and empty slices are never sent as messages — the empty-
+// message concern Section 4 raises for message-passing substrates.
+func AlltoAll[T any](p *machine.Proc, g *group.Group, parts [][]T) [][]T {
+	n := g.Size()
+	r := rankIn(p, g)
+	if len(parts) != n {
+		panic(fmt.Sprintf("comm: AlltoAll needs %d parts, got %d", n, len(parts)))
+	}
+	for dst := 0; dst < n; dst++ {
+		if dst == r || len(parts[dst]) == 0 {
+			continue
+		}
+		Send(p, g, dst, parts[dst])
+	}
+	out := make([][]T, n)
+	out[r] = append([]T(nil), parts[r]...)
+	for src := 0; src < n; src++ {
+		if src == r {
+			continue
+		}
+		// Both sides know the counts only implicitly; the SPMD convention
+		// here is that every pair exchanges exactly one (possibly empty)
+		// logical slice, with empty ones elided. The caller must therefore
+		// know which pairs are non-empty; AlltoAllCounted below handles the
+		// general case. This variant requires all parts non-empty or
+		// symmetric emptiness.
+		if len(parts[src]) == 0 {
+			continue
+		}
+		out[src] = Recv[T](p, g, src)
+	}
+	return out
+}
+
+// AlltoAllCounted first exchanges per-pair element counts (via a small
+// fixed-size exchange) and then the data, so arbitrary (including empty)
+// parts are safe.
+func AlltoAllCounted[T any](p *machine.Proc, g *group.Group, parts [][]T) [][]T {
+	n := g.Size()
+	r := rankIn(p, g)
+	if len(parts) != n {
+		panic(fmt.Sprintf("comm: AlltoAllCounted needs %d parts, got %d", n, len(parts)))
+	}
+	counts := make([]int, n)
+	for i, part := range parts {
+		counts[i] = len(part)
+	}
+	countRows := AllGather(p, g, counts) // countRows[i][j] = i sends to j
+	for dst := 0; dst < n; dst++ {
+		if dst == r || len(parts[dst]) == 0 {
+			continue
+		}
+		Send(p, g, dst, parts[dst])
+	}
+	out := make([][]T, n)
+	out[r] = append([]T(nil), parts[r]...)
+	for src := 0; src < n; src++ {
+		if src == r || countRows[src][r] == 0 {
+			continue
+		}
+		out[src] = Recv[T](p, g, src)
+		if len(out[src]) != countRows[src][r] {
+			panic(fmt.Sprintf("comm: AlltoAllCounted expected %d elements from %d, got %d",
+				countRows[src][r], src, len(out[src])))
+		}
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix combination over the group in rank
+// order: rank r receives op(x_0, x_1, ..., x_r). Kogge–Stone recursive
+// doubling, ceil(log2 n) rounds; op must be associative.
+func Scan[T any](p *machine.Proc, g *group.Group, x T, op func(a, b T) T) T {
+	n := g.Size()
+	r := rankIn(p, g)
+	acc := x
+	for k := 1; k < n; k <<= 1 {
+		if r+k < n {
+			SendVal(p, g, r+k, acc)
+		}
+		if r-k >= 0 {
+			y := RecvVal[T](p, g, r-k)
+			acc = op(y, acc)
+		}
+	}
+	return acc
+}
+
+// ExScan computes the exclusive prefix combination: rank r receives
+// op(identity, x_0, ..., x_{r-1}); rank 0 receives identity.
+func ExScan[T any](p *machine.Proc, g *group.Group, x T, identity T, op func(a, b T) T) T {
+	incl := Scan(p, g, x, op)
+	n := g.Size()
+	r := rankIn(p, g)
+	// Shift the inclusive result right by one rank.
+	if r+1 < n {
+		SendVal(p, g, r+1, incl)
+	}
+	if r == 0 {
+		return identity
+	}
+	return RecvVal[T](p, g, r-1)
+}

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+func TestAlltoAll(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		m := testMachine(n)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			r, _ := g.RankOf(p.ID())
+			parts := make([][]int, n)
+			for dst := range parts {
+				parts[dst] = []int{r*100 + dst}
+			}
+			out := AlltoAll(p, g, parts)
+			for src := 0; src < n; src++ {
+				if len(out[src]) != 1 || out[src][0] != src*100+r {
+					t.Errorf("n=%d rank %d: out[%d] = %v", n, r, src, out[src])
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoAllCountedWithEmpties(t *testing.T) {
+	n := 4
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		r, _ := g.RankOf(p.ID())
+		parts := make([][]int, n)
+		for dst := range parts {
+			// Rank r sends r elements to dst only when dst > r.
+			if dst > r {
+				for k := 0; k <= r; k++ {
+					parts[dst] = append(parts[dst], r*10+dst)
+				}
+			}
+		}
+		out := AlltoAllCounted(p, g, parts)
+		for src := 0; src < n; src++ {
+			wantLen := 0
+			if src < r {
+				wantLen = src + 1
+			}
+			if src == r {
+				wantLen = len(parts[r])
+			}
+			if len(out[src]) != wantLen {
+				t.Errorf("rank %d: got %d from %d, want %d", r, len(out[src]), src, wantLen)
+				continue
+			}
+			for _, v := range out[src] {
+				if src != r && v != src*10+r {
+					t.Errorf("rank %d: bad value %d from %d", r, v, src)
+				}
+			}
+		}
+	})
+}
+
+func TestScanSum(t *testing.T) {
+	for _, n := range groupSizes {
+		m := testMachine(n)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			r, _ := g.RankOf(p.ID())
+			got := Scan(p, g, r+1, func(a, b int) int { return a + b })
+			want := (r + 1) * (r + 2) / 2
+			if got != want {
+				t.Errorf("n=%d rank %d: scan = %d, want %d", n, r, got, want)
+			}
+		})
+	}
+}
+
+func TestScanNonCommutativeOrder(t *testing.T) {
+	// String concatenation is associative but not commutative: the scan
+	// must respect rank order exactly.
+	n := 5
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		r, _ := g.RankOf(p.ID())
+		got := Scan(p, g, string(rune('a'+r)), func(a, b string) string { return a + b })
+		want := "abcde"[:r+1]
+		if got != want {
+			t.Errorf("rank %d: scan = %q, want %q", r, got, want)
+		}
+	})
+}
+
+func TestExScan(t *testing.T) {
+	for _, n := range groupSizes {
+		m := testMachine(n)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			r, _ := g.RankOf(p.ID())
+			got := ExScan(p, g, 1, 0, func(a, b int) int { return a + b })
+			if got != r {
+				t.Errorf("n=%d rank %d: exscan = %d, want %d", n, r, got, r)
+			}
+		})
+	}
+}
+
+func TestScanPrefixProperty(t *testing.T) {
+	// Property: scan results are monotone for non-negative contributions
+	// and the last rank's scan equals the allreduce.
+	f := func(pSeed uint8, vals [8]uint8) bool {
+		n := int(pSeed)%6 + 2
+		m := testMachine(n)
+		ok := true
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			r, _ := g.RankOf(p.ID())
+			x := int(vals[r%8])
+			scan := Scan(p, g, x, func(a, b int) int { return a + b })
+			total := AllReduce(p, g, x, func(a, b int) int { return a + b })
+			if r == n-1 && scan != total {
+				ok = false
+			}
+			want := 0
+			for i := 0; i <= r; i++ {
+				want += int(vals[i%8])
+			}
+			if scan != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlltoAllWrongPartsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		AlltoAll(p, group.World(2), [][]int{{1}})
+	})
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"fmt"
+
+	"fxpar/internal/machine"
+)
+
+// Array is a distributed array of element type T. Every processor of an
+// SPMD program may hold the descriptor; only members of the owning group
+// hold local storage. An Array value is the per-processor view: methods
+// taking no rank argument operate on the calling processor's local part.
+type Array[T any] struct {
+	l *Layout
+	p *machine.Proc
+	// rank is this processor's rank in the owning group, or -1.
+	rank int
+	// localShape caches LocalShape(rank); nil for non-members.
+	localShape []int
+	// data is the local part in row-major order of local indices.
+	data []T
+}
+
+// New allocates a distributed array with the given layout. Members of the
+// layout's group allocate their local part (zero-valued); other processors
+// get a storage-less descriptor, mirroring the Fx compiler's dynamic
+// allocation in SPMD code.
+func New[T any](p *machine.Proc, l *Layout) *Array[T] {
+	a := &Array[T]{l: l, p: p, rank: -1}
+	if r, ok := l.g.RankOf(p.ID()); ok {
+		a.rank = r
+		a.localShape = l.LocalShape(r)
+		a.data = make([]T, l.LocalCount(r))
+	}
+	return a
+}
+
+// Layout returns the array's layout.
+func (a *Array[T]) Layout() *Layout { return a.l }
+
+// IsMember reports whether the calling processor owns part of the array.
+func (a *Array[T]) IsMember() bool { return a.rank >= 0 }
+
+// Rank returns this processor's rank in the owning group, or -1.
+func (a *Array[T]) Rank() int { return a.rank }
+
+// Local returns this processor's local part (row-major local order); nil on
+// non-members. Mutating it mutates the array.
+func (a *Array[T]) Local() []T { return a.data }
+
+// LocalShape returns this processor's local extents; nil on non-members.
+func (a *Array[T]) LocalShape() []int { return append([]int(nil), a.localShape...) }
+
+// Has reports whether this processor owns the global index.
+func (a *Array[T]) Has(idx ...int) bool {
+	return a.rank >= 0 && a.l.OwnerRank(idx...) == a.rank
+}
+
+// At returns the element at a global index; it panics if this processor is
+// not the owner (remote access requires explicit communication, as in any
+// distributed-memory model).
+func (a *Array[T]) At(idx ...int) T {
+	return a.data[a.ownedOffset(idx)]
+}
+
+// Set stores the element at a global index owned by this processor.
+func (a *Array[T]) Set(v T, idx ...int) {
+	a.data[a.ownedOffset(idx)] = v
+}
+
+func (a *Array[T]) ownedOffset(idx []int) int {
+	if a.rank < 0 {
+		panic(fmt.Sprintf("dist: processor %d accessed %v of an array it holds no part of (%v)", a.p.ID(), idx, a.l))
+	}
+	if own := a.l.OwnerRank(idx...); own != a.rank {
+		panic(fmt.Sprintf("dist: processor %d (rank %d) accessed %v owned by rank %d", a.p.ID(), a.rank, idx, own))
+	}
+	return a.l.localOffset(idx, a.localShape)
+}
+
+// GlobalOfLocal converts a local row-major offset to its global index.
+func (a *Array[T]) GlobalOfLocal(offset int) []int {
+	if a.rank < 0 {
+		panic("dist: GlobalOfLocal on non-member")
+	}
+	return a.l.GlobalOfLocal(a.rank, offset)
+}
+
+// FillFunc sets every locally owned element to f(globalIndex). Members only;
+// non-members return immediately. The index slice passed to f is reused
+// across calls.
+func (a *Array[T]) FillFunc(f func(idx []int) T) {
+	if a.rank < 0 {
+		return
+	}
+	a.eachLocal(func(off int, idx []int) {
+		a.data[off] = f(idx)
+	})
+}
+
+// eachLocal visits every local element in row-major local order with its
+// global index.
+func (a *Array[T]) eachLocal(visit func(off int, idx []int)) {
+	nd := len(a.localShape)
+	li := make([]int, nd)
+	gi := make([]int, nd)
+	c := a.l.coordsOfRank(a.rank)
+	total := len(a.data)
+	for off := 0; off < total; off++ {
+		for d := 0; d < nd; d++ {
+			gi[d] = a.l.dims[d].globalOf(c[d], li[d])
+		}
+		visit(off, gi)
+		for d := nd - 1; d >= 0; d-- {
+			li[d]++
+			if li[d] < a.localShape[d] {
+				break
+			}
+			li[d] = 0
+		}
+	}
+}
+
+// LocalRow returns the local storage for local row r of a rank-2 array as a
+// mutable slice. It requires the second dimension to be collapsed or the
+// local row to be contiguous (always true for row-major local storage).
+func (a *Array[T]) LocalRow(r int) []T {
+	if len(a.localShape) != 2 {
+		panic("dist: LocalRow on non-2D array")
+	}
+	w := a.localShape[1]
+	return a.data[r*w : (r+1)*w]
+}
+
+// NumLocalRows returns the number of local rows of a rank-2 array.
+func (a *Array[T]) NumLocalRows() int {
+	if a.rank < 0 {
+		return 0
+	}
+	if len(a.localShape) != 2 {
+		panic("dist: NumLocalRows on non-2D array")
+	}
+	return a.localShape[0]
+}
+
+// GlobalRowOfLocal returns the global row index of local row r (rank-2,
+// first dimension distributed).
+func (a *Array[T]) GlobalRowOfLocal(r int) int {
+	c := a.l.coordsOfRank(a.rank)
+	return a.l.dims[0].globalOf(c[0], r)
+}

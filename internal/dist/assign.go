@@ -1,0 +1,286 @@
+package dist
+
+import (
+	"fmt"
+
+	"fxpar/internal/comm"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// Assign implements the parent-scope array assignment dst = src between two
+// distributed arrays with the same global shape but possibly different
+// layouts, groups or subgroups — e.g. the pipeline statement A2 = A1 of
+// Figure 2.
+//
+// Participation is minimal (Section 4, "Identification of minimal processor
+// subsets"): a processor that owns no part of either array returns
+// immediately without synchronizing, so other subgroups can run ahead —
+// this is what makes data-parallel pipelines pipeline. Processors that own
+// only source elements send and return; processors that own destination
+// elements receive (or copy locally) exactly what they need. Empty messages
+// are never exchanged.
+func Assign[T any](p *machine.Proc, dst, src *Array[T]) {
+	perm := make([]int, dst.l.Rank())
+	for i := range perm {
+		perm[i] = i
+	}
+	remapPerm(p, dst, src, perm)
+}
+
+// Transpose2D implements dst[i][j] = src[j][i] for rank-2 arrays — the
+// "corner turn" of the radar benchmark and the middle step of the 2D FFT.
+func Transpose2D[T any](p *machine.Proc, dst, src *Array[T]) {
+	remapPerm(p, dst, src, []int{1, 0})
+}
+
+// remapPerm implements dst[I] = src[J] where J[perm[d]] = I[d]; that is,
+// dst dimension d ranges over src dimension perm[d]. perm must be a
+// permutation of the dimensions and shapes must agree accordingly.
+//
+// Correctness of message matching: both sides enumerate the transferred
+// elements in destination global row-major order. The receiver's local
+// row-major order is exactly that order restricted to its owned set
+// (local-to-global maps are strictly increasing per dimension); the sender
+// iterates its source dimensions in the order perm[0], perm[1], ..., which
+// enumerates its owned source set in the same destination order. Restricted
+// to one (sender, receiver) pair both sequences are the same set in the same
+// order, so per-pair FIFO delivery needs no element indices on the wire.
+func remapPerm[T any](p *machine.Proc, dst, src *Array[T], perm []int) {
+	if src.l.Rank() != dst.l.Rank() || len(perm) != dst.l.Rank() {
+		panic(fmt.Sprintf("dist: remap rank mismatch: src %v dst %v perm %v", src.l, dst.l, perm))
+	}
+	for d := range perm {
+		if src.l.shape[perm[d]] != dst.l.shape[d] {
+			panic(fmt.Sprintf("dist: remap shape mismatch: src %v dst %v perm %v", src.l.shape, dst.l.shape, perm))
+		}
+	}
+	isSender := src.rank >= 0
+	isReceiver := dst.rank >= 0
+	if !isSender && !isReceiver {
+		return // minimal processor subset: not a participant
+	}
+
+	elemBytes := comm.ElemBytes[T]()
+	myID := p.ID()
+
+	if isSender {
+		// Enumerate my source elements in destination row-major order and
+		// bucket values per destination rank.
+		nd := src.l.Rank()
+		srcCoords := src.l.coordsOfRank(src.rank)
+		// Iterate src dims in order perm[0] (outermost) .. perm[nd-1].
+		counters := make([]int, nd)  // counter for src dim perm[d]
+		srcLocal := make([]int, nd)  // local index per src dim
+		srcGlobal := make([]int, nd) // global index per src dim
+		dstGlobal := make([]int, nd)
+		// Local extent per iterated position.
+		extents := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			extents[d] = src.localShape[perm[d]]
+		}
+		total := 1
+		for _, e := range extents {
+			total *= e
+		}
+		buckets := make(map[int][]T)
+		if total > 0 && len(src.data) > 0 {
+			for it := 0; it < total; it++ {
+				for d := 0; d < nd; d++ {
+					sd := perm[d]
+					srcLocal[sd] = counters[d]
+					srcGlobal[sd] = src.l.dims[sd].globalOf(srcCoords[sd], counters[d])
+					dstGlobal[d] = srcGlobal[sd]
+				}
+				dstRank := dst.l.OwnerRank(dstGlobal...)
+				if dst.l.g.Phys(dstRank) != myID {
+					// Local source offset in natural src row-major order.
+					off := 0
+					for sd := 0; sd < nd; sd++ {
+						off = off*src.localShape[sd] + srcLocal[sd]
+					}
+					buckets[dstRank] = append(buckets[dstRank], src.data[off])
+				}
+				for d := nd - 1; d >= 0; d-- {
+					counters[d]++
+					if counters[d] < extents[d] {
+						break
+					}
+					counters[d] = 0
+				}
+			}
+		}
+		// Send non-empty buckets in destination-rank order (determinism).
+		for r := 0; r < dst.l.g.Size(); r++ {
+			if vals := buckets[r]; len(vals) > 0 {
+				p.Send(dst.l.g.Phys(r), vals, len(vals)*elemBytes)
+			}
+		}
+	}
+
+	if isReceiver {
+		// Enumerate my destination elements in local row-major order (=
+		// destination global row-major restricted to my set); resolve each
+		// from local source storage or from the per-sender streams.
+		nd := dst.l.Rank()
+		srcGlobal := make([]int, nd)
+		type pending struct {
+			offsets []int
+		}
+		want := make(map[int]*pending) // src rank -> dst local offsets in order
+		var srcOrder []int
+		dst.eachLocal(func(off int, dstGlobal []int) {
+			for d := 0; d < nd; d++ {
+				srcGlobal[perm[d]] = dstGlobal[d]
+			}
+			sRank := src.l.OwnerRank(srcGlobal...)
+			if src.l.g.Phys(sRank) == myID {
+				// Local copy path (also covers overlapping groups).
+				soff := src.l.localOffset(srcGlobal, src.localShape)
+				dst.data[off] = src.data[soff]
+				return
+			}
+			pd := want[sRank]
+			if pd == nil {
+				pd = &pending{}
+				want[sRank] = pd
+				srcOrder = append(srcOrder, sRank)
+			}
+			pd.offsets = append(pd.offsets, off)
+		})
+		// Receive from senders in ascending source-rank order. Senders are
+		// distinct physical processors, so per-pair FIFO plus identical
+		// enumeration order guarantees the k-th value from a sender is for
+		// the k-th offset recorded for it.
+		for _, s := range sortedInts(srcOrder) {
+			vals := recvSlice[T](p, src.l.g.Phys(s))
+			offs := want[s].offsets
+			if len(vals) != len(offs) {
+				panic(fmt.Sprintf("dist: processor %d expected %d elements from rank %d, got %d", myID, len(offs), s, len(vals)))
+			}
+			for i, off := range offs {
+				dst.data[off] = vals[i]
+			}
+		}
+	}
+}
+
+func recvSlice[T any](p *machine.Proc, srcPhys int) []T {
+	msg := p.Recv(srcPhys)
+	vals, ok := msg.Data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("dist: processor %d expected []%T from %d, got %T", p.ID(), *new(T), srcPhys, msg.Data))
+	}
+	return vals
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// AssignFullGroup is the ablation counterpart of Assign: it performs the
+// same data movement but makes *every* processor of the union of both
+// groups synchronize on a barrier afterwards, modeling an implementation
+// that cannot identify minimal processor subsets. Section 4 predicts this
+// destroys pipelined task parallelism; BenchmarkAblationFullGroupAssign
+// demonstrates it.
+func AssignFullGroup[T any](p *machine.Proc, dst, src *Array[T]) {
+	u := group.Union(src.l.g, dst.l.g)
+	Assign(p, dst, src)
+	if u.Contains(p.ID()) {
+		comm.Barrier(p, u)
+	}
+}
+
+// GatherGlobal collects the whole array in global row-major order at the
+// owning group's rank 0 (nil elsewhere). Non-members return nil without
+// synchronizing. Intended for result verification and output stages.
+func GatherGlobal[T any](p *machine.Proc, a *Array[T]) []T {
+	if a.rank < 0 {
+		return nil
+	}
+	g := a.l.g
+	if a.rank != 0 {
+		if len(a.data) > 0 {
+			p.Send(g.Phys(0), append([]T(nil), a.data...), len(a.data)*comm.ElemBytes[T]())
+		}
+		return nil
+	}
+	out := make([]T, a.l.Size())
+	strides := rowMajorStrides(a.l.shape)
+	place := func(rank int, vals []T) {
+		off := 0
+		for _, v := range vals {
+			gi := a.l.GlobalOfLocal(rank, off)
+			flat := 0
+			for d, x := range gi {
+				flat += x * strides[d]
+			}
+			out[flat] = v
+			off++
+		}
+	}
+	place(0, a.data)
+	for r := 1; r < g.Size(); r++ {
+		if a.l.LocalCount(r) == 0 {
+			continue
+		}
+		place(r, recvSlice[T](p, g.Phys(r)))
+	}
+	return out
+}
+
+// ScatterGlobal distributes full (global row-major, significant at the
+// owning group's rank 0) into the array. All members must call it.
+func ScatterGlobal[T any](p *machine.Proc, a *Array[T], full []T) {
+	if a.rank < 0 {
+		return
+	}
+	g := a.l.g
+	if a.rank == 0 {
+		if len(full) != a.l.Size() {
+			panic(fmt.Sprintf("dist: ScatterGlobal got %d elements for %v", len(full), a.l))
+		}
+		strides := rowMajorStrides(a.l.shape)
+		for r := 0; r < g.Size(); r++ {
+			cnt := a.l.LocalCount(r)
+			if cnt == 0 {
+				continue
+			}
+			vals := make([]T, cnt)
+			for off := 0; off < cnt; off++ {
+				gi := a.l.GlobalOfLocal(r, off)
+				flat := 0
+				for d, x := range gi {
+					flat += x * strides[d]
+				}
+				vals[off] = full[flat]
+			}
+			if r == 0 {
+				copy(a.data, vals)
+			} else {
+				p.Send(g.Phys(r), vals, cnt*comm.ElemBytes[T]())
+			}
+		}
+		return
+	}
+	if len(a.data) > 0 {
+		copy(a.data, recvSlice[T](p, g.Phys(0)))
+	}
+}
+
+func rowMajorStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}

@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+func TestCShift1D(t *testing.T) {
+	for _, shift := range []int{0, 1, 3, -2, 13, -13} {
+		m := testMachine(3)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(3)
+			src := New[float64](p, MustLayout(g, []int{13}, []Axis{BlockAxis()}, []int{3}))
+			dst := New[float64](p, MustLayout(g, []int{13}, []Axis{BlockAxis()}, []int{3}))
+			src.FillFunc(func(idx []int) float64 { return float64(idx[0]) })
+			CShift(p, dst, src, 0, shift)
+			dst.eachLocal(func(off int, idx []int) {
+				want := float64(((idx[0]+shift)%13 + 13) % 13)
+				if dst.Local()[off] != want {
+					t.Errorf("shift %d: dst[%d] = %v, want %v", shift, idx[0], dst.Local()[off], want)
+				}
+			})
+		})
+	}
+}
+
+func TestCShift2DAcrossLayouts(t *testing.T) {
+	// Shift along the distributed axis between different distributions.
+	m := testMachine(4)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(4)
+		src := New[float64](p, MustLayout(g, []int{6, 5},
+			[]Axis{BlockAxis(), CollapsedAxis()}, []int{4, 1}))
+		dst := New[float64](p, MustLayout(g, []int{6, 5},
+			[]Axis{CyclicAxis(), CollapsedAxis()}, []int{4, 1}))
+		src.FillFunc(func(idx []int) float64 { return float64(idx[0]*10 + idx[1]) })
+		CShift(p, dst, src, 0, 2)
+		dst.eachLocal(func(off int, idx []int) {
+			want := float64(((idx[0]+2)%6)*10 + idx[1])
+			if dst.Local()[off] != want {
+				t.Errorf("dst%v = %v, want %v", idx, dst.Local()[off], want)
+			}
+		})
+	})
+}
+
+func TestEOShift(t *testing.T) {
+	for _, shift := range []int{2, -3} {
+		m := testMachine(2)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(2)
+			src := New[int64](p, MustLayout(g, []int{9}, []Axis{BlockAxis()}, []int{2}))
+			dst := New[int64](p, MustLayout(g, []int{9}, []Axis{BlockAxis()}, []int{2}))
+			src.FillFunc(func(idx []int) int64 { return int64(idx[0] + 1) })
+			EOShift(p, dst, src, 0, shift, -7)
+			dst.eachLocal(func(off int, idx []int) {
+				j := idx[0] + shift
+				want := int64(-7)
+				if j >= 0 && j < 9 {
+					want = int64(j + 1)
+				}
+				if dst.Local()[off] != want {
+					t.Errorf("shift %d: dst[%d] = %d, want %d", shift, idx[0], dst.Local()[off], want)
+				}
+			})
+		})
+	}
+}
+
+func TestCShiftInverseProperty(t *testing.T) {
+	f := func(nSeed, shiftSeed, pSeed uint8) bool {
+		n := int(nSeed)%20 + 2
+		shift := int(shiftSeed) % n
+		procs := int(pSeed)%4 + 1
+		m := testMachine(procs)
+		ok := true
+		m.Run(func(p *machine.Proc) {
+			g := group.World(procs)
+			a := New[float64](p, MustLayout(g, []int{n}, []Axis{BlockAxis()}, []int{procs}))
+			b := New[float64](p, MustLayout(g, []int{n}, []Axis{BlockAxis()}, []int{procs}))
+			c := New[float64](p, MustLayout(g, []int{n}, []Axis{BlockAxis()}, []int{procs}))
+			a.FillFunc(func(idx []int) float64 { return float64(idx[0] * 3) })
+			CShift(p, b, a, 0, shift)
+			CShift(p, c, b, 0, -shift)
+			a.eachLocal(func(off int, idx []int) {
+				if c.Local()[off] != a.Local()[off] {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopySectionBetweenSubgroups(t *testing.T) {
+	// The multiblock pattern: block A's right edge column copied into block
+	// B's left halo column, blocks living on disjoint subgroups.
+	m := testMachine(4)
+	m.Run(func(p *machine.Proc) {
+		gA := group.MustNew([]int{0, 1})
+		gB := group.MustNew([]int{2, 3})
+		a := New[float64](p, RowBlock2D(gA, 6, 8))
+		bArr := New[float64](p, RowBlock2D(gB, 6, 10))
+		if a.IsMember() {
+			a.FillFunc(func(idx []int) float64 { return float64(idx[0]*100 + idx[1]) })
+		}
+		// Copy a's last column (col 7) into b's column 0.
+		CopySection(p, bArr, []int{0, 0}, a, []int{0, 7}, []int{6, 1})
+		if bArr.IsMember() {
+			bArr.eachLocal(func(off int, idx []int) {
+				if idx[1] != 0 {
+					return
+				}
+				want := float64(idx[0]*100 + 7)
+				if bArr.Local()[off] != want {
+					t.Errorf("b[%d,0] = %v, want %v", idx[0], bArr.Local()[off], want)
+				}
+			})
+		}
+	})
+}
+
+func TestCopySectionInterior(t *testing.T) {
+	m := testMachine(3)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(3)
+		src := New[int64](p, RowBlock2D(g, 5, 5))
+		dst := New[int64](p, RowBlock2D(g, 7, 7))
+		src.FillFunc(func(idx []int) int64 { return int64(idx[0]*10 + idx[1]) })
+		CopySection(p, dst, []int{2, 3}, src, []int{1, 1}, []int{3, 2})
+		dst.eachLocal(func(off int, idx []int) {
+			i, j := idx[0], idx[1]
+			want := int64(0)
+			if i >= 2 && i < 5 && j >= 3 && j < 5 {
+				want = int64((i-2+1)*10 + (j - 3 + 1))
+			}
+			if dst.Local()[off] != want {
+				t.Errorf("dst[%d,%d] = %d, want %d", i, j, dst.Local()[off], want)
+			}
+		})
+	})
+}
+
+func TestCopySectionOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		src := New[int64](p, RowBlock2D(g, 4, 4))
+		dst := New[int64](p, RowBlock2D(g, 4, 4))
+		CopySection(p, dst, []int{0, 0}, src, []int{2, 2}, []int{3, 3})
+	})
+}
+
+func TestReduceAxisSum(t *testing.T) {
+	// Reduce a 2D array along each axis, with the source distributed along
+	// the reduced axis (partials must combine across processors).
+	m := testMachine(4)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(4)
+		src := New[float64](p, MustLayout(g, []int{8, 5},
+			[]Axis{BlockAxis(), CollapsedAxis()}, []int{4, 1}))
+		src.FillFunc(func(idx []int) float64 { return float64(idx[0]*10 + idx[1]) })
+
+		// Sum over axis 0 (the distributed one): out[j] = sum_i (10i + j).
+		colSum := New[float64](p, MustLayout(g, []int{5}, []Axis{BlockAxis()}, []int{4}))
+		ReduceAxis(p, colSum, src, 0, func(a, b float64) float64 { return a + b })
+		colSum.eachLocal(func(off int, idx []int) {
+			want := float64(10*(0+1+2+3+4+5+6+7) + 8*idx[0])
+			if colSum.Local()[off] != want {
+				t.Errorf("colSum[%d] = %v, want %v", idx[0], colSum.Local()[off], want)
+			}
+		})
+
+		// Sum over axis 1 (collapsed locally): out[i] = sum_j (10i + j).
+		rowSum := New[float64](p, MustLayout(g, []int{8}, []Axis{BlockAxis()}, []int{4}))
+		ReduceAxis(p, rowSum, src, 1, func(a, b float64) float64 { return a + b })
+		rowSum.eachLocal(func(off int, idx []int) {
+			want := float64(50*idx[0] + (0 + 1 + 2 + 3 + 4))
+			if rowSum.Local()[off] != want {
+				t.Errorf("rowSum[%d] = %v, want %v", idx[0], rowSum.Local()[off], want)
+			}
+		})
+	})
+}
+
+func TestReduceAxisMaxDisjointGroups(t *testing.T) {
+	m := testMachine(5)
+	m.Run(func(p *machine.Proc) {
+		gSrc := group.MustNew([]int{0, 1, 2})
+		gDst := group.MustNew([]int{3, 4})
+		src := New[int64](p, MustLayout(gSrc, []int{6, 4},
+			[]Axis{BlockAxis(), CollapsedAxis()}, []int{3, 1}))
+		dst := New[int64](p, MustLayout(gDst, []int{4}, []Axis{BlockAxis()}, []int{2}))
+		if src.IsMember() {
+			src.FillFunc(func(idx []int) int64 { return int64((idx[0]*7+idx[1]*13)%23 - 5) })
+		}
+		if src.IsMember() || dst.IsMember() {
+			ReduceAxis(p, dst, src, 0, func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			})
+		}
+		if dst.IsMember() {
+			dst.eachLocal(func(off int, idx []int) {
+				want := int64(-1 << 62)
+				for i := 0; i < 6; i++ {
+					v := int64((i*7+idx[0]*13)%23 - 5)
+					if v > want {
+						want = v
+					}
+				}
+				if dst.Local()[off] != want {
+					t.Errorf("max[%d] = %d, want %d", idx[0], dst.Local()[off], want)
+				}
+			})
+		}
+	})
+}
+
+func TestReduceAxisShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		src := New[float64](p, RowBlock2D(g, 4, 4))
+		dst := New[float64](p, MustLayout(g, []int{5}, []Axis{BlockAxis()}, []int{2}))
+		ReduceAxis(p, dst, src, 0, func(a, b float64) float64 { return a + b })
+	})
+}
+
+func TestRemapGather(t *testing.T) {
+	// Remap with a partial mapping: pick the diagonal of a matrix into a
+	// vector on a different group.
+	m := testMachine(3)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(3)
+		gv := group.MustNew([]int{1})
+		mat := New[float64](p, RowBlock2D(g, 6, 6))
+		diag := New[float64](p, MustLayout(gv, []int{6}, []Axis{BlockAxis()}, []int{1}))
+		mat.FillFunc(func(idx []int) float64 { return float64(idx[0]*6 + idx[1]) })
+		Remap(p, diag, mat, func(srcIdx, dstIdx []int) bool {
+			if srcIdx[0] != srcIdx[1] {
+				return false
+			}
+			dstIdx[0] = srcIdx[0]
+			return true
+		})
+		if diag.IsMember() {
+			for i, v := range diag.Local() {
+				if v != float64(i*7) {
+					t.Errorf("diag[%d] = %v, want %v", i, v, float64(i*7))
+				}
+			}
+		}
+	})
+}

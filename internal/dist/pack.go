@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"fmt"
+
+	"fxpar/internal/comm"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// PackInto implements the irregular redistribution behind the paper's
+// quicksort (Figure 4): it copies the elements of the 1D block-distributed
+// src that satisfy keep, in global order, into dst starting at global index
+// dstStart, and returns the number of elements copied. keep == nil keeps
+// everything (a plain section copy, used by merge_result).
+//
+// Both arrays must be 1D BLOCK-distributed (local order is then global
+// order). Source and destination may live on different — even disjoint —
+// subgroups; processors in neither group return immediately (and must not
+// call in that case a value is still returned: 0 consistent participation is
+// required of union members only).
+func PackInto[T any](p *machine.Proc, dst, src *Array[T], dstStart int, keep func(T) bool) int {
+	check1DBlock(src.l, "PackInto source")
+	check1DBlock(dst.l, "PackInto destination")
+	isSrc := src.rank >= 0
+	isDst := dst.rank >= 0
+	if !isSrc && !isDst {
+		return 0
+	}
+	u := group.Union(src.l.g, dst.l.g)
+
+	// Count kept elements per source rank and share the vector with every
+	// participant: gather to the source group's rank 0, then broadcast over
+	// the union group.
+	srcSize := src.l.g.Size()
+	var counts []int
+	if isSrc {
+		cnt := 0
+		if keep == nil {
+			cnt = len(src.data)
+		} else {
+			for _, v := range src.data {
+				if keep(v) {
+					cnt++
+				}
+			}
+		}
+		counts = comm.GatherFlat(p, src.l.g, 0, []int{cnt})
+	}
+	rootU, ok := u.RankOf(src.l.g.Phys(0))
+	if !ok {
+		panic("dist: union group missing source root")
+	}
+	counts = comm.Bcast(p, u, rootU, counts)
+	prefix := make([]int, srcSize+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	total := prefix[srcSize]
+	if dstStart+total > dst.l.shape[0] {
+		panic(fmt.Sprintf("dist: PackInto writes [%d,%d) into destination of length %d",
+			dstStart, dstStart+total, dst.l.shape[0]))
+	}
+
+	elemBytes := comm.ElemBytes[T]()
+	myID := p.ID()
+	dstDim := dst.l.dims[0]
+
+	// placeLocal copies vals into dst's local storage for the global range
+	// [gLo, gLo+len(vals)), which is contiguous in local storage for BLOCK.
+	placeLocal := func(gLo int, vals []T) {
+		if len(vals) == 0 {
+			return
+		}
+		lo := dstDim.localOf(gLo)
+		copy(dst.data[lo:lo+len(vals)], vals)
+	}
+
+	if isSrc && counts[src.rank] > 0 {
+		kept := make([]T, 0, counts[src.rank])
+		if keep == nil {
+			kept = append(kept, src.data...)
+		} else {
+			for _, v := range src.data {
+				if keep(v) {
+					kept = append(kept, v)
+				}
+			}
+		}
+		gLo := dstStart + prefix[src.rank]
+		gHi := gLo + len(kept)
+		// Split [gLo, gHi) over destination block owners, ascending.
+		for r := 0; r < dst.l.g.Size(); r++ {
+			bLo := r * dstDim.b
+			bHi := bLo + dstDim.b
+			if bHi > dst.l.shape[0] {
+				bHi = dst.l.shape[0]
+			}
+			lo, hi := maxInt(gLo, bLo), minInt(gHi, bHi)
+			if lo >= hi {
+				continue
+			}
+			seg := kept[lo-gLo : hi-gLo]
+			if dst.l.g.Phys(r) == myID {
+				placeLocal(lo, seg)
+			} else {
+				buf := append([]T(nil), seg...)
+				p.Send(dst.l.g.Phys(r), buf, len(buf)*elemBytes)
+			}
+		}
+	}
+
+	if isDst && len(dst.data) > 0 {
+		myLo := dst.rank * dstDim.b
+		myHi := myLo + dstDim.b
+		if myHi > dst.l.shape[0] {
+			myHi = dst.l.shape[0]
+		}
+		for s := 0; s < srcSize; s++ {
+			gLo := dstStart + prefix[s]
+			gHi := gLo + counts[s]
+			lo, hi := maxInt(gLo, myLo), minInt(gHi, myHi)
+			if lo >= hi {
+				continue
+			}
+			if src.l.g.Phys(s) == myID {
+				continue // placed locally in the sender phase
+			}
+			vals := recvSlice[T](p, src.l.g.Phys(s))
+			if len(vals) != hi-lo {
+				panic(fmt.Sprintf("dist: PackInto expected %d elements from source rank %d, got %d", hi-lo, s, len(vals)))
+			}
+			placeLocal(lo, vals)
+		}
+	}
+	return total
+}
+
+// CopyRange1D copies all of src into dst[dstStart : dstStart+len(src)] —
+// the section assignment used by the paper's merge_result.
+func CopyRange1D[T any](p *machine.Proc, dst *Array[T], dstStart int, src *Array[T]) {
+	PackInto(p, dst, src, dstStart, nil)
+}
+
+// FillRange1D sets dst[lo:hi) to v; owners fill locally, no communication.
+func FillRange1D[T any](dst *Array[T], lo, hi int, v T) {
+	check1DBlock(dst.l, "FillRange1D destination")
+	if dst.rank < 0 || len(dst.data) == 0 {
+		return
+	}
+	d := dst.l.dims[0]
+	myLo := dst.rank * d.b
+	myHi := myLo + d.b
+	if myHi > dst.l.shape[0] {
+		myHi = dst.l.shape[0]
+	}
+	lo, hi = maxInt(lo, myLo), minInt(hi, myHi)
+	for i := lo; i < hi; i++ {
+		dst.data[d.localOf(i)] = v
+	}
+}
+
+func check1DBlock(l *Layout, what string) {
+	if l.Rank() != 1 || l.dims[0].kind != Block {
+		panic(fmt.Sprintf("dist: %s must be a 1D BLOCK array, got %v", what, l))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

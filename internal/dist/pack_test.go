@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+func TestPackIntoFiltersInOrder(t *testing.T) {
+	m := testMachine(4)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(4)
+		src := New[int64](p, MustLayout(g, []int{20}, []Axis{BlockAxis()}, []int{4}))
+		src.FillFunc(func(idx []int) int64 { return int64(idx[0]) })
+		dst := New[int64](p, MustLayout(g, []int{10}, []Axis{BlockAxis()}, []int{4}))
+		n := PackInto(p, dst, src, 0, func(v int64) bool { return v%2 == 0 })
+		if n != 10 {
+			t.Errorf("packed %d, want 10", n)
+		}
+		full := GatherGlobal(p, dst)
+		if full != nil {
+			for i, v := range full {
+				if v != int64(2*i) {
+					t.Errorf("dst[%d] = %d, want %d", i, v, 2*i)
+				}
+			}
+		}
+	})
+}
+
+func TestPackIntoDisjointGroupsWithOffset(t *testing.T) {
+	m := testMachine(5)
+	m.Run(func(p *machine.Proc) {
+		gSrc := group.MustNew([]int{0, 1})
+		gDst := group.MustNew([]int{2, 3, 4})
+		src := New[int64](p, MustLayout(gSrc, []int{12}, []Axis{BlockAxis()}, []int{2}))
+		if src.IsMember() {
+			src.FillFunc(func(idx []int) int64 { return int64(idx[0] * 10) })
+		}
+		dst := New[int64](p, MustLayout(gDst, []int{20}, []Axis{BlockAxis()}, []int{3}))
+		if dst.IsMember() {
+			dst.FillFunc(func([]int) int64 { return -1 })
+		}
+		n := 0
+		if src.IsMember() || dst.IsMember() {
+			n = PackInto(p, dst, src, 3, func(v int64) bool { return v >= 50 })
+		}
+		if (src.IsMember() || dst.IsMember()) && n != 7 {
+			t.Errorf("proc %d: packed %d, want 7 (values 50..110)", p.ID(), n)
+		}
+		full := GatherGlobal(p, dst)
+		if full != nil {
+			for i := 0; i < 3; i++ {
+				if full[i] != -1 {
+					t.Errorf("dst[%d] = %d, want untouched -1", i, full[i])
+				}
+			}
+			for k := 0; k < 7; k++ {
+				if full[3+k] != int64((5+k)*10) {
+					t.Errorf("dst[%d] = %d, want %d", 3+k, full[3+k], (5+k)*10)
+				}
+			}
+			for i := 10; i < 20; i++ {
+				if full[i] != -1 {
+					t.Errorf("dst[%d] = %d, want untouched -1", i, full[i])
+				}
+			}
+		}
+	})
+}
+
+func TestCopyRange1D(t *testing.T) {
+	m := testMachine(3)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(3)
+		src := New[float64](p, MustLayout(g, []int{7}, []Axis{BlockAxis()}, []int{3}))
+		src.FillFunc(func(idx []int) float64 { return float64(idx[0]) + 0.5 })
+		dst := New[float64](p, MustLayout(g, []int{15}, []Axis{BlockAxis()}, []int{3}))
+		CopyRange1D(p, dst, 4, src)
+		full := GatherGlobal(p, dst)
+		if full != nil {
+			for k := 0; k < 7; k++ {
+				if full[4+k] != float64(k)+0.5 {
+					t.Errorf("dst[%d] = %v", 4+k, full[4+k])
+				}
+			}
+		}
+	})
+}
+
+func TestFillRange1D(t *testing.T) {
+	m := testMachine(4)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(4)
+		a := New[int32](p, MustLayout(g, []int{17}, []Axis{BlockAxis()}, []int{4}))
+		FillRange1D(a, 5, 11, 9)
+		full := GatherGlobal(p, a)
+		if full != nil {
+			for i, v := range full {
+				want := int32(0)
+				if i >= 5 && i < 11 {
+					want = 9
+				}
+				if v != want {
+					t.Errorf("a[%d] = %d, want %d", i, v, want)
+				}
+			}
+		}
+	})
+}
+
+func TestPackIntoOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		src := New[int64](p, MustLayout(g, []int{10}, []Axis{BlockAxis()}, []int{2}))
+		dst := New[int64](p, MustLayout(g, []int{4}, []Axis{BlockAxis()}, []int{2}))
+		PackInto(p, dst, src, 0, nil)
+	})
+}
+
+func TestPackIntoRejectsNonBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		src := New[int64](p, MustLayout(g, []int{10}, []Axis{CyclicAxis()}, []int{2}))
+		dst := New[int64](p, MustLayout(g, []int{10}, []Axis{BlockAxis()}, []int{2}))
+		PackInto(p, dst, src, 0, nil)
+	})
+}
+
+// Property: PackInto(keep) preserves exactly the kept subsequence.
+func TestPackIntoProperty(t *testing.T) {
+	f := func(nSeed, modSeed, pSeed uint8) bool {
+		n := int(nSeed)%50 + 1
+		mod := int64(modSeed)%5 + 2
+		procs := int(pSeed)%4 + 1
+		m := testMachine(procs)
+		ok := true
+		m.Run(func(p *machine.Proc) {
+			g := group.World(procs)
+			src := New[int64](p, MustLayout(g, []int{n}, []Axis{BlockAxis()}, []int{procs}))
+			src.FillFunc(func(idx []int) int64 { return int64(idx[0]*idx[0]) % 97 })
+			keep := func(v int64) bool { return v%mod == 0 }
+			var want []int64
+			for i := 0; i < n; i++ {
+				v := int64(i*i) % 97
+				if keep(v) {
+					want = append(want, v)
+				}
+			}
+			if len(want) == 0 {
+				return
+			}
+			dst := New[int64](p, MustLayout(g, []int{len(want)}, []Axis{BlockAxis()}, []int{procs}))
+			got := PackInto(p, dst, src, 0, keep)
+			if got != len(want) {
+				ok = false
+				return
+			}
+			full := GatherGlobal(p, dst)
+			if full != nil {
+				for i := range want {
+					if full[i] != want[i] {
+						ok = false
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

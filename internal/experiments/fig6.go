@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fxpar/internal/apps/airshed"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+// Fig6Point is one point of Figure 6's speedup plot.
+type Fig6Point struct {
+	Procs           int
+	DPSpeedup       float64
+	TaskSpeedup     float64 // 0 when the task variant needs more processors
+	DPMakespan      float64
+	TaskMakespan    float64
+	TaskImprovement float64 // (DP - Task) / DP at this processor count
+}
+
+// Fig6Config controls scale.
+type Fig6Config struct {
+	ProcCounts []int
+	App        airshed.Config
+}
+
+// DefaultFig6 matches the paper's sweep up to 64 processors.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{
+		ProcCounts: []int{1, 2, 4, 8, 16, 32, 64},
+		App:        airshed.DefaultConfig(),
+	}
+}
+
+// QuickFig6 is a reduced variant.
+func QuickFig6() Fig6Config {
+	return Fig6Config{
+		ProcCounts: []int{1, 2, 4, 8, 16},
+		App: airshed.Config{
+			Layers: 3, Grid: 256, Species: 8,
+			Hours: 2, Steps: 2,
+			ChemFlops: 220, TransFlops: 25, PreFlops: 10,
+		},
+	}
+}
+
+// Fig6 regenerates Figure 6: Airshed speedup over the 1-processor time for
+// the data-parallel and the task+data-parallel (separated I/O) versions.
+func Fig6(cfg Fig6Config) []Fig6Point {
+	cost := sim.Paragon()
+	t1 := airshed.Run(machine.New(1, cost), cfg.App, airshed.DataParallel).Makespan
+	points := make([]Fig6Point, 0, len(cfg.ProcCounts))
+	for _, p := range cfg.ProcCounts {
+		pt := Fig6Point{Procs: p}
+		pt.DPMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.DataParallel).Makespan
+		pt.DPSpeedup = t1 / pt.DPMakespan
+		if p >= 4 {
+			pt.TaskMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.TaskIO).Makespan
+			pt.TaskSpeedup = t1 / pt.TaskMakespan
+			pt.TaskImprovement = (pt.DPMakespan - pt.TaskMakespan) / pt.DPMakespan
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// PrintFig6 writes the speedup table and an ASCII plot of both curves.
+func PrintFig6(w io.Writer, points []Fig6Point) {
+	fmt.Fprintf(w, "Figure 6: Speedup of Airshed application (simulated)\n\n")
+	fmt.Fprintf(w, "%6s %12s %12s %14s\n", "procs", "DP speedup", "task speedup", "task improves")
+	maxSpeedup := 1.0
+	for _, pt := range points {
+		if pt.TaskSpeedup > maxSpeedup {
+			maxSpeedup = pt.TaskSpeedup
+		}
+		if pt.DPSpeedup > maxSpeedup {
+			maxSpeedup = pt.DPSpeedup
+		}
+	}
+	for _, pt := range points {
+		task := "-"
+		imp := "-"
+		if pt.TaskSpeedup > 0 {
+			task = fmt.Sprintf("%.2f", pt.TaskSpeedup)
+			imp = fmt.Sprintf("%.0f%%", pt.TaskImprovement*100)
+		}
+		fmt.Fprintf(w, "%6d %12.2f %12s %14s\n", pt.Procs, pt.DPSpeedup, task, imp)
+	}
+	fmt.Fprintln(w, "\n  speedup (D = data parallel, T = task+data parallel)")
+	const width = 56
+	for _, pt := range points {
+		dp := int(pt.DPSpeedup / maxSpeedup * width)
+		fmt.Fprintf(w, "  %4dp D|%s\n", pt.Procs, strings.Repeat("=", dp))
+		if pt.TaskSpeedup > 0 {
+			tk := int(pt.TaskSpeedup / maxSpeedup * width)
+			fmt.Fprintf(w, "       T|%s\n", strings.Repeat("=", tk))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/apps/radar"
+	"fxpar/internal/apps/stereo"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+// The mapper's closed-form cost tables must track the simulator: predicted
+// data-parallel per-set time within a factor of two of the measured one
+// across processor counts. (The mapper only needs correct *ranking*; factor
+// two is a conservative sanity band.)
+
+func checkBand(t *testing.T, name string, predicted, measured float64) {
+	t.Helper()
+	if predicted <= 0 || measured <= 0 {
+		t.Errorf("%s: non-positive time (pred %g, meas %g)", name, predicted, measured)
+		return
+	}
+	ratio := predicted / measured
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("%s: predicted %.5f vs measured %.5f (ratio %.2f outside [0.5, 2])",
+			name, predicted, measured, ratio)
+	}
+}
+
+func TestFFTHistModelTracksSimulation(t *testing.T) {
+	cost := sim.Paragon()
+	cfg := ffthist.Config{N: 64, Sets: 6, Bins: 32}
+	model := ffthist.BuildModel(cost, cfg, 16)
+	for _, p := range []int{1, 4, 16} {
+		res := ffthist.Run(machine.New(p, cost), cfg, ffthist.DataParallel(p))
+		checkBand(t, "ffthist", model.DPT[p], res.Stream.Latency)
+	}
+}
+
+func TestRadarModelTracksSimulation(t *testing.T) {
+	cost := sim.Paragon()
+	cfg := radar.Config{Gates: 128, Rows: 16, Sets: 6, Scale: 1.0 / 128, Threshold: 0.05}
+	model := radar.BuildModel(cost, cfg, 16)
+	for _, p := range []int{1, 4, 16} {
+		res := radar.Run(machine.New(p, cost), cfg, radar.DataParallel(min(p, cfg.Rows)))
+		checkBand(t, "radar", model.DPT[p], res.Stream.Latency)
+	}
+}
+
+func TestStereoModelTracksSimulation(t *testing.T) {
+	cost := sim.Paragon()
+	cfg := stereo.Config{W: 64, H: 32, Disparities: 8, Window: 2, Sets: 6}
+	model := stereo.BuildModel(cost, cfg, 16)
+	for _, p := range []int{1, 4, 16} {
+		res := stereo.Run(machine.New(p, cost), cfg, stereo.DataParallel(min(p, cfg.H)))
+		checkBand(t, "stereo", model.DPT[p], res.Stream.Latency)
+	}
+}

@@ -1,0 +1,207 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (Section 5): Table 1 (sensor programs:
+// data parallel vs best task+data parallel), Figure 5 (latency-optimal
+// FFT-Hist mappings under throughput constraints), and Figure 6 (Airshed
+// speedup curves).
+//
+// Absolute throughput goals cannot be carried over from a 1996 Paragon, so
+// each goal is expressed as the paper's ratio of (goal / measured
+// data-parallel throughput) applied to this simulator's numbers — e.g.
+// Table 1's FFT-Hist 256x256 goal of 8 data sets/s against a measured 3.90
+// becomes a 2.05x ratio. This preserves the experiment's logic: how much
+// extra throughput must task parallelism deliver, and at what latency cost.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/apps/radar"
+	"fxpar/internal/apps/stereo"
+	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/sim"
+)
+
+// Table1Row is one program of Table 1.
+type Table1Row struct {
+	Name string
+	Size string
+	// Paper numbers for reference.
+	PaperDPThroughput, PaperDPLatency     float64
+	PaperGoal                             float64
+	PaperTaskThroughput, PaperTaskLatency float64
+	// Measured (simulated) numbers.
+	DPThroughput, DPLatency     float64
+	GoalRatio                   float64 // paper goal / paper DP throughput
+	Goal                        float64 // GoalRatio x predicted DP throughput
+	Best                        string  // chosen mapping
+	TaskThroughput, TaskLatency float64
+}
+
+// Table1Config controls the workload scale (full = paper sizes; quick =
+// reduced sizes for fast benchmarks with the same structure).
+type Table1Config struct {
+	Procs int
+	Sets  int
+	Quick bool
+	// Cost overrides the machine cost model (zero value: Paragon). The
+	// mapper's decisions respond to it — rerunning Table 1 under
+	// sim.Workstation() shows different mappings winning.
+	Cost sim.CostModel
+}
+
+// DefaultTable1 runs at the paper's scale: 64 processors.
+func DefaultTable1() Table1Config { return Table1Config{Procs: 64, Sets: 8} }
+
+// QuickTable1 is a reduced-size variant for unit tests and benchmarks.
+func QuickTable1() Table1Config { return Table1Config{Procs: 16, Sets: 6, Quick: true} }
+
+func (c Table1Config) cost() sim.CostModel {
+	if c.Cost.FlopRate == 0 {
+		return sim.Paragon()
+	}
+	return c.Cost
+}
+
+// Table1 regenerates Table 1: for each sensor program, the data-parallel
+// throughput/latency and the latency-optimal task+data parallel mapping
+// meeting the paper's (relative) throughput goal.
+func Table1(cfg Table1Config) []Table1Row {
+	cost := cfg.cost()
+	rows := []Table1Row{}
+
+	// FFT-Hist 256x256 (quick: 32) — paper: DP 3.90/s @ .256s; goal 8;
+	// task 13.3/s @ .293s.
+	n1 := 256
+	if cfg.Quick {
+		n1 = 32
+	}
+	rows = append(rows, ffthistRow("FFT-Hist", n1, cfg,
+		3.90, .256, 8, 13.3, .293, cost))
+
+	// FFT-Hist 512x512 (quick: 64) — paper: DP 1.99/s @ .502s; goal 2;
+	// task 2.48/s @ .807s.
+	n2 := 512
+	if cfg.Quick {
+		n2 = 64
+	}
+	rows = append(rows, ffthistRow("FFT-Hist", n2, cfg,
+		1.99, .502, 2, 2.48, .807, cost))
+
+	// Radar 512x10x4 (quick: 64x8) — paper: DP 23.4/s @ .043s; goal 50;
+	// task 70.2/s @ .043s.
+	rows = append(rows, radarRow(cfg, cost))
+
+	// Stereo 256x240 (quick: 64x24) — paper: DP 3.64/s @ .275s; goal 10;
+	// task 11.67/s @ .514s.
+	rows = append(rows, stereoRow(cfg, cost))
+	return rows
+}
+
+func ffthistRow(name string, n int, cfg Table1Config,
+	pDP, pDPLat, pGoal, pTask, pTaskLat float64, cost sim.CostModel) Table1Row {
+	appCfg := ffthist.Config{N: n, Sets: cfg.Sets, Bins: 64}
+	model := ffthist.BuildModel(cost, appCfg, cfg.Procs)
+	row := Table1Row{
+		Name: name, Size: fmt.Sprintf("%dx%d", n, n),
+		PaperDPThroughput: pDP, PaperDPLatency: pDPLat, PaperGoal: pGoal,
+		PaperTaskThroughput: pTask, PaperTaskLatency: pTaskLat,
+		GoalRatio: pGoal / pDP,
+	}
+	dpCap := cfg.Procs
+	if dpCap > n {
+		dpCap = n
+	}
+	dp := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.DataParallel(dpCap))
+	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
+	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
+	choice, err := mapping.Optimize(model, row.Goal)
+	if err != nil {
+		row.Best = "infeasible: " + err.Error()
+		return row
+	}
+	row.Best = choice.String()
+	task := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.ChoiceToMapping(choice))
+	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
+	return row
+}
+
+func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
+	appCfg := radar.DefaultConfig()
+	appCfg.Sets = cfg.Sets
+	if cfg.Quick {
+		appCfg = radar.Config{Gates: 64, Rows: 8, Sets: cfg.Sets, Scale: 1.0 / 64, Threshold: 0.05}
+	}
+	model := radar.BuildModel(cost, appCfg, cfg.Procs)
+	row := Table1Row{
+		Name: "Radar", Size: fmt.Sprintf("%dx%d", appCfg.Gates, appCfg.Rows),
+		PaperDPThroughput: 23.4, PaperDPLatency: .043, PaperGoal: 50,
+		PaperTaskThroughput: 70.2, PaperTaskLatency: .043,
+		GoalRatio: 50.0 / 23.4,
+	}
+	dpCap := cfg.Procs
+	if dpCap > appCfg.Rows {
+		dpCap = appCfg.Rows
+	}
+	dp := radar.Run(machine.New(cfg.Procs, cost), appCfg, radar.DataParallel(dpCap))
+	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
+	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
+	choice, err := mapping.Optimize(model, row.Goal)
+	if err != nil {
+		row.Best = "infeasible: " + err.Error()
+		return row
+	}
+	row.Best = choice.String()
+	task := radar.Run(machine.New(cfg.Procs, cost), appCfg, radar.ChoiceToMapping(choice))
+	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
+	return row
+}
+
+func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
+	appCfg := stereo.DefaultConfig()
+	appCfg.Sets = cfg.Sets
+	if cfg.Quick {
+		appCfg = stereo.Config{W: 64, H: 24, Disparities: 8, Window: 2, Sets: cfg.Sets}
+	}
+	model := stereo.BuildModel(cost, appCfg, cfg.Procs)
+	row := Table1Row{
+		Name: "Stereo", Size: fmt.Sprintf("%dx%d", appCfg.W, appCfg.H),
+		PaperDPThroughput: 3.64, PaperDPLatency: .275, PaperGoal: 10,
+		PaperTaskThroughput: 11.67, PaperTaskLatency: .514,
+		GoalRatio: 10.0 / 3.64,
+	}
+	dpCap := cfg.Procs
+	if dpCap > appCfg.H {
+		dpCap = appCfg.H
+	}
+	dp := stereo.Run(machine.New(cfg.Procs, cost), appCfg, stereo.DataParallel(dpCap))
+	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
+	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
+	choice, err := mapping.Optimize(model, row.Goal)
+	if err != nil {
+		row.Best = "infeasible: " + err.Error()
+		return row
+	}
+	row.Best = choice.String()
+	task := stereo.Run(machine.New(cfg.Procs, cost), appCfg, stereo.ChoiceToMapping(choice))
+	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
+	return row
+}
+
+// PrintTable1 writes the rows in the layout of the paper's Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row, procs int) {
+	fmt.Fprintf(w, "Table 1: Performance results on %d simulated nodes (paper: 64-node Intel Paragon)\n\n", procs)
+	fmt.Fprintf(w, "%-10s %-9s | %-21s | %-9s | %-38s | %s\n",
+		"Program", "Size", "Data Parallel", "Goal", "Best Task-Data Parallel", "Paper (DP thr/lat -> task thr/lat @goal)")
+	fmt.Fprintf(w, "%-10s %-9s | %10s %10s | %9s | %10s %10s %16s | %s\n",
+		"", "", "thr(/s)", "lat(s)", "thr(/s)", "thr(/s)", "lat(s)", "mapping", "")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-9s | %10.3f %10.4f | %9.3f | %10.3f %10.4f %16s | %.2f/%.3f -> %.2f/%.3f @%.0f\n",
+			r.Name, r.Size, r.DPThroughput, r.DPLatency, r.Goal,
+			r.TaskThroughput, r.TaskLatency, r.Best,
+			r.PaperDPThroughput, r.PaperDPLatency,
+			r.PaperTaskThroughput, r.PaperTaskLatency, r.PaperGoal)
+	}
+}

@@ -1,0 +1,142 @@
+// Package fft provides the numerical kernels of the sensor applications:
+// an iterative radix-2 complex FFT, batched row FFTs, and magnitude
+// histograms. Values are really computed (so results can be verified across
+// task mappings); cost constants let callers charge the matching virtual
+// time to the simulated machine.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Flops returns the standard operation count of one radix-2 FFT of length n:
+// 5 n log2 n real floating point operations.
+func Flops(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// InPlace performs an in-place decimation-in-time radix-2 FFT of x, whose
+// length must be a power of two. inverse selects the inverse transform
+// (including the 1/n scaling).
+func InPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wbase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wbase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Forward is InPlace(x, false).
+func Forward(x []complex128) { InPlace(x, false) }
+
+// Inverse is InPlace(x, true).
+func Inverse(x []complex128) { InPlace(x, true) }
+
+// Rows applies a forward FFT to each length-w row of a row-major matrix
+// stored in data (len must be a multiple of w) and returns the total flop
+// count for cost accounting.
+func Rows(data []complex128, w int) float64 {
+	if w <= 0 || len(data)%w != 0 {
+		panic(fmt.Sprintf("fft: Rows with width %d on %d elements", w, len(data)))
+	}
+	rows := len(data) / w
+	for r := 0; r < rows; r++ {
+		Forward(data[r*w : (r+1)*w])
+	}
+	return float64(rows) * Flops(w)
+}
+
+// HistFlops is the modeled per-element cost of histogramming (magnitude,
+// compare, increment).
+const HistFlops = 8
+
+// Histogram bins the magnitudes of data into bins buckets over [0, max);
+// values >= max land in the last bucket. It returns the counts and the flop
+// cost.
+func Histogram(data []complex128, bins int, max float64) ([]int64, float64) {
+	if bins <= 0 || max <= 0 {
+		panic(fmt.Sprintf("fft: Histogram with bins=%d max=%g", bins, max))
+	}
+	counts := make([]int64, bins)
+	scale := float64(bins) / max
+	for _, v := range data {
+		m := cmplx.Abs(v)
+		b := int(m * scale)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, float64(len(data)) * HistFlops
+}
+
+// ScaleFlops is the per-element cost of the radar scaling step.
+const ScaleFlops = 2
+
+// Scale multiplies every element by s and returns the flop cost.
+func Scale(data []complex128, s float64) float64 {
+	c := complex(s, 0)
+	for i := range data {
+		data[i] *= c
+	}
+	return float64(len(data)) * ScaleFlops
+}
+
+// ThresholdFlops is the per-element cost of the radar thresholding step.
+const ThresholdFlops = 3
+
+// Threshold zeroes elements with magnitude below t, returning the number of
+// surviving elements and the flop cost.
+func Threshold(data []complex128, t float64) (kept int, flops float64) {
+	t2 := t * t
+	for i, v := range data {
+		re, im := real(v), imag(v)
+		if re*re+im*im < t2 {
+			data[i] = 0
+		} else {
+			kept++
+		}
+	}
+	return kept, float64(len(data)) * ThresholdFlops
+}

@@ -1,0 +1,83 @@
+package fx_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+// Example reproduces the code fragment of Section 2.1: a task partition
+// into subgroups "some" and "many", ON blocks on each, and a parent-scope
+// assignment between their variables.
+func Example() {
+	mach := machine.New(8, sim.Paragon())
+	var mu sync.Mutex
+	var lines []string
+	say := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	fx.Run(mach, func(p *fx.Proc) {
+		part := p.Partition(
+			group.Sub("some", 5),
+			group.Sub("many", p.NumberOfProcessors()-5),
+		)
+		someLow := dist.New[float64](p.Proc, dist.RowBlock2D(part.Group("some"), 5, 2))
+		manyLow := dist.New[float64](p.Proc, dist.RowBlock2D(part.Group("many"), 5, 2))
+		p.TaskRegion(part, func(r *fx.Region) {
+			r.On("some", func() {
+				if p.VP() == 0 {
+					say("some computes on %d processors", p.NumberOfProcessors())
+				}
+				someLow.FillFunc(func(idx []int) float64 { return 7 })
+			})
+			dist.Assign(p.Proc, manyLow, someLow) // many_low = some_low
+			r.On("many", func() {
+				if p.VP() == 0 {
+					say("many computes on %d processors, got %.0f", p.NumberOfProcessors(), manyLow.At(0, 0))
+				}
+			})
+		})
+	})
+	sort.Strings(lines)
+	fmt.Println(strings.Join(lines, "\n"))
+	// Output:
+	// many computes on 3 processors, got 7
+	// some computes on 5 processors
+}
+
+// ExampleSections shows the parallel-sections pattern of Section 3.1.
+func ExampleSections() {
+	mach := machine.New(4, sim.Paragon())
+	var mu sync.Mutex
+	var lines []string
+	fx.Run(mach, func(p *fx.Proc) {
+		fx.Sections(p,
+			fx.Section{Name: "proca", Procs: 1, Body: func() {
+				mu.Lock()
+				lines = append(lines, "proca ran")
+				mu.Unlock()
+			}},
+			fx.Section{Name: "procb", Body: func() { // flexible: gets the rest
+				if p.VP() == 0 {
+					mu.Lock()
+					lines = append(lines, fmt.Sprintf("procb ran on %d procs", p.NumberOfProcessors()))
+					mu.Unlock()
+				}
+			}},
+		)
+	})
+	sort.Strings(lines)
+	fmt.Println(strings.Join(lines, "\n"))
+	// Output:
+	// proca ran
+	// procb ran on 3 procs
+}

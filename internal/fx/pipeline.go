@@ -1,0 +1,75 @@
+package fx
+
+import (
+	"fmt"
+
+	"fxpar/internal/group"
+)
+
+// Stage describes one stage of a data-parallel pipeline: a named subgroup
+// size and the per-data-set computation to run on it.
+type Stage struct {
+	Name  string
+	Procs int
+	// Body processes one data set on the stage's subgroup.
+	Body func(set int)
+}
+
+// PipelineSpec describes a stream pipeline in the shape of Figure 2(c):
+// stages connected by parent-scope transfers, processing data sets first,
+// first+stride, ... < sets.
+type PipelineSpec struct {
+	Stages []Stage
+	// Transfer[i] moves one data set's output of stage i to stage i+1 in
+	// parent scope (typically a dist.Assign or dist.Transpose2D closure
+	// over subgroup arrays); len must be len(Stages)-1. Entries may be nil
+	// when adjacent stages share data another way.
+	Transfer []func(set int)
+	Sets     int
+	First    int // first data set index (default 0)
+	Stride   int // data set stride (default 1; >1 for replicated modules)
+}
+
+// PipelineLoop runs the pipeline on the current group: it declares the
+// TASK_PARTITION from the stage sizes, opens the task region, and for each
+// data set runs every stage inside its ON block with the transfers between
+// them — the exact code shape of the paper's FFT-Hist program. Stage sizes
+// must sum to the current group size.
+func PipelineLoop(p *Proc, spec PipelineSpec) {
+	if len(spec.Stages) == 0 {
+		return
+	}
+	if len(spec.Transfer) != len(spec.Stages)-1 {
+		panic(fmt.Sprintf("fx: pipeline with %d stages needs %d transfers, got %d",
+			len(spec.Stages), len(spec.Stages)-1, len(spec.Transfer)))
+	}
+	stride := spec.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	specs := make([]group.Spec, len(spec.Stages))
+	for i, s := range spec.Stages {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("stage%d", i)
+		}
+		specs[i] = group.Sub(name, s.Procs)
+	}
+	part := p.Partition(specs...)
+	p.TaskRegion(part, func(r *Region) {
+		for set := spec.First; set < spec.Sets; set += stride {
+			set := set
+			for i, s := range spec.Stages {
+				body := s.Body
+				r.On(specs[i].Name, func() {
+					if body != nil {
+						body(set)
+					}
+				})
+				if i < len(spec.Transfer) && spec.Transfer[i] != nil {
+					spec.Transfer[i](set)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package fx
+
+import (
+	"fmt"
+
+	"fxpar/internal/group"
+)
+
+// Section is one independent computation of a parallel-sections construct,
+// with an optional processor count (0 = share the leftovers evenly).
+type Section struct {
+	Name  string
+	Procs int
+	Body  func()
+}
+
+// Sections runs the given independent computations on disjoint subgroups of
+// the current group — the parallel-sections pattern of Section 3.1 as a
+// single call. Sections with Procs = 0 split the processors not claimed by
+// explicitly sized sections evenly (first sections get the remainder). The
+// claimed sizes must not exceed the current group, and every section needs
+// at least one processor.
+func Sections(p *Proc, sections ...Section) {
+	if len(sections) == 0 {
+		return
+	}
+	np := p.NumberOfProcessors()
+	claimed, flexible := 0, 0
+	for _, s := range sections {
+		if s.Procs < 0 {
+			panic(fmt.Sprintf("fx: section %q with negative processor count", s.Name))
+		}
+		if s.Procs == 0 {
+			flexible++
+		}
+		claimed += s.Procs
+	}
+	rest := np - claimed
+	if rest < flexible || (flexible == 0 && claimed != np) {
+		panic(fmt.Sprintf("fx: sections need %d processors (+%d flexible) but the group has %d", claimed, flexible, np))
+	}
+	specs := make([]group.Spec, len(sections))
+	base, extra := 0, 0
+	if flexible > 0 {
+		base, extra = rest/flexible, rest%flexible
+	}
+	flexSeen := 0
+	for i, s := range sections {
+		q := s.Procs
+		if q == 0 {
+			q = base
+			if flexSeen < extra {
+				q++
+			}
+			flexSeen++
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("section%d", i)
+		}
+		specs[i] = group.Sub(name, q)
+	}
+	part := p.Partition(specs...)
+	p.TaskRegion(part, func(r *Region) {
+		for i, s := range sections {
+			body := s.Body
+			r.On(specs[i].Name, func() {
+				if body != nil {
+					body()
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package fx
+
+import (
+	"sync"
+	"testing"
+
+	"fxpar/internal/group"
+)
+
+func TestSectionsExplicitSizes(t *testing.T) {
+	m := testMachine(6)
+	var mu sync.Mutex
+	np := map[string]int{}
+	Run(m, func(p *Proc) {
+		Sections(p,
+			Section{Name: "a", Procs: 2, Body: func() {
+				mu.Lock()
+				np["a"] = p.NumberOfProcessors()
+				mu.Unlock()
+			}},
+			Section{Name: "b", Procs: 4, Body: func() {
+				mu.Lock()
+				np["b"] = p.NumberOfProcessors()
+				mu.Unlock()
+			}},
+		)
+	})
+	if np["a"] != 2 || np["b"] != 4 {
+		t.Errorf("np = %v", np)
+	}
+}
+
+func TestSectionsFlexibleSizes(t *testing.T) {
+	m := testMachine(7)
+	var mu sync.Mutex
+	sizes := map[string]int{}
+	Run(m, func(p *Proc) {
+		Sections(p,
+			Section{Name: "fixed", Procs: 3, Body: func() {
+				mu.Lock()
+				sizes["fixed"] = p.NumberOfProcessors()
+				mu.Unlock()
+			}},
+			Section{Name: "f1", Body: func() {
+				mu.Lock()
+				sizes["f1"] = p.NumberOfProcessors()
+				mu.Unlock()
+			}},
+			Section{Name: "f2", Body: func() {
+				mu.Lock()
+				sizes["f2"] = p.NumberOfProcessors()
+				mu.Unlock()
+			}},
+		)
+	})
+	if sizes["fixed"] != 3 || sizes["f1"] != 2 || sizes["f2"] != 2 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestSectionsRunConcurrently(t *testing.T) {
+	// Two sections with very different costs: the makespan is the max, not
+	// the sum.
+	m := testMachine(2)
+	stats := Run(m, func(p *Proc) {
+		Sections(p,
+			Section{Name: "slow", Procs: 1, Body: func() { p.Compute(1e6) }},
+			Section{Name: "fast", Procs: 1, Body: func() { p.Compute(1e3) }},
+		)
+	})
+	if mk := stats.MakespanTime(); mk > 1.1 {
+		t.Errorf("makespan %.3f suggests serialization", mk)
+	}
+	if stats.Procs[1].Finish > 0.01 {
+		t.Errorf("fast section finished at %.4f", stats.Procs[1].Finish)
+	}
+}
+
+func TestSectionsOverclaimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	Run(m, func(p *Proc) {
+		Sections(p,
+			Section{Procs: 2, Body: func() {}},
+			Section{Procs: 1, Body: func() {}},
+		)
+	})
+}
+
+func TestSectionsUnderclaimWithoutFlexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(4)
+	Run(m, func(p *Proc) {
+		Sections(p, Section{Procs: 2, Body: func() {}})
+	})
+}
+
+func TestSectionsEmptyAndNilBody(t *testing.T) {
+	m := testMachine(2)
+	Run(m, func(p *Proc) {
+		Sections(p) // no sections: no-op
+		Sections(p, Section{Procs: 1, Body: nil}, Section{Procs: 1, Body: func() {}})
+	})
+}
+
+func TestSectionsNestInsideOn(t *testing.T) {
+	m := testMachine(8)
+	var mu sync.Mutex
+	leaves := 0
+	Run(m, func(p *Proc) {
+		part := p.Partition(group.Sub("half1", 4), group.Sub("half2", 4))
+		p.TaskRegion(part, func(r *Region) {
+			r.On("half1", func() {
+				Sections(p,
+					Section{Body: func() {
+						mu.Lock()
+						leaves++
+						mu.Unlock()
+					}},
+					Section{Body: func() {
+						mu.Lock()
+						leaves++
+						mu.Unlock()
+					}},
+				)
+			})
+		})
+	})
+	if leaves != 4 {
+		t.Errorf("leaves = %d, want 4 (2 sections x 2 procs)", leaves)
+	}
+}

@@ -1,0 +1,94 @@
+// Package hpf implements the HPF 2.0 approved-extension style of task
+// parallelism that Section 6 of the paper compares against the Fx model.
+// The paper notes this was "a case of the strong interaction between the two
+// design efforts": both are built on mapping data and computation onto
+// processor subgroups, but they differ in surface and in what the
+// implementation can exploit:
+//
+//   - HPF has a general ON construct usable outside task regions; Fx allows
+//     ON only inside a task region.
+//   - HPF subgroups need not be declared: the processor subset is given in
+//     the ON clause and may be computed at run time. Fx requires an explicit
+//     TASK_PARTITION declaration.
+//   - HPF subsets must be rectilinear ranges of the processor arrangement;
+//     Fx subgroups are arbitrary (the implementation chooses placement).
+//
+// This package provides that surface over the same runtime: On for a single
+// computed rectilinear subset, and Region for a set of disjoint computed
+// subsets executing concurrently. The trade-off the paper predicts is
+// visible in the implementation: with no declared partition there is no
+// coverage validation and no named subgroup to hang mapped variables on —
+// exactly the "declarative information that we have used to help build a
+// simple yet efficient implementation" which HPF does not give the compiler.
+package hpf
+
+import (
+	"fmt"
+	"sort"
+
+	"fxpar/internal/fx"
+)
+
+// On executes body on the rectilinear subset [lo, hi) of the current
+// group's virtual processors; others skip past without synchronizing. The
+// bounds may be computed at run time. This is HPF's general ON clause; it
+// is legal anywhere, not only inside a task region.
+func On(p *fx.Proc, lo, hi int, body func()) {
+	p.OnProcs(lo, hi, body)
+}
+
+// Task pairs a computed rectilinear processor range with the code to run on
+// it.
+type Task struct {
+	Lo, Hi int // virtual processor range [Lo, Hi) of the current group
+	Body   func()
+}
+
+// Region executes a set of tasks on disjoint rectilinear subsets of the
+// current group concurrently — the HPF analogue of a task region over ON
+// blocks. Ranges must be disjoint and within the current group; processors
+// covered by no task skip the region entirely (HPF allows partial
+// coverage, unlike an Fx TASK_PARTITION which must cover the group).
+func Region(p *fx.Proc, tasks []Task) {
+	np := p.NumberOfProcessors()
+	sorted := append([]Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	prevHi := 0
+	for _, t := range sorted {
+		if t.Lo < 0 || t.Hi > np || t.Lo >= t.Hi {
+			panic(fmt.Sprintf("hpf: task range [%d,%d) invalid for %d processors", t.Lo, t.Hi, np))
+		}
+		if t.Lo < prevHi {
+			panic(fmt.Sprintf("hpf: task ranges overlap at processor %d", t.Lo))
+		}
+		prevHi = t.Hi
+	}
+	me := p.VP()
+	for _, t := range tasks {
+		if me >= t.Lo && me < t.Hi {
+			p.OnProcs(t.Lo, t.Hi, t.Body)
+			return
+		}
+	}
+}
+
+// Split divides the current group evenly into k computed ranges — a common
+// idiom for replicated data parallelism without declared partitions.
+func Split(p *fx.Proc, k int) [][2]int {
+	np := p.NumberOfProcessors()
+	if k < 1 || k > np {
+		panic(fmt.Sprintf("hpf: cannot split %d processors into %d ranges", np, k))
+	}
+	out := make([][2]int, k)
+	base, extra := np/k, np%k
+	lo := 0
+	for i := range out {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package hpf
+
+import (
+	"sync"
+	"testing"
+
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func testMachine(n int) *machine.Machine {
+	return machine.New(n, sim.CostModel{
+		FlopRate: 1e6, Alpha: 1e-4, Beta: 1e-7, SendOverhead: 1e-5, IORate: 1e6,
+	})
+}
+
+func TestOnOutsideTaskRegion(t *testing.T) {
+	// HPF's ON is legal anywhere; Fx's is not. Verify the general form.
+	m := testMachine(4)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	fx.Run(m, func(p *fx.Proc) {
+		On(p, 1, 3, func() {
+			if p.NumberOfProcessors() != 2 {
+				t.Errorf("NP = %d", p.NumberOfProcessors())
+			}
+			mu.Lock()
+			ran[p.ID()] = true
+			mu.Unlock()
+		})
+	})
+	if len(ran) != 2 || !ran[1] || !ran[2] {
+		t.Errorf("ran = %v", ran)
+	}
+}
+
+func TestRegionComputedSubsets(t *testing.T) {
+	// Subset bounds computed at run time from input (no declaration).
+	m := testMachine(8)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	fx.Run(m, func(p *fx.Proc) {
+		workA, workB := 30, 10 // runtime values
+		split := p.NumberOfProcessors() * workA / (workA + workB)
+		Region(p, []Task{
+			{Lo: 0, Hi: split, Body: func() {
+				mu.Lock()
+				counts["a"]++
+				mu.Unlock()
+			}},
+			{Lo: split, Hi: p.NumberOfProcessors(), Body: func() {
+				mu.Lock()
+				counts["b"]++
+				mu.Unlock()
+			}},
+		})
+	})
+	if counts["a"] != 6 || counts["b"] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRegionPartialCoverage(t *testing.T) {
+	// HPF permits processors outside any ON subset; they skip.
+	m := testMachine(6)
+	stats := fx.Run(m, func(p *fx.Proc) {
+		Region(p, []Task{
+			{Lo: 0, Hi: 2, Body: func() { p.Compute(1000) }},
+			{Lo: 4, Hi: 6, Body: func() { p.Compute(1000) }},
+		})
+	})
+	if stats.Procs[2].Finish != 0 || stats.Procs[3].Finish != 0 {
+		t.Errorf("uncovered processors did not skip: %g %g",
+			stats.Procs[2].Finish, stats.Procs[3].Finish)
+	}
+}
+
+func TestRegionOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(4)
+	fx.Run(m, func(p *fx.Proc) {
+		Region(p, []Task{
+			{Lo: 0, Hi: 3, Body: func() {}},
+			{Lo: 2, Hi: 4, Body: func() {}},
+		})
+	})
+}
+
+func TestRegionBadRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	fx.Run(m, func(p *fx.Proc) {
+		Region(p, []Task{{Lo: 0, Hi: 5, Body: func() {}}})
+	})
+}
+
+func TestNestedRegions(t *testing.T) {
+	// Computed subsets can nest: a region inside a task divides the
+	// subset's processors again.
+	m := testMachine(8)
+	var mu sync.Mutex
+	depth2 := map[int]int{}
+	fx.Run(m, func(p *fx.Proc) {
+		Region(p, []Task{{Lo: 0, Hi: 8, Body: func() {
+			Region(p, []Task{
+				{Lo: 0, Hi: 4, Body: func() {
+					mu.Lock()
+					depth2[p.ID()] = p.NumberOfProcessors()
+					mu.Unlock()
+				}},
+				{Lo: 4, Hi: 8, Body: func() {
+					mu.Lock()
+					depth2[p.ID()] = p.NumberOfProcessors()
+					mu.Unlock()
+				}},
+			})
+		}}})
+	})
+	if len(depth2) != 8 {
+		t.Fatalf("depth2 = %v", depth2)
+	}
+	for id, np := range depth2 {
+		if np != 4 {
+			t.Errorf("proc %d saw NP=%d at depth 2", id, np)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	m := testMachine(10)
+	fx.Run(m, func(p *fx.Proc) {
+		ranges := Split(p, 3)
+		if len(ranges) != 3 {
+			t.Fatalf("ranges = %v", ranges)
+		}
+		if ranges[0] != [2]int{0, 4} || ranges[1] != [2]int{4, 7} || ranges[2] != [2]int{7, 10} {
+			t.Errorf("ranges = %v", ranges)
+		}
+	})
+}
+
+func TestSplitInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := testMachine(2)
+	fx.Run(m, func(p *fx.Proc) { Split(p, 3) })
+}
+
+// TestHPFStyleEqualsFxStyle runs the same two-task computation in both
+// surfaces and verifies identical results — the two models express the same
+// executions (Section 6).
+func TestHPFStyleEqualsFxStyle(t *testing.T) {
+	compute := func(a *dist.Array[float64], scale float64) {
+		for i, v := range a.Local() {
+			a.Local()[i] = v*scale + 1
+		}
+	}
+	runFx := func() []float64 {
+		var out []float64
+		fx.Run(testMachine(4), func(p *fx.Proc) {
+			part := p.Partition(group.Sub("a", 2), group.Sub("b", 2))
+			arr := dist.New[float64](p.Proc, dist.RowBlock2D(part.Group("b"), 4, 4))
+			p.TaskRegion(part, func(r *fx.Region) {
+				r.On("b", func() { compute(arr, 2) })
+			})
+			if full := dist.GatherGlobal(p.Proc, arr); full != nil {
+				out = full
+			}
+		})
+		return out
+	}
+	runHPF := func() []float64 {
+		var out []float64
+		fx.Run(testMachine(4), func(p *fx.Proc) {
+			sub := p.Group().Subrange(2, 4)
+			arr := dist.New[float64](p.Proc, dist.RowBlock2D(sub, 4, 4))
+			Region(p, []Task{{Lo: 2, Hi: 4, Body: func() { compute(arr, 2) }}})
+			if full := dist.GatherGlobal(p.Proc, arr); full != nil {
+				out = full
+			}
+		})
+		return out
+	}
+	a, b := runFx(), runHPF()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("element %d: fx %g != hpf %g", i, a[i], b[i])
+		}
+	}
+}

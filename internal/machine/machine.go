@@ -1,0 +1,413 @@
+// Package machine implements the simulated distributed-memory multicomputer
+// that stands in for the paper's 64-node Intel Paragon.
+//
+// Each processor is a goroutine with a private virtual clock. Processors
+// exchange messages over per-ordered-pair FIFO mailboxes. A message carries
+// the virtual time at which it becomes available at the receiver
+// (send-injection time plus alpha + bytes*beta from the cost model); the
+// receiver's clock advances to at least that time when it receives. Compute
+// phases advance the local clock by flops/FlopRate. Because clocks only move
+// through these rules, every virtual-time result is deterministic and
+// independent of how the host schedules the goroutines.
+//
+// This mirrors the Fx communication substrate described in Section 4 of the
+// paper: "direct deposit of data by a sender to a receiver's memory space" —
+// sends never block, receives block until the datum has been deposited.
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"fxpar/internal/sim"
+)
+
+// Message is a unit of point-to-point communication.
+type Message struct {
+	// Src is the sending processor's physical id.
+	Src int
+	// Data is the payload. The machine layer never copies it; senders must
+	// not mutate a payload after sending (higher layers copy when needed).
+	Data any
+	// Bytes is the payload size used for cost accounting.
+	Bytes int
+	// ArriveAt is the virtual time at which the message is available at the
+	// receiver.
+	ArriveAt float64
+}
+
+// mailbox is an unbounded FIFO queue for one ordered (src,dst) pair.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) get() Message {
+	mb.mu.Lock()
+	for len(mb.queue) == 0 {
+		mb.cond.Wait()
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.mu.Unlock()
+	return m
+}
+
+func (mb *mailbox) tryGet() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+// EventKind classifies a traced virtual-time interval.
+type EventKind uint8
+
+const (
+	// EvCompute is local computation (Compute, Elapse, CopyBytes).
+	EvCompute EventKind = iota
+	// EvSend is message injection overhead.
+	EvSend
+	// EvWait is time spent blocked for a message that had not arrived.
+	EvWait
+	// EvIO is input/output time.
+	EvIO
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvWait:
+		return "wait"
+	case EvIO:
+		return "io"
+	}
+	return "?"
+}
+
+// Event is one virtual-time interval on one processor.
+type Event struct {
+	Proc  int
+	Kind  EventKind
+	Start float64
+	End   float64
+}
+
+// Tracer receives the events of a traced run. Record is called from
+// processor goroutines concurrently; implementations must be safe for that.
+// Event *values* are virtual times, so trace content is deterministic even
+// though arrival order is not.
+type Tracer interface {
+	Record(Event)
+}
+
+// Machine is a simulated multicomputer with a fixed number of processors.
+type Machine struct {
+	n      int
+	cost   sim.CostModel
+	tracer Tracer
+	// hops returns the network distance between two physical processors;
+	// nil models a flat (distance-free) network.
+	hops func(a, b int) int
+	// mail[dst*n+src] is the FIFO from src to dst.
+	mail []*mailbox
+}
+
+// Hops returns the network distance between two processors (0 on a flat
+// network).
+func (m *Machine) Hops(a, b int) int {
+	if m.hops == nil {
+		return 0
+	}
+	return m.hops(a, b)
+}
+
+// SetTracer installs a tracer; it must be called before Run. A nil tracer
+// (the default) disables tracing.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// New creates a machine with n processors and the given cost model.
+// It panics if n < 1 or the cost model is invalid, since a machine is
+// construction-time configuration, not runtime input.
+func New(n int, cost sim.CostModel) *Machine {
+	if n < 1 {
+		panic(fmt.Sprintf("machine: need at least 1 processor, got %d", n))
+	}
+	if err := cost.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{n: n, cost: cost, mail: make([]*mailbox, n*n)}
+	for i := range m.mail {
+		m.mail[i] = newMailbox()
+	}
+	return m
+}
+
+// NewMesh creates a machine whose cols*rows processors are arranged in a 2D
+// mesh (processor id i at column i%cols, row i/cols, like the Intel
+// Paragon): each message additionally pays cost.PerHop per Manhattan hop
+// between sender and receiver. With PerHop > 0, the physical placement of
+// processor subgroups matters — the implementation freedom Section 4 notes
+// ("the implementation is free to choose any such legal assignment" and
+// tries to minimize communication overheads).
+func NewMesh(cols, rows int, cost sim.CostModel) *Machine {
+	if cols < 1 || rows < 1 {
+		panic(fmt.Sprintf("machine: invalid mesh %dx%d", cols, rows))
+	}
+	m := New(cols*rows, cost)
+	m.hops = func(a, b int) int {
+		ax, ay := a%cols, a/cols
+		bx, by := b%cols, b/cols
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	return m
+}
+
+// N returns the number of processors.
+func (m *Machine) N() int { return m.n }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() sim.CostModel { return m.cost }
+
+// Proc is the per-processor handle available to SPMD code. It must only be
+// used from the goroutine the machine created it on.
+type Proc struct {
+	m     *Machine
+	id    int
+	clock float64
+	busy  float64
+	idle  float64
+	sent  int64
+	recvd int64
+	bytes int64
+}
+
+// ID returns the physical processor id in [0, N).
+func (p *Proc) ID() int { return p.id }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Now returns the processor's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.clock }
+
+// BusyTime returns accumulated compute (non-idle) virtual time.
+func (p *Proc) BusyTime() float64 { return p.busy }
+
+// IdleTime returns accumulated virtual time spent waiting for messages.
+func (p *Proc) IdleTime() float64 { return p.idle }
+
+// MsgsSent returns the number of messages this processor has sent.
+func (p *Proc) MsgsSent() int64 { return p.sent }
+
+// BytesSent returns the number of payload bytes this processor has sent.
+func (p *Proc) BytesSent() int64 { return p.bytes }
+
+// trace records an interval if the machine has a tracer installed.
+func (p *Proc) trace(kind EventKind, start, end float64) {
+	if p.m.tracer != nil && end > start {
+		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: start, End: end})
+	}
+}
+
+// Compute advances the clock by the time to execute flops floating point
+// operations.
+func (p *Proc) Compute(flops float64) {
+	t := p.m.cost.FlopTime(flops)
+	p.trace(EvCompute, p.clock, p.clock+t)
+	p.clock += t
+	p.busy += t
+}
+
+// Elapse advances the clock by an explicit number of virtual seconds,
+// counted as busy time. Applications use it for phases whose cost is modeled
+// rather than counted in flops (e.g. table lookups, I/O post-processing).
+func (p *Proc) Elapse(seconds float64) {
+	if seconds < 0 {
+		panic("machine: Elapse with negative duration")
+	}
+	p.trace(EvCompute, p.clock, p.clock+seconds)
+	p.clock += seconds
+	p.busy += seconds
+}
+
+// CopyBytes charges the local-memory copy cost for n bytes.
+func (p *Proc) CopyBytes(n int) {
+	t := p.m.cost.CopyTime(n)
+	p.trace(EvCompute, p.clock, p.clock+t)
+	p.clock += t
+	p.busy += t
+}
+
+// IO charges the cost of reading or writing n bytes through the I/O
+// subsystem to this processor's clock. Serialization of I/O is a property of
+// the program structure (the paper designates I/O processors), not of this
+// call.
+func (p *Proc) IO(n int) {
+	t := p.m.cost.IOTime(n)
+	p.trace(EvIO, p.clock, p.clock+t)
+	p.clock += t
+	p.busy += t
+}
+
+// Send deposits a message for dst. It never blocks; the sender is charged
+// only the injection overhead. bytes is the payload size for cost purposes.
+func (p *Proc) Send(dst int, data any, bytes int) {
+	if dst < 0 || dst >= p.m.n {
+		panic(fmt.Sprintf("machine: Send to invalid processor %d (machine has %d)", dst, p.m.n))
+	}
+	p.trace(EvSend, p.clock, p.clock+p.m.cost.SendOverhead)
+	p.clock += p.m.cost.SendOverhead
+	p.busy += p.m.cost.SendOverhead
+	wire := p.m.cost.WireTime(bytes)
+	if p.m.hops != nil {
+		wire += float64(p.m.hops(p.id, dst)) * p.m.cost.PerHop
+	}
+	msg := Message{
+		Src:      p.id,
+		Data:     data,
+		Bytes:    bytes,
+		ArriveAt: p.clock + wire,
+	}
+	p.m.mail[dst*p.m.n+p.id].put(msg)
+	p.sent++
+	p.bytes += int64(bytes)
+}
+
+// Recv blocks until the next message from src is available, advances the
+// clock to its arrival time, and returns it.
+func (p *Proc) Recv(src int) Message {
+	if src < 0 || src >= p.m.n {
+		panic(fmt.Sprintf("machine: Recv from invalid processor %d (machine has %d)", src, p.m.n))
+	}
+	msg := p.m.mail[p.id*p.m.n+src].get()
+	if msg.ArriveAt > p.clock {
+		p.trace(EvWait, p.clock, msg.ArriveAt)
+		p.idle += msg.ArriveAt - p.clock
+		p.clock = msg.ArriveAt
+	}
+	p.recvd++
+	return msg
+}
+
+// TryRecv receives a message from src if one has already been deposited.
+// Used by tests; SPMD programs use Recv.
+func (p *Proc) TryRecv(src int) (Message, bool) {
+	msg, ok := p.m.mail[p.id*p.m.n+src].tryGet()
+	if !ok {
+		return Message{}, false
+	}
+	if msg.ArriveAt > p.clock {
+		p.idle += msg.ArriveAt - p.clock
+		p.clock = msg.ArriveAt
+	}
+	p.recvd++
+	return msg, true
+}
+
+// ProcStats is the summary of one processor after a run.
+type ProcStats struct {
+	ID        int
+	Finish    float64 // final clock value
+	Busy      float64
+	Idle      float64
+	MsgsSent  int64
+	BytesSent int64
+}
+
+// RunStats summarizes a completed SPMD run.
+type RunStats struct {
+	Procs []ProcStats
+}
+
+// MakespanTime returns the maximum finishing virtual time over processors.
+func (s RunStats) MakespanTime() float64 {
+	max := 0.0
+	for _, p := range s.Procs {
+		if p.Finish > max {
+			max = p.Finish
+		}
+	}
+	return max
+}
+
+// TotalBusy returns the sum of busy times over processors.
+func (s RunStats) TotalBusy() float64 {
+	sum := 0.0
+	for _, p := range s.Procs {
+		sum += p.Busy
+	}
+	return sum
+}
+
+// Run executes fn as an SPMD program: one goroutine per processor, each
+// receiving its own Proc. It returns per-processor statistics after all
+// processors finish. A Machine may be Run only once; mailboxes must be empty
+// at exit (leftover messages indicate a protocol bug and cause a panic).
+func (m *Machine) Run(fn func(*Proc)) RunStats {
+	procs := make([]*Proc, m.n)
+	var wg sync.WaitGroup
+	panics := make([]any, m.n)
+	for i := 0; i < m.n; i++ {
+		procs[i] = &Proc{m: m, id: i}
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[p.id] = r
+				}
+			}()
+			fn(p)
+		}(procs[i])
+	}
+	wg.Wait()
+	for id, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("machine: processor %d panicked: %v", id, r))
+		}
+	}
+	for dst := 0; dst < m.n; dst++ {
+		for src := 0; src < m.n; src++ {
+			if q := m.mail[dst*m.n+src]; len(q.queue) != 0 {
+				panic(fmt.Sprintf("machine: %d unconsumed message(s) from %d to %d at program exit", len(q.queue), src, dst))
+			}
+		}
+	}
+	stats := RunStats{Procs: make([]ProcStats, m.n)}
+	for i, p := range procs {
+		stats.Procs[i] = ProcStats{
+			ID: i, Finish: p.clock, Busy: p.busy, Idle: p.idle,
+			MsgsSent: p.sent, BytesSent: p.bytes,
+		}
+	}
+	return stats
+}

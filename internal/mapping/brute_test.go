@@ -1,0 +1,152 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates every mapping in the optimizer's search space —
+// all module counts, and per module either the capped data-parallel mode or
+// every stage-processor split — and returns the latency-minimal feasible
+// choice, computed directly from the model definitions.
+func bruteForce(m Model, goal float64) (Choice, bool) {
+	best := Choice{PredLatency: math.Inf(1)}
+	nS := len(m.StageNames)
+	for r := 1; r <= m.P; r++ {
+		per := m.P / r
+		if per < 1 {
+			break
+		}
+		moduleGoal := goal / float64(r)
+
+		// Data-parallel module.
+		pdp := m.dpCap(per)
+		t := m.DPT[pdp]
+		if t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) && t < best.PredLatency {
+			best = Choice{Modules: r, StageProcs: []int{pdp}, PredLatency: t, PredThroughput: float64(r) / t}
+		}
+
+		// Every pipeline split.
+		if per < nS {
+			continue
+		}
+		var rec func(s, used int, procs []int)
+		rec = func(s, used int, procs []int) {
+			if s == nS {
+				lat := 0.0
+				period := 0.0
+				feasible := true
+				for i := 0; i < nS; i++ {
+					ti := m.StageT[i][procs[i]]
+					x := 0.0
+					if i > 0 {
+						x = m.Xfer(i-1, procs[i-1], procs[i])
+					}
+					lat += ti + x
+					if ti+x > period {
+						period = ti + x
+					}
+					if moduleGoal > 0 && ti+x > 1/moduleGoal {
+						feasible = false
+					}
+				}
+				if feasible && lat < best.PredLatency {
+					best = Choice{
+						Modules:        r,
+						StageProcs:     append([]int(nil), procs...),
+						PredLatency:    lat,
+						PredThroughput: float64(r) / period,
+					}
+				}
+				return
+			}
+			capS := m.cap(s, per)
+			for q := 1; q <= capS && used+q <= per-(nS-1-s); q++ {
+				procs[s] = q
+				rec(s+1, used+q, procs)
+			}
+		}
+		rec(0, 0, make([]int, nS))
+	}
+	if math.IsInf(best.PredLatency, 1) {
+		return Choice{}, false
+	}
+	return best, true
+}
+
+// TestOptimizeMatchesBruteForce checks the DP against exhaustive enumeration
+// on randomized small models.
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	f := func(pSeed uint8, b0, b1, b2, f0 uint8, goalSeed uint8) bool {
+		p := int(pSeed)%8 + 3 // 3..10 processors
+		base := [3]float64{
+			float64(b0%50)/100 + 0.05,
+			float64(b1%50)/100 + 0.05,
+			float64(b2%50)/100 + 0.05,
+		}
+		fixed := [3]float64{float64(f0%20) / 1000, 0.005, 0.002}
+		m := syntheticModel(p, base, fixed, 0.003)
+		goal := float64(goalSeed%40) / 10 // 0..3.9
+		opt, errOpt := Optimize(m, goal)
+		brute, okBrute := bruteForce(m, goal)
+		if (errOpt == nil) != okBrute {
+			t.Logf("feasibility disagrees: opt err=%v brute ok=%v (goal %g)", errOpt, okBrute, goal)
+			return false
+		}
+		if errOpt != nil {
+			return true
+		}
+		if math.Abs(opt.PredLatency-brute.PredLatency) > 1e-9 {
+			t.Logf("latency: opt %v (%.6f) vs brute %v (%.6f), goal %g",
+				opt, opt.PredLatency, brute, brute.PredLatency, goal)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizeNeverExceedsMachine checks the processor budget invariant.
+func TestOptimizeNeverExceedsMachine(t *testing.T) {
+	f := func(pSeed, goalSeed uint8) bool {
+		p := int(pSeed)%14 + 3
+		m := syntheticModel(p, [3]float64{0.4, 0.8, 0.2}, [3]float64{0.02, 0.01, 0}, 0.004)
+		goal := float64(goalSeed%30) / 8
+		c, err := Optimize(m, goal)
+		if err != nil {
+			return true
+		}
+		return c.UsesProcs() <= p && c.PredThroughput+1e-12 >= goal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostModelChangesDecision: the optimizer must respond to the machine
+// model — with near-free communication, pipelines lose their appeal against
+// wider data parallelism.
+func TestCostModelChangesDecision(t *testing.T) {
+	// Expensive transfers: DP avoids inter-stage hops.
+	expensive := syntheticModel(8, [3]float64{1, 1, 1}, [3]float64{}, 0.5)
+	c1, err := Optimize(expensive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.StageProcs) != 1 {
+		t.Errorf("with 0.5s transfers the latency optimum should be DP, got %v", c1)
+	}
+	// A throughput goal that DP cannot meet forces replication even at high
+	// transfer cost.
+	dpThr := 1 / expensive.DPT[8]
+	c2, err := Optimize(expensive, 1.5*dpThr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Modules < 2 && len(c2.StageProcs) == 1 {
+		t.Errorf("goal above DP max should not yield single DP: %v", c2)
+	}
+}

@@ -1,0 +1,298 @@
+// Package mapping implements the automatic mapping machinery the paper uses
+// to derive Figure 5 and the "Best Task-Data Parallel" column of Table 1:
+// the Subhlok–Vondran algorithm for latency-optimal mapping of a sequence of
+// data parallel tasks subject to a throughput constraint (refs [21, 22] of
+// the paper), extended with a replication-factor search (Section 3.3).
+//
+// The mapper works on a Model: per-stage execution time tables t(s, p)
+// (seconds per data set for stage s on p processors), a whole-program
+// data-parallel time table, per-stage parallelism caps, and a transfer cost
+// function between adjacent stages. Applications build Models from the same
+// cost constants the simulator charges, and the chosen mapping is then
+// validated by actually simulating it — predictions select, simulation
+// reports.
+package mapping
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model describes one streaming application to the mapper.
+type Model struct {
+	// P is the machine size.
+	P int
+	// StageNames label the pipeline stages (len = number of stages).
+	StageNames []string
+	// StageT[s][p] is the per-set time of stage s on p processors, for
+	// p in 1..P (index 0 unused).
+	StageT [][]float64
+	// DPT[p] is the per-set time of the whole program run data-parallel on
+	// p processors (index 0 unused).
+	DPT []float64
+	// Caps[s] limits the processors usable by stage s (0 = no cap). The
+	// whole-program data-parallel mode is capped by the smallest cap.
+	Caps []int
+	// Xfer(s, a, b) is the per-set transfer time between stage s on a
+	// processors and stage s+1 on b processors.
+	Xfer func(s, a, b int) float64
+}
+
+// Validate checks internal consistency.
+func (m Model) Validate() error {
+	s := len(m.StageNames)
+	if s == 0 {
+		return fmt.Errorf("mapping: no stages")
+	}
+	if len(m.StageT) != s {
+		return fmt.Errorf("mapping: %d stage tables for %d stages", len(m.StageT), s)
+	}
+	for i, tab := range m.StageT {
+		if len(tab) != m.P+1 {
+			return fmt.Errorf("mapping: stage %d table has %d entries, want %d", i, len(tab), m.P+1)
+		}
+	}
+	if len(m.DPT) != m.P+1 {
+		return fmt.Errorf("mapping: DP table has %d entries, want %d", len(m.DPT), m.P+1)
+	}
+	if len(m.Caps) != s {
+		return fmt.Errorf("mapping: %d caps for %d stages", len(m.Caps), s)
+	}
+	if m.Xfer == nil {
+		return fmt.Errorf("mapping: nil Xfer")
+	}
+	return nil
+}
+
+func (m Model) cap(s, p int) int {
+	c := m.Caps[s]
+	if c == 0 || c > p {
+		return p
+	}
+	return c
+}
+
+func (m Model) dpCap(p int) int {
+	c := p
+	for s := range m.Caps {
+		if m.Caps[s] != 0 && m.Caps[s] < c {
+			c = m.Caps[s]
+		}
+	}
+	return c
+}
+
+// Choice is a selected mapping.
+type Choice struct {
+	// Modules is the replication factor.
+	Modules int
+	// StageProcs is processors per stage within one module; a single entry
+	// means the module runs data-parallel.
+	StageProcs []int
+	// PredLatency is the model-predicted per-set latency.
+	PredLatency float64
+	// PredThroughput is the model-predicted steady-state throughput
+	// (modules / bottleneck period).
+	PredThroughput float64
+}
+
+// UsesProcs returns the total processors the choice occupies.
+func (c Choice) UsesProcs() int {
+	per := 0
+	for _, p := range c.StageProcs {
+		per += p
+	}
+	return per * c.Modules
+}
+
+func (c Choice) String() string {
+	if len(c.StageProcs) == 1 {
+		if c.Modules == 1 {
+			return fmt.Sprintf("data-parallel(%d)", c.StageProcs[0])
+		}
+		return fmt.Sprintf("%d x data-parallel(%d)", c.Modules, c.StageProcs[0])
+	}
+	if c.Modules == 1 {
+		return fmt.Sprintf("pipeline%v", c.StageProcs)
+	}
+	return fmt.Sprintf("%d x pipeline%v", c.Modules, c.StageProcs)
+}
+
+// Optimize returns the latency-minimal mapping whose predicted throughput is
+// at least goal (data sets per second). goal = 0 optimizes latency alone.
+// It returns an error when no mapping meets the goal.
+func Optimize(m Model, goal float64) (Choice, error) {
+	return optimize(m, goal, m.P, true)
+}
+
+// OptimizePipeline returns the latency-minimal *single-module pipeline*
+// meeting the goal — the mapping family of Figure 5's middle diagram — for
+// comparison against the replication-enabled optimum.
+func OptimizePipeline(m Model, goal float64) (Choice, error) {
+	if err := m.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if len(m.StageNames) < 2 || m.P < len(m.StageNames) {
+		return Choice{}, fmt.Errorf("mapping: no pipeline possible with %d stages on %d processors", len(m.StageNames), m.P)
+	}
+	c, ok := m.pipelineDP(m.P, goal)
+	if !ok {
+		return Choice{}, fmt.Errorf("mapping: no pipeline on %d processors reaches throughput %.3f", m.P, goal)
+	}
+	return c, nil
+}
+
+func optimize(m Model, goal float64, maxModules int, allowDP bool) (Choice, error) {
+	if err := m.Validate(); err != nil {
+		return Choice{}, err
+	}
+	best := Choice{PredLatency: math.Inf(1)}
+	for r := 1; r <= maxModules; r++ {
+		per := m.P / r
+		if per < 1 {
+			break
+		}
+		// Per-module goal: the r modules share the stream round-robin.
+		moduleGoal := goal / float64(r)
+
+		// Candidate 1: data-parallel module.
+		pdp := m.dpCap(per)
+		t := m.DPT[pdp]
+		if allowDP && t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) {
+			c := Choice{
+				Modules: r, StageProcs: []int{pdp},
+				PredLatency:    t,
+				PredThroughput: float64(r) / t,
+			}
+			if c.PredLatency < best.PredLatency {
+				best = c
+			}
+		}
+
+		// Candidate 2: pipeline module via the DP.
+		if len(m.StageNames) > 1 && per >= len(m.StageNames) {
+			if c, ok := m.pipelineDP(per, moduleGoal); ok {
+				c.Modules = r
+				c.PredThroughput *= float64(r)
+				if c.PredLatency < best.PredLatency {
+					best = c
+				}
+			}
+		}
+	}
+	if math.IsInf(best.PredLatency, 1) {
+		return Choice{}, fmt.Errorf("mapping: no mapping on %d processors reaches throughput %.3f", m.P, goal)
+	}
+	return best, nil
+}
+
+// pipelineDP finds the latency-minimal stage assignment on at most q
+// processors with per-stage period <= 1/goal (goal 0 = unconstrained).
+// State: f[s][u][p] = min latency of stages 0..s using u processors total
+// with stage s on p processors.
+func (m Model) pipelineDP(q int, goal float64) (Choice, bool) {
+	nS := len(m.StageNames)
+	limit := math.Inf(1)
+	if goal > 0 {
+		limit = 1 / goal
+	}
+	const inf = math.MaxFloat64
+	// f[u][p] for current stage; iterate stages.
+	f := make([][]float64, q+1)
+	for u := range f {
+		f[u] = make([]float64, q+1)
+		for p := range f[u] {
+			f[u][p] = inf
+		}
+	}
+	// choice[s][u][p] = processors of stage s-1 in the best path.
+	choice := make([][][]int16, nS)
+	for s := range choice {
+		choice[s] = make([][]int16, q+1)
+		for u := range choice[s] {
+			choice[s][u] = make([]int16, q+1)
+			for p := range choice[s][u] {
+				choice[s][u][p] = -1
+			}
+		}
+	}
+	cap0 := m.cap(0, q)
+	for p := 1; p <= cap0; p++ {
+		t := m.StageT[0][p]
+		if t <= limit {
+			f[p][p] = t
+			choice[0][p][p] = 0
+		}
+	}
+	for s := 1; s < nS; s++ {
+		nf := make([][]float64, q+1)
+		for u := range nf {
+			nf[u] = make([]float64, q+1)
+			for p := range nf[u] {
+				nf[u][p] = inf
+			}
+		}
+		capS := m.cap(s, q)
+		for u := s; u <= q; u++ { // procs used by stages 0..s-1
+			for pp := 1; pp <= u; pp++ {
+				prev := f[u][pp]
+				if prev >= inf {
+					continue
+				}
+				for p := 1; p <= capS && u+p <= q; p++ {
+					x := m.Xfer(s-1, pp, p)
+					t := m.StageT[s][p]
+					// The stage's period includes its inbound transfer.
+					if t+x > limit {
+						continue
+					}
+					cand := prev + x + t
+					if cand < nf[u+p][p] {
+						nf[u+p][p] = cand
+						choice[s][u+p][p] = int16(pp)
+					}
+				}
+			}
+		}
+		f = nf
+	}
+	bestLat := inf
+	bestU, bestP := -1, -1
+	for u := nS; u <= q; u++ {
+		for p := 1; p <= u; p++ {
+			if f[u][p] < bestLat {
+				bestLat = f[u][p]
+				bestU, bestP = u, p
+			}
+		}
+	}
+	if bestU < 0 {
+		return Choice{}, false
+	}
+	// Reconstruct stage processor counts.
+	procs := make([]int, nS)
+	u, p := bestU, bestP
+	for s := nS - 1; s >= 0; s-- {
+		procs[s] = p
+		pp := int(choice[s][u][p])
+		u -= p
+		p = pp
+	}
+	// Predicted throughput: 1 / max stage period.
+	period := 0.0
+	for s := 0; s < nS; s++ {
+		t := m.StageT[s][procs[s]]
+		if s > 0 {
+			t += m.Xfer(s-1, procs[s-1], procs[s])
+		}
+		if t > period {
+			period = t
+		}
+	}
+	return Choice{
+		Modules:        1,
+		StageProcs:     procs,
+		PredLatency:    bestLat,
+		PredThroughput: 1 / period,
+	}, true
+}

@@ -1,0 +1,190 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticModel builds a simple 3-stage model: stage s costs base[s]/p + fixed[s]
+// seconds on p processors; transfers cost xfer seconds flat.
+func syntheticModel(p int, base, fixed [3]float64, xfer float64) Model {
+	m := Model{
+		P:          p,
+		StageNames: []string{"s0", "s1", "s2"},
+		StageT:     make([][]float64, 3),
+		DPT:        make([]float64, p+1),
+		Caps:       []int{0, 0, 0},
+		Xfer:       func(s, a, b int) float64 { return xfer },
+	}
+	for s := 0; s < 3; s++ {
+		m.StageT[s] = make([]float64, p+1)
+		for q := 1; q <= p; q++ {
+			m.StageT[s][q] = base[s]/float64(q) + fixed[s]
+		}
+	}
+	for q := 1; q <= p; q++ {
+		m.DPT[q] = m.StageT[0][q] + m.StageT[1][q] + m.StageT[2][q] + 2*xfer
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	m := syntheticModel(8, [3]float64{1, 1, 1}, [3]float64{}, 0.01)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.StageT = bad.StageT[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("truncated stage table accepted")
+	}
+	bad2 := m
+	bad2.Xfer = nil
+	if err := bad2.Validate(); err == nil {
+		t.Error("nil Xfer accepted")
+	}
+}
+
+func TestLatencyOnlyPicksDataParallel(t *testing.T) {
+	// With perfectly scalable stages and nonzero transfer costs, using all
+	// processors for every stage minimizes latency.
+	m := syntheticModel(16, [3]float64{1, 1, 1}, [3]float64{}, 0.01)
+	c, err := Optimize(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.StageProcs) != 1 || c.Modules != 1 || c.StageProcs[0] != 16 {
+		t.Errorf("latency-only choice = %v, want data-parallel(16)", c)
+	}
+}
+
+func TestThroughputGoalForcesPipelineOrReplication(t *testing.T) {
+	// Large fixed per-stage costs make data parallelism stop scaling:
+	// DP time ~ 3*fixed regardless of p, so a throughput goal above
+	// 1/(3*fixed) requires pipelining (period ~ fixed).
+	m := syntheticModel(16, [3]float64{0.1, 0.1, 0.1}, [3]float64{0.1, 0.1, 0.1}, 0.001)
+	dpT := m.DPT[16]
+	goal := 1.5 / dpT
+	c, err := Optimize(m, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Modules == 1 && len(c.StageProcs) == 1 {
+		t.Errorf("goal %.2f (DP max %.2f): still chose %v", goal, 1/dpT, c)
+	}
+	if c.PredThroughput < goal {
+		t.Errorf("choice %v predicted throughput %.3f < goal %.3f", c, c.PredThroughput, goal)
+	}
+}
+
+func TestHigherGoalNeedsMoreReplication(t *testing.T) {
+	// Serial input: stage 0 has a large fixed cost; only replication can
+	// push throughput past 1/fixed0.
+	m := syntheticModel(16, [3]float64{0.05, 0.05, 0.05}, [3]float64{0.2, 0, 0}, 0.001)
+	// One module can never beat 1/0.2 = 5 sets/s.
+	c, err := Optimize(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Modules < 2 {
+		t.Errorf("goal 8 with 5/s serial cap chose %v (modules=%d)", c, c.Modules)
+	}
+	if c.PredThroughput < 8 {
+		t.Errorf("predicted %.2f < 8", c.PredThroughput)
+	}
+}
+
+func TestInfeasibleGoal(t *testing.T) {
+	m := syntheticModel(4, [3]float64{1, 1, 1}, [3]float64{0.5, 0.5, 0.5}, 0.01)
+	if _, err := Optimize(m, 1e9); err == nil {
+		t.Error("absurd goal accepted")
+	}
+}
+
+func TestLatencyMonotoneInGoal(t *testing.T) {
+	// Tightening the throughput constraint can only increase optimal latency.
+	m := syntheticModel(32, [3]float64{0.3, 0.5, 0.2}, [3]float64{0.02, 0.01, 0.01}, 0.005)
+	prev := 0.0
+	for _, goal := range []float64{0, 1, 2, 5, 10, 20} {
+		c, err := Optimize(m, goal)
+		if err != nil {
+			break
+		}
+		if c.PredLatency+1e-12 < prev {
+			t.Errorf("goal %g: latency %.4f < previous %.4f", goal, c.PredLatency, prev)
+		}
+		prev = c.PredLatency
+	}
+}
+
+func TestCapsRespected(t *testing.T) {
+	m := syntheticModel(16, [3]float64{1, 1, 1}, [3]float64{}, 0.001)
+	m.Caps = []int{4, 4, 4}
+	c, err := Optimize(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.StageProcs {
+		if p > 4 {
+			t.Errorf("choice %v exceeds cap 4", c)
+		}
+	}
+	// DP mode must also respect the smallest cap.
+	if len(c.StageProcs) == 1 && c.StageProcs[0] > 4 {
+		t.Errorf("DP choice %v exceeds cap", c)
+	}
+}
+
+func TestPipelineDPBalances(t *testing.T) {
+	// Stage 1 is 4x the work of stages 0 and 2; under a tight throughput
+	// goal the DP must give it more processors.
+	m := syntheticModel(12, [3]float64{1, 4, 1}, [3]float64{0.01, 0.01, 0.01}, 0.001)
+	c, err := Optimize(m, 1.95) // just above what any data-parallel variant reaches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.StageProcs) != 3 {
+		t.Fatalf("goal 1.95 should force a pipeline, got %v", c)
+	}
+	if c.StageProcs[1] <= c.StageProcs[0] || c.StageProcs[1] <= c.StageProcs[2] {
+		t.Errorf("heavy stage not favored: %v", c)
+	}
+}
+
+func TestUsesProcs(t *testing.T) {
+	c := Choice{Modules: 2, StageProcs: []int{3, 4, 1}}
+	if c.UsesProcs() != 16 {
+		t.Errorf("UsesProcs = %d", c.UsesProcs())
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	cases := []struct {
+		c    Choice
+		want string
+	}{
+		{Choice{Modules: 1, StageProcs: []int{8}}, "data-parallel(8)"},
+		{Choice{Modules: 2, StageProcs: []int{8}}, "2 x data-parallel(8)"},
+		{Choice{Modules: 1, StageProcs: []int{1, 2, 3}}, "pipeline[1 2 3]"},
+		{Choice{Modules: 2, StageProcs: []int{1, 2, 3}}, "2 x pipeline[1 2 3]"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPredictionFinite(t *testing.T) {
+	m := syntheticModel(8, [3]float64{1, 2, 1}, [3]float64{0.05, 0, 0}, 0.01)
+	c, err := Optimize(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(c.PredLatency, 0) || math.IsNaN(c.PredLatency) {
+		t.Errorf("latency = %v", c.PredLatency)
+	}
+	if c.PredThroughput <= 0 {
+		t.Errorf("throughput = %v", c.PredThroughput)
+	}
+}

@@ -1,0 +1,36 @@
+package par
+
+import (
+	"fxpar/internal/comm"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// ForCyclic runs body(i) for the calling processor's share of [0, n) dealt
+// round-robin over g — the cyclic schedule HPF's INDEPENDENT loops use when
+// iteration costs vary systematically with the index (block scheduling
+// would then load-imbalance).
+func ForCyclic(p *machine.Proc, g *group.Group, n int, body func(i int)) {
+	r, ok := g.RankOf(p.ID())
+	if !ok {
+		return
+	}
+	for i := r; i < n; i += g.Size() {
+		body(i)
+	}
+}
+
+// DoMergeCyclic is DoMerge with a cyclic iteration schedule.
+func DoMergeCyclic[T any](p *machine.Proc, g *group.Group, n int, init T,
+	body func(acc T, i int) T, op func(a, b T) T) T {
+	r, ok := g.RankOf(p.ID())
+	if !ok {
+		var zero T
+		return zero
+	}
+	acc := init
+	for i := r; i < n; i += g.Size() {
+		acc = body(acc, i)
+	}
+	return comm.AllReduce(p, g, acc, op)
+}

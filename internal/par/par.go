@@ -1,0 +1,108 @@
+// Package par implements Fx's loop-level data parallelism: block-partitioned
+// parallel loops and do&merge-style reductions over the current processor
+// group (Yang et al., "Do&merge: Integrating parallel loops and
+// reductions"). These are thin but faithful: iterations are divided among
+// the group, each processor runs its share, and per-processor partial
+// results are merged with a user-supplied associative operation.
+package par
+
+import (
+	"fxpar/internal/comm"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// Range returns the block-partitioned iteration range [lo, hi) of processor
+// rank r among size processors for a global range of n iterations. Ranges
+// partition [0, n) and differ in length by at most one.
+func Range(n, size, r int) (lo, hi int) {
+	base := n / size
+	extra := n % size
+	lo = r*base + min(r, extra)
+	hi = lo + base
+	if r < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// For runs body(i) for the calling processor's share of the global
+// iteration space [0, n), block-partitioned over g. It does not synchronize;
+// follow with a barrier or a merge if the loop carries a dependence out.
+func For(p *machine.Proc, g *group.Group, n int, body func(i int)) {
+	r, ok := g.RankOf(p.ID())
+	if !ok {
+		return
+	}
+	lo, hi := Range(n, g.Size(), r)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+}
+
+// DoMerge runs body over this processor's share of [0, n) accumulating into
+// a value of type T seeded with init, then merges the per-processor partial
+// values across g with the associative op, returning the merged result on
+// every member (zero value on non-members).
+func DoMerge[T any](p *machine.Proc, g *group.Group, n int, init T,
+	body func(acc T, i int) T, op func(a, b T) T) T {
+	r, ok := g.RankOf(p.ID())
+	if !ok {
+		var zero T
+		return zero
+	}
+	lo, hi := Range(n, g.Size(), r)
+	acc := init
+	for i := lo; i < hi; i++ {
+		acc = body(acc, i)
+	}
+	return comm.AllReduce(p, g, acc, op)
+}
+
+// SumFloat64 is DoMerge specialized to summation of float64 contributions.
+func SumFloat64(p *machine.Proc, g *group.Group, n int, f func(i int) float64) float64 {
+	return DoMerge(p, g, n, 0,
+		func(acc float64, i int) float64 { return acc + f(i) },
+		func(a, b float64) float64 { return a + b })
+}
+
+// MinIndex finds the global (value, index) minimum of f over [0, n), with
+// ties broken toward the lower index. Every member gets the result.
+func MinIndex(p *machine.Proc, g *group.Group, n int, f func(i int) float64) (float64, int) {
+	type vi struct {
+		V float64
+		I int
+	}
+	r, ok := g.RankOf(p.ID())
+	if !ok {
+		return 0, -1
+	}
+	lo, hi := Range(n, g.Size(), r)
+	best := vi{V: 0, I: -1}
+	for i := lo; i < hi; i++ {
+		v := f(i)
+		if best.I < 0 || v < best.V || (v == best.V && i < best.I) {
+			best = vi{V: v, I: i}
+		}
+	}
+	merged := comm.AllReduce(p, g, best, func(a, b vi) vi {
+		switch {
+		case a.I < 0:
+			return b
+		case b.I < 0:
+			return a
+		case b.V < a.V, b.V == a.V && b.I < a.I:
+			return b
+		default:
+			return a
+		}
+	})
+	return merged.V, merged.I
+}

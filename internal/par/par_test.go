@@ -1,0 +1,205 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func testMachine(n int) *machine.Machine {
+	return machine.New(n, sim.CostModel{
+		FlopRate: 1e6, Alpha: 1e-4, Beta: 1e-7, SendOverhead: 1e-5, IORate: 1e6,
+	})
+}
+
+func TestRangePartitions(t *testing.T) {
+	f := func(nSeed, pSeed uint8) bool {
+		n := int(nSeed)
+		size := int(pSeed)%16 + 1
+		covered := 0
+		prevHi := 0
+		for r := 0; r < size; r++ {
+			lo, hi := Range(n, size, r)
+			if lo != prevHi {
+				return false // gaps or overlaps
+			}
+			if hi-lo < 0 || hi-lo > n/size+1 {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeBalance(t *testing.T) {
+	lo0, hi0 := Range(10, 3, 0)
+	lo1, hi1 := Range(10, 3, 1)
+	lo2, hi2 := Range(10, 3, 2)
+	if hi0-lo0 != 4 || hi1-lo1 != 3 || hi2-lo2 != 3 {
+		t.Errorf("ranges: [%d,%d) [%d,%d) [%d,%d)", lo0, hi0, lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestForCoversAllIterations(t *testing.T) {
+	n := 4
+	m := testMachine(n)
+	hits := make([]int, 103)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		For(p, g, len(hits), func(i int) {
+			<-mu
+			hits[i]++
+			mu <- struct{}{}
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForNonMemberSkips(t *testing.T) {
+	m := testMachine(3)
+	stats := m.Run(func(p *machine.Proc) {
+		sub := group.MustNew([]int{0, 1})
+		For(p, sub, 10, func(i int) { p.Compute(1000) })
+	})
+	if stats.Procs[2].Finish != 0 {
+		t.Errorf("non-member advanced its clock: %g", stats.Procs[2].Finish)
+	}
+}
+
+func TestDoMergeSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		m := testMachine(n)
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			got := DoMerge(p, g, 100, 0,
+				func(acc, i int) int { return acc + i },
+				func(a, b int) int { return a + b })
+			if got != 4950 {
+				t.Errorf("n=%d: sum = %d", n, got)
+			}
+		})
+	}
+}
+
+func TestSumFloat64(t *testing.T) {
+	n := 4
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		got := SumFloat64(p, g, 10, func(i int) float64 { return float64(i) * 0.5 })
+		if got != 22.5 {
+			t.Errorf("sum = %g", got)
+		}
+	})
+}
+
+func TestMinIndex(t *testing.T) {
+	n := 4
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		v, i := MinIndex(p, g, 50, func(i int) float64 {
+			return float64((i - 33) * (i - 33))
+		})
+		if i != 33 || v != 0 {
+			t.Errorf("min = %g at %d, want 0 at 33", v, i)
+		}
+	})
+}
+
+func TestMinIndexTieBreaksLow(t *testing.T) {
+	n := 3
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		_, i := MinIndex(p, g, 30, func(i int) float64 { return 7 })
+		if i != 0 {
+			t.Errorf("tie broken to %d, want 0", i)
+		}
+	})
+}
+
+func TestDoMergeNonMember(t *testing.T) {
+	m := testMachine(3)
+	m.Run(func(p *machine.Proc) {
+		sub := group.MustNew([]int{0, 1})
+		got := DoMerge(p, sub, 10, 0,
+			func(acc, i int) int { return acc + 1 },
+			func(a, b int) int { return a + b })
+		if p.ID() == 2 && got != 0 {
+			t.Errorf("non-member got %d", got)
+		}
+		if p.ID() != 2 && got != 10 {
+			t.Errorf("member got %d", got)
+		}
+	})
+}
+
+func TestForCyclicCoversAll(t *testing.T) {
+	n := 3
+	m := testMachine(n)
+	hits := make([]int, 50)
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{}
+	owner := make([]int, 50)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		ForCyclic(p, g, len(hits), func(i int) {
+			<-gate
+			hits[i]++
+			owner[i] = p.ID()
+			gate <- struct{}{}
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("iteration %d ran %d times", i, h)
+		}
+		if owner[i] != i%n {
+			t.Errorf("iteration %d ran on proc %d, want %d (cyclic)", i, owner[i], i%n)
+		}
+	}
+}
+
+func TestForCyclicNonMember(t *testing.T) {
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		sub := group.MustNew([]int{0})
+		ran := 0
+		ForCyclic(p, sub, 10, func(int) { ran++ })
+		if p.ID() == 1 && ran != 0 {
+			t.Errorf("non-member ran %d iterations", ran)
+		}
+	})
+}
+
+func TestDoMergeCyclicMatchesBlock(t *testing.T) {
+	n := 4
+	m := testMachine(n)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(n)
+		blk := DoMerge(p, g, 100, 0,
+			func(acc, i int) int { return acc + i*i },
+			func(a, b int) int { return a + b })
+		cyc := DoMergeCyclic(p, g, 100, 0,
+			func(acc, i int) int { return acc + i*i },
+			func(a, b int) int { return a + b })
+		if blk != cyc {
+			t.Errorf("block %d != cyclic %d", blk, cyc)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParagonValid(t *testing.T) {
+	if err := Paragon().Validate(); err != nil {
+		t.Fatalf("Paragon preset invalid: %v", err)
+	}
+	if err := Workstation().Validate(); err != nil {
+		t.Fatalf("Workstation preset invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	c := Paragon()
+	c.FlopRate = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero FlopRate accepted")
+	}
+	c = Paragon()
+	c.Alpha = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative Alpha accepted")
+	}
+	c = Paragon()
+	c.Beta = -1e-9
+	if err := c.Validate(); err == nil {
+		t.Error("negative Beta accepted")
+	}
+}
+
+func TestFlopTime(t *testing.T) {
+	c := CostModel{FlopRate: 1e6}
+	if got := c.FlopTime(1e6); got != 1.0 {
+		t.Errorf("FlopTime(1e6) = %g, want 1", got)
+	}
+	if got := c.FlopTime(0); got != 0 {
+		t.Errorf("FlopTime(0) = %g, want 0", got)
+	}
+	if got := c.FlopTime(-5); got != 0 {
+		t.Errorf("FlopTime(-5) = %g, want 0", got)
+	}
+}
+
+func TestWireTimeComponents(t *testing.T) {
+	c := CostModel{Alpha: 1e-4, Beta: 1e-8}
+	if got := c.WireTime(0); got != 1e-4 {
+		t.Errorf("WireTime(0) = %g, want alpha", got)
+	}
+	want := 1e-4 + 1000*1e-8
+	if got := c.WireTime(1000); math.Abs(got-want) > 1e-15 {
+		t.Errorf("WireTime(1000) = %g, want %g", got, want)
+	}
+}
+
+func TestWireTimeMonotonic(t *testing.T) {
+	c := Paragon()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.WireTime(x) <= c.WireTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrierTime(t *testing.T) {
+	c := CostModel{BarrierAlpha: 1e-5}
+	if got := c.BarrierTime(1); got != 0 {
+		t.Errorf("BarrierTime(1) = %g, want 0", got)
+	}
+	if got := c.BarrierTime(2); got != 1e-5 {
+		t.Errorf("BarrierTime(2) = %g, want 1 round", got)
+	}
+	if got := c.BarrierTime(64); math.Abs(got-6e-5) > 1e-18 {
+		t.Errorf("BarrierTime(64) = %g, want 6 rounds", got)
+	}
+	if got := c.BarrierTime(65); math.Abs(got-7e-5) > 1e-18 {
+		t.Errorf("BarrierTime(65) = %g, want 7 rounds", got)
+	}
+}
+
+func TestIOTime(t *testing.T) {
+	c := CostModel{IORate: 1e6}
+	if got := c.IOTime(2e6); got != 2.0 {
+		t.Errorf("IOTime = %g, want 2", got)
+	}
+	c.IORate = 0
+	if got := c.IOTime(100); got != 0 {
+		t.Errorf("IOTime with zero rate = %g, want 0", got)
+	}
+}
+
+func TestCopyTime(t *testing.T) {
+	c := CostModel{MemByte: 1e-9}
+	if got := c.CopyTime(1000); math.Abs(got-1e-6) > 1e-18 {
+		t.Errorf("CopyTime = %g, want 1e-6", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats meters streams of data sets flowing through a task-parallel
+// program in virtual time, producing the two performance criteria of
+// Section 5.1: throughput (data sets per second) and latency (seconds per
+// data set).
+//
+// Recording is host-thread-safe (different simulated processors record
+// concurrently), and the recorded values are virtual times, so the derived
+// metrics are deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Stream records the injection and completion virtual times of each data
+// set in a stream.
+type Stream struct {
+	mu       sync.Mutex
+	inject   map[int]float64
+	complete map[int]float64
+}
+
+// NewStream returns an empty stream meter.
+func NewStream() *Stream {
+	return &Stream{inject: make(map[int]float64), complete: make(map[int]float64)}
+}
+
+// Inject records that data set i entered the system at virtual time t.
+// Recording the same set twice keeps the earlier time (several processors
+// of the first stage may record the same set).
+func (s *Stream) Inject(i int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.inject[i]; !ok || t < old {
+		s.inject[i] = t
+	}
+}
+
+// Complete records that data set i left the system at virtual time t.
+// Recording the same set twice keeps the later time.
+func (s *Stream) Complete(i int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.complete[i]; !ok || t > old {
+		s.complete[i] = t
+	}
+}
+
+// Count returns the number of completed data sets.
+func (s *Stream) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.complete)
+}
+
+// Result summarizes a metered stream.
+type Result struct {
+	// Sets is the number of completed data sets.
+	Sets int
+	// Throughput is the steady-state rate in data sets per virtual second:
+	// (n-1) / (last completion - first completion) for n > 1.
+	Throughput float64
+	// Latency is the mean completion-minus-injection time.
+	Latency float64
+	// MaxLatency is the worst per-set latency.
+	MaxLatency float64
+}
+
+// Summarize computes the stream's Result. It panics if a completed set was
+// never injected (a metering bug) and returns a zero Result for an empty
+// stream.
+func (s *Stream) Summarize() Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.complete)
+	if n == 0 {
+		return Result{}
+	}
+	var firstC, lastC float64
+	firstC = math.Inf(1)
+	var sumLat, maxLat float64
+	for i, c := range s.complete {
+		inj, ok := s.inject[i]
+		if !ok {
+			panic(fmt.Sprintf("stats: data set %d completed but never injected", i))
+		}
+		lat := c - inj
+		if lat < 0 {
+			panic(fmt.Sprintf("stats: data set %d completed at %g before injection at %g", i, c, inj))
+		}
+		sumLat += lat
+		if lat > maxLat {
+			maxLat = lat
+		}
+		if c < firstC {
+			firstC = c
+		}
+		if c > lastC {
+			lastC = c
+		}
+	}
+	r := Result{Sets: n, Latency: sumLat / float64(n), MaxLatency: maxLat}
+	if n > 1 && lastC > firstC {
+		r.Throughput = float64(n-1) / (lastC - firstC)
+	} else if r.Latency > 0 {
+		r.Throughput = 1 / r.Latency
+	}
+	return r
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d sets, %.3f sets/s, latency %.4f s (max %.4f s)",
+		r.Sets, r.Throughput, r.Latency, r.MaxLatency)
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmptyStream(t *testing.T) {
+	s := NewStream()
+	r := s.Summarize()
+	if r.Sets != 0 || r.Throughput != 0 || r.Latency != 0 {
+		t.Errorf("empty stream summary = %+v", r)
+	}
+}
+
+func TestSingleSet(t *testing.T) {
+	s := NewStream()
+	s.Inject(0, 1.0)
+	s.Complete(0, 1.5)
+	r := s.Summarize()
+	if r.Sets != 1 {
+		t.Errorf("sets = %d", r.Sets)
+	}
+	if math.Abs(r.Latency-0.5) > 1e-12 {
+		t.Errorf("latency = %g", r.Latency)
+	}
+	if math.Abs(r.Throughput-2.0) > 1e-12 {
+		t.Errorf("throughput = %g (1/latency expected)", r.Throughput)
+	}
+}
+
+func TestSteadyStateThroughput(t *testing.T) {
+	s := NewStream()
+	// Sets complete every 0.1s; latency is 0.3s each.
+	for i := 0; i < 10; i++ {
+		inj := float64(i) * 0.1
+		s.Inject(i, inj)
+		s.Complete(i, inj+0.3)
+	}
+	r := s.Summarize()
+	if math.Abs(r.Throughput-10.0) > 1e-9 {
+		t.Errorf("throughput = %g, want 10", r.Throughput)
+	}
+	if math.Abs(r.Latency-0.3) > 1e-12 {
+		t.Errorf("latency = %g, want 0.3", r.Latency)
+	}
+	if math.Abs(r.MaxLatency-0.3) > 1e-12 {
+		t.Errorf("max latency = %g", r.MaxLatency)
+	}
+}
+
+func TestInjectKeepsEarliest(t *testing.T) {
+	s := NewStream()
+	s.Inject(0, 2.0)
+	s.Inject(0, 1.0)
+	s.Inject(0, 3.0)
+	s.Complete(0, 4.0)
+	r := s.Summarize()
+	if math.Abs(r.Latency-3.0) > 1e-12 {
+		t.Errorf("latency = %g, want 3 (earliest injection)", r.Latency)
+	}
+}
+
+func TestCompleteKeepsLatest(t *testing.T) {
+	s := NewStream()
+	s.Inject(0, 0)
+	s.Complete(0, 1.0)
+	s.Complete(0, 2.0)
+	s.Complete(0, 1.5)
+	r := s.Summarize()
+	if math.Abs(r.Latency-2.0) > 1e-12 {
+		t.Errorf("latency = %g, want 2 (latest completion)", r.Latency)
+	}
+}
+
+func TestCompletionWithoutInjectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewStream()
+	s.Complete(0, 1.0)
+	s.Summarize()
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewStream()
+	s.Inject(0, 2.0)
+	s.Complete(0, 1.0)
+	s.Summarize()
+}
+
+func TestCount(t *testing.T) {
+	s := NewStream()
+	s.Inject(0, 0)
+	s.Inject(1, 0)
+	s.Complete(0, 1)
+	if s.Count() != 1 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Sets: 5, Throughput: 2.5, Latency: 0.4, MaxLatency: 0.5}
+	str := r.String()
+	if !strings.Contains(str, "5 sets") || !strings.Contains(str, "2.5") {
+		t.Errorf("String() = %q", str)
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace collects and renders virtual-time execution traces of
+// simulated runs: what every processor was doing (computing, sending,
+// waiting, doing I/O) at each moment. The ASCII Gantt rendering makes
+// pipelined task parallelism visible — the staggered compute bands of a
+// data parallel pipeline look exactly like the module diagrams of Figure 5.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"fxpar/internal/machine"
+)
+
+// Collector accumulates events from a traced run. It is safe for concurrent
+// use by processor goroutines. The zero value is ready to use.
+type Collector struct {
+	mu     sync.Mutex
+	events []machine.Event
+}
+
+var _ machine.Tracer = (*Collector)(nil)
+
+// Record implements machine.Tracer.
+func (c *Collector) Record(e machine.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by (processor, start
+// time) — a deterministic order regardless of recording interleaving.
+func (c *Collector) Events() []machine.Event {
+	c.mu.Lock()
+	out := append([]machine.Event(nil), c.events...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Span returns the [min start, max end] of all events (0,0 when empty).
+func (c *Collector) Span() (start, end float64) {
+	evs := c.Events()
+	if len(evs) == 0 {
+		return 0, 0
+	}
+	start = evs[0].Start
+	for _, e := range evs {
+		if e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// BusyByKind sums event durations per kind per processor.
+func (c *Collector) BusyByKind(procs int) map[machine.EventKind][]float64 {
+	out := map[machine.EventKind][]float64{}
+	for _, e := range c.Events() {
+		if e.Proc >= procs {
+			continue
+		}
+		if out[e.Kind] == nil {
+			out[e.Kind] = make([]float64, procs)
+		}
+		out[e.Kind][e.Proc] += e.End - e.Start
+	}
+	return out
+}
+
+// glyph maps an event kind to its Gantt character.
+func glyph(k machine.EventKind) byte {
+	switch k {
+	case machine.EvCompute:
+		return '#'
+	case machine.EvSend:
+		return 's'
+	case machine.EvWait:
+		return '.'
+	case machine.EvIO:
+		return 'I'
+	}
+	return '?'
+}
+
+// Gantt renders the trace as one row per processor over a fixed-width time
+// axis. Within a time bucket the kind occupying the most time wins; idle
+// (untracked) time renders as a space.
+func Gantt(w io.Writer, c *Collector, procs int, width int) {
+	if width < 10 {
+		width = 10
+	}
+	start, end := c.Span()
+	if end <= start {
+		fmt.Fprintln(w, "trace: no events")
+		return
+	}
+	scale := float64(width) / (end - start)
+	// occupancy[proc][bucket][kind] = time
+	rows := make([][]map[machine.EventKind]float64, procs)
+	for i := range rows {
+		rows[i] = make([]map[machine.EventKind]float64, width)
+	}
+	for _, e := range c.Events() {
+		if e.Proc >= procs {
+			continue
+		}
+		b0 := int((e.Start - start) * scale)
+		b1 := int((e.End - start) * scale)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := start + float64(b)/scale
+			hi := start + float64(b+1)/scale
+			olo, ohi := maxF(lo, e.Start), minF(hi, e.End)
+			if ohi <= olo {
+				continue
+			}
+			if rows[e.Proc][b] == nil {
+				rows[e.Proc][b] = map[machine.EventKind]float64{}
+			}
+			rows[e.Proc][b][e.Kind] += ohi - olo
+		}
+	}
+	fmt.Fprintf(w, "time %.6fs .. %.6fs   (# compute, s send, . wait, I io, space idle)\n", start, end)
+	for pr := 0; pr < procs; pr++ {
+		var sb strings.Builder
+		for b := 0; b < width; b++ {
+			occ := rows[pr][b]
+			if len(occ) == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			var bestK machine.EventKind
+			bestT := -1.0
+			for k, t := range occ {
+				if t > bestT || (t == bestT && k < bestK) {
+					bestK, bestT = k, t
+				}
+			}
+			sb.WriteByte(glyph(bestK))
+		}
+		fmt.Fprintf(w, "p%02d |%s|\n", pr, sb.String())
+	}
+}
+
+// Utilization prints per-processor busy/wait fractions.
+func Utilization(w io.Writer, c *Collector, procs int) {
+	start, end := c.Span()
+	total := end - start
+	if total <= 0 {
+		fmt.Fprintln(w, "trace: no events")
+		return
+	}
+	byKind := c.BusyByKind(procs)
+	fmt.Fprintf(w, "%5s %9s %9s %9s %9s\n", "proc", "compute", "send", "wait", "io")
+	for pr := 0; pr < procs; pr++ {
+		row := make([]float64, 4)
+		for k, series := range byKind {
+			if int(k) < len(row) {
+				row[int(k)] = series[pr] / total
+			}
+		}
+		fmt.Fprintf(w, "p%04d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			pr, row[0]*100, row[1]*100, row[2]*100, row[3]*100)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto): complete events ("ph":"X") with
+// microsecond timestamps.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the trace in the Chrome trace-event JSON format,
+// loadable in chrome://tracing or Perfetto: one timeline row per simulated
+// processor, one complete event per recorded interval, timestamps in
+// virtual microseconds.
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	evs := c.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			Pid:  0,
+			Tid:  e.Proc,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
