@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +17,33 @@ import (
 	"fxpar/internal/sim"
 )
 
+// benchFile is the machine-readable Table 1 snapshot: enough context to
+// compare virtual-time numbers across revisions of this repository.
+type benchFile struct {
+	Procs int
+	Sets  int
+	Quick bool
+	Rows  []experiments.Table1Row
+}
+
+// writeJSON dumps the Table 1 rows to path as indented JSON.
+func writeJSON(path string, cfg experiments.Table1Config, rows []experiments.Table1Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchFile{Procs: cfg.Procs, Sets: cfg.Sets, Quick: cfg.Quick, Rows: rows}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads")
+	jsonPath := flag.String("json", "BENCH_table1.json", "write Table 1 as machine-readable JSON to this file ('' disables)")
 	flag.Parse()
 
 	t1 := experiments.DefaultTable1()
@@ -27,7 +53,15 @@ func main() {
 		t1, f5, f6 = experiments.QuickTable1(), experiments.QuickFig5(), experiments.QuickFig6()
 	}
 
-	experiments.PrintTable1(os.Stdout, experiments.Table1(t1), t1.Procs)
+	rows := experiments.Table1(t1)
+	experiments.PrintTable1(os.Stdout, rows, t1.Procs)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, t1, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	fmt.Println()
 	experiments.PrintFig5(os.Stdout, experiments.Fig5(f5), f5)
 	fmt.Println()

@@ -9,12 +9,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fxpar/internal/apps/ffthist"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/trace"
 )
+
+// sanitizeLabel converts a mapping label like "pipeline(2,2,2)" into a
+// filename-safe token ("pipeline-2-2-2"): runs of characters outside
+// [A-Za-z0-9._-] collapse into single dashes, trimmed at the ends.
+func sanitizeLabel(label string) string {
+	var sb strings.Builder
+	dash := false
+	for _, r := range label {
+		safe := r == '.' || r == '_' || r == '-' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if safe {
+			sb.WriteRune(r)
+			dash = false
+		} else if !dash {
+			sb.WriteByte('-')
+			dash = true
+		}
+	}
+	return strings.Trim(sb.String(), "-")
+}
 
 func main() {
 	n := flag.Int("n", 64, "FFT-Hist array edge (power of two)")
@@ -44,17 +65,21 @@ func main() {
 		trace.Utilization(os.Stdout, col, procs)
 		fmt.Println()
 		if *chrome != "" {
-			name := *chrome + "." + tc.label + ".json"
+			name := *chrome + "." + sanitizeLabel(tc.label) + ".json"
 			f, err := os.Create(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			if err := trace.WriteChromeTrace(f, col); err != nil {
+				f.Close()
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Printf("wrote %s\n\n", name)
 		}
 	}

@@ -35,6 +35,19 @@ func rankIn(p *machine.Proc, g *group.Group) int {
 	return r
 }
 
+// span opens a group-scoped span "op:group[...]" around a collective when a
+// tracer is installed, and returns whether EndSpan must be called. The label
+// is built only when tracing, so untraced collectives allocate nothing extra.
+// Single-processor groups take the n == 1 early-outs before the span opens:
+// a degenerate collective costs nothing and is not worth a trace row.
+func span(p *machine.Proc, op string, g *group.Group) bool {
+	if !p.Tracing() {
+		return false
+	}
+	p.BeginSpan(op + ":" + g.String())
+	return true
+}
+
 // Send transmits a copy of data to the processor with virtual id dstRank in
 // g. The copy makes it safe for the caller to reuse data immediately.
 func Send[T any](p *machine.Proc, g *group.Group, dstRank int, data []T) {
@@ -80,6 +93,9 @@ func Barrier(p *machine.Proc, g *group.Group) {
 		return
 	}
 	r := rankIn(p, g)
+	if span(p, "barrier", g) {
+		defer p.EndSpan()
+	}
 	for k := 1; k < n; k <<= 1 {
 		dst := (r + k) % n
 		src := (r - k + n) % n
@@ -99,6 +115,9 @@ func Bcast[T any](p *machine.Proc, g *group.Group, rootRank int, data []T) []T {
 	r := rankIn(p, g)
 	if n == 1 {
 		return append([]T(nil), data...)
+	}
+	if span(p, "bcast", g) {
+		defer p.EndSpan()
 	}
 	rel := (r - rootRank + n) % n
 	mask := 1
@@ -131,6 +150,9 @@ func Bcast[T any](p *machine.Proc, g *group.Group, rootRank int, data []T) []T {
 func Reduce[T any](p *machine.Proc, g *group.Group, rootRank int, x T, op func(a, b T) T) T {
 	n := g.Size()
 	r := rankIn(p, g)
+	if n > 1 && span(p, "reduce", g) {
+		defer p.EndSpan()
+	}
 	rel := (r - rootRank + n) % n
 	mask := 1
 	for mask < n {
@@ -154,6 +176,9 @@ func Reduce[T any](p *machine.Proc, g *group.Group, rootRank int, x T, op func(a
 // AllReduce combines one value from every member and returns the result on
 // all members.
 func AllReduce[T any](p *machine.Proc, g *group.Group, x T, op func(a, b T) T) T {
+	if g.Size() > 1 && span(p, "allreduce", g) {
+		defer p.EndSpan()
+	}
 	v := Reduce(p, g, 0, x, op)
 	res := Bcast(p, g, 0, []T{v})
 	return res[0]
@@ -164,6 +189,9 @@ func AllReduce[T any](p *machine.Proc, g *group.Group, x T, op func(a, b T) T) T
 func ReduceSlice[T any](p *machine.Proc, g *group.Group, rootRank int, x []T, op func(a, b T) T) []T {
 	n := g.Size()
 	r := rankIn(p, g)
+	if n > 1 && span(p, "reduce", g) {
+		defer p.EndSpan()
+	}
 	acc := append([]T(nil), x...)
 	rel := (r - rootRank + n) % n
 	mask := 1
@@ -194,6 +222,9 @@ func ReduceSlice[T any](p *machine.Proc, g *group.Group, rootRank int, x []T, op
 func Gather[T any](p *machine.Proc, g *group.Group, rootRank int, local []T) [][]T {
 	n := g.Size()
 	r := rankIn(p, g)
+	if n > 1 && span(p, "gather", g) {
+		defer p.EndSpan()
+	}
 	if r != rootRank {
 		Send(p, g, rootRank, local)
 		return nil
@@ -227,6 +258,9 @@ func GatherFlat[T any](p *machine.Proc, g *group.Group, rootRank int, local []T)
 func Scatter[T any](p *machine.Proc, g *group.Group, rootRank int, parts [][]T) []T {
 	n := g.Size()
 	r := rankIn(p, g)
+	if n > 1 && span(p, "scatter", g) {
+		defer p.EndSpan()
+	}
 	if r == rootRank {
 		if len(parts) != n {
 			panic(fmt.Sprintf("comm: Scatter needs %d parts, got %d", n, len(parts)))
@@ -245,6 +279,9 @@ func Scatter[T any](p *machine.Proc, g *group.Group, rootRank int, parts [][]T) 
 // AllGather collects every member's slice on every member, ordered by
 // virtual id (gather to rank 0 followed by broadcast of sizes and data).
 func AllGather[T any](p *machine.Proc, g *group.Group, local []T) [][]T {
+	if g.Size() > 1 && span(p, "allgather", g) {
+		defer p.EndSpan()
+	}
 	parts := Gather(p, g, 0, local)
 	var flat []T
 	var sizes []int

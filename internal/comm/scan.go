@@ -19,6 +19,9 @@ func AlltoAll[T any](p *machine.Proc, g *group.Group, parts [][]T) [][]T {
 	if len(parts) != n {
 		panic(fmt.Sprintf("comm: AlltoAll needs %d parts, got %d", n, len(parts)))
 	}
+	if n > 1 && span(p, "alltoall", g) {
+		defer p.EndSpan()
+	}
 	for dst := 0; dst < n; dst++ {
 		if dst == r || len(parts[dst]) == 0 {
 			continue
@@ -54,6 +57,9 @@ func AlltoAllCounted[T any](p *machine.Proc, g *group.Group, parts [][]T) [][]T 
 	if len(parts) != n {
 		panic(fmt.Sprintf("comm: AlltoAllCounted needs %d parts, got %d", n, len(parts)))
 	}
+	if n > 1 && span(p, "alltoall", g) {
+		defer p.EndSpan()
+	}
 	counts := make([]int, n)
 	for i, part := range parts {
 		counts[i] = len(part)
@@ -86,6 +92,9 @@ func AlltoAllCounted[T any](p *machine.Proc, g *group.Group, parts [][]T) [][]T 
 func Scan[T any](p *machine.Proc, g *group.Group, x T, op func(a, b T) T) T {
 	n := g.Size()
 	r := rankIn(p, g)
+	if n > 1 && span(p, "scan", g) {
+		defer p.EndSpan()
+	}
 	acc := x
 	for k := 1; k < n; k <<= 1 {
 		if r+k < n {
@@ -102,6 +111,9 @@ func Scan[T any](p *machine.Proc, g *group.Group, x T, op func(a, b T) T) T {
 // ExScan computes the exclusive prefix combination: rank r receives
 // op(identity, x_0, ..., x_{r-1}); rank 0 receives identity.
 func ExScan[T any](p *machine.Proc, g *group.Group, x T, identity T, op func(a, b T) T) T {
+	if g.Size() > 1 && span(p, "scan", g) {
+		defer p.EndSpan()
+	}
 	incl := Scan(p, g, x, op)
 	n := g.Size()
 	r := rankIn(p, g)

@@ -24,11 +24,32 @@ package fx
 
 import (
 	"fmt"
+	"strings"
 
 	"fxpar/internal/comm"
 	"fxpar/internal/group"
 	"fxpar/internal/machine"
 )
+
+// Observability: when a tracer is installed on the machine, the runtime
+// emits a named span for every task region and every On/OnAny/OnProcs block.
+// Span labels follow the "op:detail:group[...]" convention shared with the
+// comm collectives, so internal/metrics can aggregate by (group, operation)
+// and internal/trace can attribute critical-path time to pipeline stages.
+// The Event.Depth recorded with each fx span equals the mapping-stack depth
+// of the scope it brackets minus one (the world frame opens no span), so
+// nested task parallelism is visible in the trace. All span work is guarded
+// by Tracing(); untraced runs pay nothing.
+
+// regionLabel builds the span label for a task region over part.
+func regionLabel(part *group.Partition) string {
+	return "region:" + strings.Join(part.Names(), "+") + ":" + part.Parent().String()
+}
+
+// onLabel builds the span label for an On block entering subgroup name.
+func onLabel(name string, sub *group.Group) string {
+	return "on:" + name + ":" + sub.String()
+}
 
 // frame is one level of the processor-mapping stack.
 type frame struct {
@@ -116,6 +137,10 @@ func (p *Proc) TaskRegion(part *group.Partition, body func(*Region)) {
 	}
 	top.inRegion = true
 	defer func() { p.stack[len(p.stack)-1].inRegion = false }()
+	if p.Tracing() {
+		p.BeginSpan(regionLabel(part))
+		defer p.EndSpan()
+	}
 	body(&Region{p: p, part: part})
 }
 
@@ -146,6 +171,10 @@ func (r *Region) On(name string, body func()) {
 	}
 	r.p.push(sub)
 	defer r.p.pop()
+	if r.p.Tracing() {
+		r.p.BeginSpan(onLabel(name, sub))
+		defer r.p.EndSpan()
+	}
 	body()
 }
 
@@ -163,6 +192,10 @@ func (r *Region) OnAny(bodies map[string]func()) {
 	}
 	r.p.push(sub)
 	defer r.p.pop()
+	if r.p.Tracing() {
+		r.p.BeginSpan(onLabel(name, sub))
+		defer r.p.EndSpan()
+	}
 	body()
 }
 
@@ -187,8 +220,13 @@ func (p *Proc) OnProcs(lo, hi int, body func()) {
 	if r < lo || r >= hi {
 		return
 	}
-	p.push(g.Subrange(lo, hi))
+	sub := g.Subrange(lo, hi)
+	p.push(sub)
 	defer p.pop()
+	if p.Tracing() {
+		p.BeginSpan(onLabel(fmt.Sprintf("[%d,%d)", lo, hi), sub))
+		defer p.EndSpan()
+	}
 	body()
 }
 

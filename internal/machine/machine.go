@@ -36,11 +36,15 @@ type Message struct {
 	ArriveAt float64
 }
 
-// mailbox is an unbounded FIFO queue for one ordered (src,dst) pair.
+// mailbox is an unbounded FIFO queue for one ordered (src,dst) pair. The
+// consumed prefix is tracked with a head index (rather than re-slicing), so
+// the backing array is reused once drained and a steady-state send/receive
+// cycle allocates nothing.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []Message
+	head  int
 }
 
 func newMailbox() *mailbox {
@@ -56,13 +60,25 @@ func (mb *mailbox) put(m Message) {
 	mb.cond.Signal()
 }
 
+// take removes and returns the head message. Callers hold mb.mu and have
+// checked that the queue is non-empty.
+func (mb *mailbox) take() Message {
+	m := mb.queue[mb.head]
+	mb.queue[mb.head] = Message{} // release the payload for GC
+	mb.head++
+	if mb.head == len(mb.queue) {
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	}
+	return m
+}
+
 func (mb *mailbox) get() Message {
 	mb.mu.Lock()
-	for len(mb.queue) == 0 {
+	for mb.head == len(mb.queue) {
 		mb.cond.Wait()
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
+	m := mb.take()
 	mb.mu.Unlock()
 	return m
 }
@@ -70,13 +86,15 @@ func (mb *mailbox) get() Message {
 func (mb *mailbox) tryGet() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if len(mb.queue) == 0 {
+	if mb.head == len(mb.queue) {
 		return Message{}, false
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
-	return m, true
+	return mb.take(), true
 }
+
+// pending returns the number of unconsumed messages. Only valid when no
+// processor goroutines are running (used by Run's exit check).
+func (mb *mailbox) pending() int { return len(mb.queue) - mb.head }
 
 // EventKind classifies a traced virtual-time interval.
 type EventKind uint8
@@ -90,6 +108,18 @@ const (
 	EvWait
 	// EvIO is input/output time.
 	EvIO
+	// EvRecv is a zero-duration marker recorded at the instant a message is
+	// consumed, carrying the peer and byte count. Together with EvSend
+	// events and per-pair FIFO order it lets trace analysis reconstruct the
+	// exact send->recv dependency edges of a run (any time spent blocked is
+	// reported separately as the EvWait interval that precedes the marker).
+	EvRecv
+	// EvSpanBegin and EvSpanEnd are zero-duration markers bracketing a
+	// named span opened with Proc.BeginSpan/EndSpan. Spans on one processor
+	// follow strict stack discipline, so consumers can rebuild the nesting
+	// with a simple stack walk over the per-processor event sequence.
+	EvSpanBegin
+	EvSpanEnd
 )
 
 func (k EventKind) String() string {
@@ -102,16 +132,39 @@ func (k EventKind) String() string {
 		return "wait"
 	case EvIO:
 		return "io"
+	case EvRecv:
+		return "recv"
+	case EvSpanBegin:
+		return "span-begin"
+	case EvSpanEnd:
+		return "span-end"
 	}
 	return "?"
 }
 
-// Event is one virtual-time interval on one processor.
+// Event is one virtual-time interval (or instant marker) on one processor.
 type Event struct {
 	Proc  int
 	Kind  EventKind
 	Start float64
 	End   float64
+	// Seq is the per-processor record sequence number (1, 2, ...). Each
+	// processor records events in program order, so sorting a processor's
+	// events by Seq reproduces the exact order of operations even when
+	// several events share a virtual timestamp. It is assigned only while a
+	// tracer is installed.
+	Seq int64
+	// Peer is the other processor of a send/recv/wait event (-1 when the
+	// event has no peer).
+	Peer int
+	// Bytes is the payload size of a send/recv event or the byte count of
+	// an IO event (0 otherwise).
+	Bytes int
+	// Label names the span for EvSpanBegin/EvSpanEnd events ("" otherwise).
+	Label string
+	// Depth is the span nesting depth at which a span event was recorded
+	// (0 = outermost). Zero for non-span events.
+	Depth int
 }
 
 // Tracer receives the events of a traced run. Record is called from
@@ -208,6 +261,11 @@ type Proc struct {
 	sent  int64
 	recvd int64
 	bytes int64
+	// seq numbers every recorded event; spans is the stack of open span
+	// labels. Both are touched only while a tracer is installed, so the
+	// untraced hot path stays allocation-free.
+	seq   int64
+	spans []string
 }
 
 // ID returns the physical processor id in [0, N).
@@ -231,12 +289,52 @@ func (p *Proc) MsgsSent() int64 { return p.sent }
 // BytesSent returns the number of payload bytes this processor has sent.
 func (p *Proc) BytesSent() int64 { return p.bytes }
 
+// Tracing reports whether a tracer is installed. Callers that must build
+// labels or other trace-only values check it first so the untraced path
+// does no work (and no allocation).
+func (p *Proc) Tracing() bool { return p.m.tracer != nil }
+
 // trace records an interval if the machine has a tracer installed.
 func (p *Proc) trace(kind EventKind, start, end float64) {
 	if p.m.tracer != nil && end > start {
-		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: start, End: end})
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: start, End: end, Seq: p.seq, Peer: -1})
 	}
 }
+
+// BeginSpan opens a named span on this processor's timeline; it must be
+// balanced by EndSpan before the SPMD body returns. Spans nest (stack
+// discipline) and carry the nesting depth at which they were opened. With no
+// tracer installed both calls are free; callers that concatenate label
+// strings should guard with Tracing() to keep the untraced path
+// allocation-free.
+func (p *Proc) BeginSpan(label string) {
+	if p.m.tracer == nil {
+		return
+	}
+	p.seq++
+	p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanBegin, Start: p.clock, End: p.clock,
+		Seq: p.seq, Peer: -1, Label: label, Depth: len(p.spans)})
+	p.spans = append(p.spans, label)
+}
+
+// EndSpan closes the innermost open span.
+func (p *Proc) EndSpan() {
+	if p.m.tracer == nil {
+		return
+	}
+	if len(p.spans) == 0 {
+		panic(fmt.Sprintf("machine: processor %d EndSpan without matching BeginSpan", p.id))
+	}
+	label := p.spans[len(p.spans)-1]
+	p.spans = p.spans[:len(p.spans)-1]
+	p.seq++
+	p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanEnd, Start: p.clock, End: p.clock,
+		Seq: p.seq, Peer: -1, Label: label, Depth: len(p.spans)})
+}
+
+// SpanDepth returns the number of currently open spans (0 when untraced).
+func (p *Proc) SpanDepth() int { return len(p.spans) }
 
 // Compute advances the clock by the time to execute flops floating point
 // operations.
@@ -273,7 +371,11 @@ func (p *Proc) CopyBytes(n int) {
 // call.
 func (p *Proc) IO(n int) {
 	t := p.m.cost.IOTime(n)
-	p.trace(EvIO, p.clock, p.clock+t)
+	if p.m.tracer != nil && t > 0 {
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvIO, Start: p.clock, End: p.clock + t,
+			Seq: p.seq, Peer: -1, Bytes: n})
+	}
 	p.clock += t
 	p.busy += t
 }
@@ -284,7 +386,13 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 	if dst < 0 || dst >= p.m.n {
 		panic(fmt.Sprintf("machine: Send to invalid processor %d (machine has %d)", dst, p.m.n))
 	}
-	p.trace(EvSend, p.clock, p.clock+p.m.cost.SendOverhead)
+	if p.m.tracer != nil {
+		// Recorded even when SendOverhead is zero: trace analysis matches
+		// send events to recv markers to reconstruct dependency edges.
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
+			End: p.clock + p.m.cost.SendOverhead, Seq: p.seq, Peer: dst, Bytes: bytes})
+	}
 	p.clock += p.m.cost.SendOverhead
 	p.busy += p.m.cost.SendOverhead
 	wire := p.m.cost.WireTime(bytes)
@@ -310,9 +418,18 @@ func (p *Proc) Recv(src int) Message {
 	}
 	msg := p.m.mail[p.id*p.m.n+src].get()
 	if msg.ArriveAt > p.clock {
-		p.trace(EvWait, p.clock, msg.ArriveAt)
+		if p.m.tracer != nil {
+			p.seq++
+			p.m.tracer.Record(Event{Proc: p.id, Kind: EvWait, Start: p.clock,
+				End: msg.ArriveAt, Seq: p.seq, Peer: src, Bytes: msg.Bytes})
+		}
 		p.idle += msg.ArriveAt - p.clock
 		p.clock = msg.ArriveAt
+	}
+	if p.m.tracer != nil {
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvRecv, Start: p.clock, End: p.clock,
+			Seq: p.seq, Peer: src, Bytes: msg.Bytes})
 	}
 	p.recvd++
 	return msg
@@ -387,6 +504,10 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 				}
 			}()
 			fn(p)
+			if len(p.spans) != 0 {
+				panic(fmt.Sprintf("machine: processor %d finished with %d unclosed span(s), innermost %q",
+					p.id, len(p.spans), p.spans[len(p.spans)-1]))
+			}
 		}(procs[i])
 	}
 	wg.Wait()
@@ -397,8 +518,8 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 	}
 	for dst := 0; dst < m.n; dst++ {
 		for src := 0; src < m.n; src++ {
-			if q := m.mail[dst*m.n+src]; len(q.queue) != 0 {
-				panic(fmt.Sprintf("machine: %d unconsumed message(s) from %d to %d at program exit", len(q.queue), src, dst))
+			if q := m.mail[dst*m.n+src]; q.pending() != 0 {
+				panic(fmt.Sprintf("machine: %d unconsumed message(s) from %d to %d at program exit", q.pending(), src, dst))
 			}
 		}
 	}

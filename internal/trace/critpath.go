@@ -1,0 +1,263 @@
+package trace
+
+// Critical-path analysis: reconstructs the virtual-time dependency graph of
+// a traced run — program order within each processor plus the send→recv
+// edges recovered from EvSend events and EvRecv markers under per-pair FIFO
+// order — and walks the binding chain backwards from the event that ends at
+// the makespan. Every instant on the path is attributed to an event kind
+// (compute, send, io, network, ...) and to the innermost named span it ran
+// in, which is what explains a pipeline's latency: the path threads through
+// exactly the stages that serialize it.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fxpar/internal/machine"
+)
+
+// KindTime is path time attributed to one event kind (or to "network", the
+// wire latency of the send→recv edges the path crosses).
+type KindTime struct {
+	Kind string
+	Time float64
+}
+
+// SpanTime is path time attributed to one span label.
+type SpanTime struct {
+	Label string
+	Time  float64
+	Steps int
+}
+
+// CriticalPath is the longest virtual-time dependency chain of a run.
+type CriticalPath struct {
+	// Makespan is the virtual time at which the path (and the run) ends.
+	Makespan float64
+	// Start is the virtual time at which the path begins (first event).
+	Start float64
+	// Steps is the number of events on the path.
+	Steps int
+	// Hops is the number of cross-processor send→recv edges on the path.
+	Hops int
+	// Procs lists the distinct processors the path visits, ascending.
+	Procs []int
+	// ByKind attributes path time per event kind plus "network", sorted by
+	// time descending (ties by name).
+	ByKind []KindTime
+	// BySpan attributes path time to the innermost enclosing span of each
+	// path event ("(network)" for wire time, "(untracked)" outside spans),
+	// sorted by time descending (ties by label).
+	BySpan []SpanTime
+	// Unattributed is path wall time not covered by any event (gaps);
+	// ~zero in a well-formed trace, reported so it cannot hide.
+	Unattributed float64
+}
+
+// PathTime returns the path's total duration, Makespan - Start.
+func (cp *CriticalPath) PathTime() float64 { return cp.Makespan - cp.Start }
+
+// isLeaf reports whether an event occupies (or marks) processor time, as
+// opposed to the span bracket markers.
+func isLeaf(k machine.EventKind) bool {
+	return k != machine.EvSpanBegin && k != machine.EvSpanEnd
+}
+
+// ComputeCriticalPath analyses a run's events (typically
+// Collector.Events()). It returns nil for an empty trace.
+func ComputeCriticalPath(evs []machine.Event) *CriticalPath {
+	t := NewTimeline(evs)
+	n := len(t.Events)
+	if n == 0 {
+		return nil
+	}
+
+	// Per-processor leaf sequences, in program order.
+	procLeaves := map[int][]int{}
+	pos := make([]int, n) // position of event i within its processor's leaf list
+	for i, e := range t.Events {
+		if !isLeaf(e.Kind) {
+			continue
+		}
+		pos[i] = len(procLeaves[e.Proc])
+		procLeaves[e.Proc] = append(procLeaves[e.Proc], i)
+	}
+
+	// Match every EvRecv marker to its send: k-th receive on dst from src
+	// consumes the k-th send on src to dst (per-ordered-pair FIFO).
+	type flow struct{ src, dst int }
+	sends := map[flow][]int{}
+	for _, leaves := range procLeaves {
+		for _, i := range leaves {
+			if e := t.Events[i]; e.Kind == machine.EvSend {
+				f := flow{e.Proc, e.Peer}
+				sends[f] = append(sends[f], i)
+			}
+		}
+	}
+	matchSend := make([]int, n) // recv event index -> send event index (-1 unknown)
+	for i := range matchSend {
+		matchSend[i] = -1
+	}
+	taken := map[flow]int{}
+	// Iterate processors in ascending order for deterministic map use.
+	procIDs := make([]int, 0, len(procLeaves))
+	for pr := range procLeaves {
+		procIDs = append(procIDs, pr)
+	}
+	sort.Ints(procIDs)
+	for _, pr := range procIDs {
+		for _, i := range procLeaves[pr] {
+			e := t.Events[i]
+			if e.Kind != machine.EvRecv {
+				continue
+			}
+			f := flow{e.Peer, e.Proc}
+			k := taken[f]
+			taken[f] = k + 1
+			if k < len(sends[f]) {
+				matchSend[i] = sends[f][k]
+			}
+		}
+	}
+
+	// Terminal event: the leaf with the maximum end time; ties resolved to
+	// the lowest processor, then the latest event in program order.
+	cur := -1
+	for _, pr := range procIDs {
+		for _, i := range procLeaves[pr] {
+			if cur == -1 {
+				cur = i
+				continue
+			}
+			a, b := t.Events[i], t.Events[cur]
+			if a.End > b.End || (a.End == b.End && (a.Proc < b.Proc || (a.Proc == b.Proc && a.Seq > b.Seq))) {
+				cur = i
+			}
+		}
+	}
+
+	cp := &CriticalPath{Makespan: t.Events[cur].End}
+	byKind := map[string]float64{}
+	bySpan := map[string]*SpanTime{}
+	addSpan := func(label string, d float64) {
+		st := bySpan[label]
+		if st == nil {
+			st = &SpanTime{Label: label}
+			bySpan[label] = st
+		}
+		st.Time += d
+		st.Steps++
+	}
+	procSeen := map[int]bool{}
+	covered := 0.0
+
+	for cur >= 0 {
+		e := t.Events[cur]
+		cp.Steps++
+		procSeen[e.Proc] = true
+		cp.Start = e.Start
+
+		// A wait interval means the binding constraint was the message's
+		// arrival: the path leaves this processor and continues through the
+		// matching send on the peer, crossing the wire. The wait's own
+		// duration is covered by the sender's timeline plus network time.
+		if e.Kind == machine.EvWait {
+			// The recv marker for this wait is the next leaf in program
+			// order (machine.Proc.Recv records wait, then the marker).
+			leaves := procLeaves[e.Proc]
+			if p := pos[cur]; p+1 < len(leaves) {
+				recv := leaves[p+1]
+				re := t.Events[recv]
+				if re.Kind == machine.EvRecv && re.Peer == e.Peer && matchSend[recv] >= 0 {
+					send := matchSend[recv]
+					net := e.End - t.Events[send].End
+					if net < 0 {
+						net = 0
+					}
+					byKind["network"] += net
+					addSpan("(network)", net)
+					covered += net
+					cp.Hops++
+					cur = send
+					continue
+				}
+			}
+			// No matching send recorded (e.g. partial trace): account the
+			// wait itself and continue on this processor.
+		}
+
+		if d := e.End - e.Start; d > 0 {
+			byKind[e.Kind.String()] += d
+			label := t.OwnerLabel(cur)
+			if label == "" {
+				label = "(untracked)"
+			}
+			addSpan(label, d)
+			covered += d
+		}
+		if p := pos[cur]; p > 0 {
+			cur = procLeaves[e.Proc][p-1]
+		} else {
+			cur = -1
+		}
+	}
+
+	cp.Unattributed = cp.PathTime() - covered
+	if cp.Unattributed < 1e-12 && cp.Unattributed > -1e-12 {
+		cp.Unattributed = 0
+	}
+	for pr := range procSeen {
+		cp.Procs = append(cp.Procs, pr)
+	}
+	sort.Ints(cp.Procs)
+	for k, v := range byKind {
+		cp.ByKind = append(cp.ByKind, KindTime{Kind: k, Time: v})
+	}
+	sort.Slice(cp.ByKind, func(i, j int) bool {
+		if cp.ByKind[i].Time != cp.ByKind[j].Time {
+			return cp.ByKind[i].Time > cp.ByKind[j].Time
+		}
+		return cp.ByKind[i].Kind < cp.ByKind[j].Kind
+	})
+	for _, st := range bySpan {
+		cp.BySpan = append(cp.BySpan, *st)
+	}
+	sort.Slice(cp.BySpan, func(i, j int) bool {
+		if cp.BySpan[i].Time != cp.BySpan[j].Time {
+			return cp.BySpan[i].Time > cp.BySpan[j].Time
+		}
+		return cp.BySpan[i].Label < cp.BySpan[j].Label
+	})
+	return cp
+}
+
+// WriteReport prints the critical path breakdown in a fixed, deterministic
+// text format.
+func (cp *CriticalPath) WriteReport(w io.Writer) {
+	if cp == nil {
+		fmt.Fprintln(w, "critical path: no events")
+		return
+	}
+	total := cp.PathTime()
+	fmt.Fprintf(w, "critical path: %.6f s (t=%.6f .. %.6f), %d steps, %d hops, %d processors\n",
+		total, cp.Start, cp.Makespan, cp.Steps, cp.Hops, len(cp.Procs))
+	pct := func(v float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return 100 * v / total
+	}
+	fmt.Fprintf(w, "  by kind:\n")
+	for _, kt := range cp.ByKind {
+		fmt.Fprintf(w, "    %-10s %12.6f s %6.1f%%\n", kt.Kind, kt.Time, pct(kt.Time))
+	}
+	fmt.Fprintf(w, "  by span (innermost attribution):\n")
+	for _, st := range cp.BySpan {
+		fmt.Fprintf(w, "    %-40s %12.6f s %6.1f%%  (%d steps)\n", st.Label, st.Time, pct(st.Time), st.Steps)
+	}
+	if cp.Unattributed != 0 {
+		fmt.Fprintf(w, "  unattributed: %.6f s\n", cp.Unattributed)
+	}
+}

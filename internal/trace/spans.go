@@ -1,0 +1,241 @@
+package trace
+
+// This file reconstructs spans: it turns the flat event stream of a traced
+// run back into the nested, named structure the fx runtime and comm
+// collectives emitted — which ON block, which collective, on which subgroup,
+// at which nesting depth. Everything downstream of the tracer (per-group
+// metrics, critical-path attribution, the span Gantt) is built on this view.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fxpar/internal/machine"
+)
+
+// Span is one named, nested interval on one processor's timeline,
+// reconstructed from an EvSpanBegin/EvSpanEnd marker pair.
+type Span struct {
+	Proc  int
+	Label string
+	// Depth is the nesting depth at which the span was opened (0 = outermost).
+	Depth int
+	Start float64
+	End   float64
+	// Parent indexes the enclosing span in Timeline.Spans (-1 at top level).
+	Parent int
+}
+
+// Duration returns the span's virtual-time extent.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Timeline is an indexed view of a run's events: per-processor program
+// order, the reconstructed span tree, and innermost-span ownership for
+// every event. Spans on one processor follow stack discipline (guaranteed
+// by machine.Proc.BeginSpan/EndSpan), so reconstruction is a single stack
+// walk per processor.
+type Timeline struct {
+	// Events is sorted by (processor, sequence number): concatenated
+	// per-processor program order.
+	Events []machine.Event
+	// Spans lists reconstructed spans in begin order per processor.
+	Spans []Span
+	// owner[i] is the index into Spans of the innermost span containing
+	// Events[i], or -1. Span begin/end markers are owned by the enclosing
+	// (parent) span for begins and the span itself for ends.
+	owner []int
+}
+
+// NewTimeline builds a Timeline from a run's events (typically
+// Collector.Events(); any order is accepted, the input is not modified).
+func NewTimeline(evs []machine.Event) *Timeline {
+	t := &Timeline{Events: append([]machine.Event(nil), evs...)}
+	sort.Slice(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.End < b.End
+	})
+	t.owner = make([]int, len(t.Events))
+	var open []int
+	lastProc := -1
+	for i, e := range t.Events {
+		if e.Proc != lastProc {
+			open = open[:0] // machine.Run guarantees balance per processor
+			lastProc = e.Proc
+		}
+		top := -1
+		if len(open) > 0 {
+			top = open[len(open)-1]
+		}
+		switch e.Kind {
+		case machine.EvSpanBegin:
+			t.owner[i] = top
+			t.Spans = append(t.Spans, Span{
+				Proc: e.Proc, Label: e.Label, Depth: e.Depth,
+				Start: e.Start, End: e.Start, Parent: top,
+			})
+			open = append(open, len(t.Spans)-1)
+		case machine.EvSpanEnd:
+			if top < 0 {
+				t.owner[i] = -1
+				continue
+			}
+			t.Spans[top].End = e.Start
+			t.owner[i] = top
+			open = open[:len(open)-1]
+		default:
+			t.owner[i] = top
+		}
+	}
+	return t
+}
+
+// Owner returns the index into Spans of the innermost span containing event
+// i, or -1 if the event is outside every span.
+func (t *Timeline) Owner(i int) int { return t.owner[i] }
+
+// OwnerLabel returns the label of the innermost span containing event i, or
+// "" if the event is outside every span.
+func (t *Timeline) OwnerLabel(i int) string {
+	if o := t.owner[i]; o >= 0 {
+		return t.Spans[o].Label
+	}
+	return ""
+}
+
+// SplitLabel decomposes a span label of the runtime's "op:detail:group[...]"
+// convention into the operation (everything before the group part, e.g.
+// "barrier" or "on:G2") and the group identity (e.g. "group[2 3]"). Labels
+// without a group part return group = "".
+func SplitLabel(label string) (op, group string) {
+	if i := strings.Index(label, ":group["); i >= 0 {
+		return label[:i], label[i+1:]
+	}
+	return label, ""
+}
+
+// SpanSummary prints one row per distinct span label: activation count,
+// total and mean virtual time (summed over all member processors), sorted
+// by total time descending. It answers "where do the subgroups spend their
+// time" at a glance.
+func SpanSummary(w io.Writer, c *Collector) {
+	t := NewTimeline(c.Events())
+	type agg struct {
+		count int
+		total float64
+	}
+	byLabel := map[string]*agg{}
+	for _, s := range t.Spans {
+		a := byLabel[s.Label]
+		if a == nil {
+			a = &agg{}
+			byLabel[s.Label] = a
+		}
+		a.count++
+		a.total += s.Duration()
+	}
+	if len(byLabel) == 0 {
+		fmt.Fprintln(w, "trace: no spans")
+		return
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		a, b := byLabel[labels[i]], byLabel[labels[j]]
+		if a.total != b.total {
+			return a.total > b.total
+		}
+		return labels[i] < labels[j]
+	})
+	wl := len("span")
+	for _, l := range labels {
+		if len(l) > wl {
+			wl = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %7s %12s %12s\n", wl, "span", "count", "total(s)", "mean(s)")
+	for _, l := range labels {
+		a := byLabel[l]
+		fmt.Fprintf(w, "%-*s %7d %12.6f %12.6f\n", wl, l, a.count, a.total, a.total/float64(a.count))
+	}
+}
+
+// spanLetters is the alphabet used by SpanGantt to key distinct labels.
+const spanLetters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// SpanGantt renders one row per processor over a fixed-width time axis where
+// each cell shows the *innermost named span* active in that bucket (deeper
+// spans overwrite shallower ones), with a legend mapping letters to span
+// labels. Side by side with Gantt it shows not just *that* a processor was
+// computing or waiting but *which subgroup scope* it was doing it in.
+func SpanGantt(w io.Writer, c *Collector, procs int, width int) {
+	if width < 10 {
+		width = 10
+	}
+	start, end := c.Span()
+	if end <= start {
+		fmt.Fprintln(w, "trace: no events")
+		return
+	}
+	t := NewTimeline(c.Events())
+	if len(t.Spans) == 0 {
+		fmt.Fprintln(w, "trace: no spans")
+		return
+	}
+	labels := map[string]bool{}
+	for _, s := range t.Spans {
+		labels[s.Label] = true
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	letter := map[string]byte{}
+	for i, l := range sorted {
+		if i < len(spanLetters) {
+			letter[l] = spanLetters[i]
+		} else {
+			letter[l] = '*'
+		}
+	}
+	scale := float64(width) / (end - start)
+	rows := make([][]byte, procs)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Spans are listed in begin order per processor, so parents precede the
+	// children that overwrite them.
+	for _, s := range t.Spans {
+		if s.Proc >= procs || s.End <= s.Start {
+			continue
+		}
+		b0 := int((s.Start - start) * scale)
+		b1 := int((s.End - start) * scale)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			rows[s.Proc][b] = letter[s.Label]
+		}
+	}
+	fmt.Fprintf(w, "spans %.6fs .. %.6fs\n", start, end)
+	for pr := 0; pr < procs; pr++ {
+		fmt.Fprintf(w, "p%02d |%s|\n", pr, rows[pr])
+	}
+	for _, l := range sorted {
+		fmt.Fprintf(w, "  %c = %s\n", letter[l], l)
+	}
+}

@@ -32,8 +32,10 @@ func (c *Collector) Record(e machine.Event) {
 	c.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events sorted by (processor, start
-// time) — a deterministic order regardless of recording interleaving.
+// Events returns a copy of the recorded events sorted by (processor,
+// sequence number) — per-processor program order, which is deterministic
+// regardless of recording interleaving. Events recorded without sequence
+// numbers (hand-built test fixtures) fall back to (start, end) order.
 func (c *Collector) Events() []machine.Event {
 	c.mu.Lock()
 	out := append([]machine.Event(nil), c.events...)
@@ -41,6 +43,9 @@ func (c *Collector) Events() []machine.Event {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Proc != out[j].Proc {
 			return out[i].Proc < out[j].Proc
+		}
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
 		}
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -57,14 +62,16 @@ func (c *Collector) Len() int {
 	return len(c.events)
 }
 
-// Span returns the [min start, max end] of all events (0,0 when empty).
+// Span returns the [min start, max end] of all events (0,0 when empty). The
+// extrema are computed in one pass under the lock — no copy, no sort.
 func (c *Collector) Span() (start, end float64) {
-	evs := c.Events()
-	if len(evs) == 0 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 {
 		return 0, 0
 	}
-	start = evs[0].Start
-	for _, e := range evs {
+	start, end = c.events[0].Start, c.events[0].End
+	for _, e := range c.events[1:] {
 		if e.Start < start {
 			start = e.Start
 		}
@@ -101,6 +108,8 @@ func glyph(k machine.EventKind) byte {
 		return '.'
 	case machine.EvIO:
 		return 'I'
+	case machine.EvRecv:
+		return 'r'
 	}
 	return '?'
 }
@@ -190,33 +199,50 @@ func Utilization(w io.Writer, c *Collector, procs int) {
 }
 
 // chromeEvent is one entry of the Chrome trace-event format
-// (chrome://tracing, Perfetto): complete events ("ph":"X") with
+// (chrome://tracing, Perfetto): complete events ("ph":"X") for leaf
+// intervals and duration events ("ph":"B"/"E") for named spans, with
 // microsecond timestamps.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`  // microseconds
+	Dur  float64          `json:"dur"` // microseconds (0 for B/E markers)
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
 }
 
 // WriteChromeTrace exports the trace in the Chrome trace-event JSON format,
 // loadable in chrome://tracing or Perfetto: one timeline row per simulated
-// processor, one complete event per recorded interval, timestamps in
-// virtual microseconds.
+// processor, one complete event per recorded interval, and nested named
+// span tracks ("B"/"E" pairs labelled with subgroup identity) for fx task
+// regions, ON blocks and comm collectives. Send/recv/wait/io events carry
+// their peer and byte count as args. Timestamps are virtual microseconds.
 func WriteChromeTrace(w io.Writer, c *Collector) error {
 	evs := c.Events()
 	out := make([]chromeEvent, 0, len(evs))
 	for _, e := range evs {
-		out = append(out, chromeEvent{
+		ce := chromeEvent{
 			Name: e.Kind.String(),
 			Ph:   "X",
 			Ts:   e.Start * 1e6,
 			Dur:  (e.End - e.Start) * 1e6,
 			Pid:  0,
 			Tid:  e.Proc,
-		})
+		}
+		switch e.Kind {
+		case machine.EvSpanBegin:
+			ce.Name, ce.Ph, ce.Dur = e.Label, "B", 0
+		case machine.EvSpanEnd:
+			ce.Name, ce.Ph, ce.Dur = e.Label, "E", 0
+		case machine.EvSend, machine.EvRecv, machine.EvWait:
+			ce.Args = map[string]int64{"peer": int64(e.Peer), "bytes": int64(e.Bytes)}
+		case machine.EvIO:
+			if e.Bytes != 0 {
+				ce.Args = map[string]int64{"bytes": int64(e.Bytes)}
+			}
+		}
+		out = append(out, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
