@@ -123,7 +123,10 @@ func BenchmarkFig5Mappings(b *testing.B) {
 	cfg := experiments.QuickFig5()
 	var lastLat float64
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig5(cfg)
+		rows, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		lastLat = rows[len(rows)-1].Latency
 	}
 	b.ReportMetric(lastLat, "vlat")

@@ -6,6 +6,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"fxpar/internal/experiments"
@@ -13,11 +14,19 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
+	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
+	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	flag.Parse()
 	cfg := experiments.DefaultFig5()
 	if *quick {
 		cfg = experiments.QuickFig5()
 	}
-	rows := experiments.Fig5(cfg)
+	cfg.Workers = *j
+	cfg.CacheDir = *cache
+	rows, err := experiments.Fig5(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(1)
+	}
 	experiments.PrintFig5(os.Stdout, rows, cfg)
 }

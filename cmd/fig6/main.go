@@ -13,11 +13,13 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
+	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	flag.Parse()
 	cfg := experiments.DefaultFig6()
 	if *quick {
 		cfg = experiments.QuickFig6()
 	}
+	cfg.Workers = *j
 	points := experiments.Fig6(cfg)
 	experiments.PrintFig6(os.Stdout, points)
 }

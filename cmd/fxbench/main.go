@@ -44,6 +44,8 @@ func writeJSON(path string, cfg experiments.Table1Config, rows []experiments.Tab
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads")
 	jsonPath := flag.String("json", "BENCH_table1.json", "write Table 1 as machine-readable JSON to this file ('' disables)")
+	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
+	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	flag.Parse()
 
 	t1 := experiments.DefaultTable1()
@@ -52,6 +54,9 @@ func main() {
 	if *quick {
 		t1, f5, f6 = experiments.QuickTable1(), experiments.QuickFig5(), experiments.QuickFig6()
 	}
+	t1.Workers, t1.CacheDir = *j, *cache
+	f5.Workers, f5.CacheDir = *j, *cache
+	f6.Workers = *j
 
 	rows := experiments.Table1(t1)
 	experiments.PrintTable1(os.Stdout, rows, t1.Procs)
@@ -63,7 +68,12 @@ func main() {
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	fmt.Println()
-	experiments.PrintFig5(os.Stdout, experiments.Fig5(f5), f5)
+	f5rows, err := experiments.Fig5(f5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxbench:", err)
+		os.Exit(1)
+	}
+	experiments.PrintFig5(os.Stdout, f5rows, f5)
 	fmt.Println()
 	experiments.PrintFig6(os.Stdout, experiments.Fig6(f6))
 	fmt.Println()

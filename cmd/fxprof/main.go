@@ -16,6 +16,8 @@
 //	fxprof -app ffthist -stages 2,2,2          # 3-stage pipeline
 //	fxprof -app ffthist -stages 6              # pure data parallel
 //	fxprof -app radar -modules 2 -stages 2,4,4,2 -out radar
+//	fxprof -app ffthist -auto -procs 16 -goal 4 -cache .fxcache
+//	                                           # profile the optimizer's pick
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"fxpar/internal/apps/radar"
 	"fxpar/internal/apps/stereo"
 	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
 	"fxpar/internal/metrics"
 	"fxpar/internal/sim"
 	"fxpar/internal/stats"
@@ -79,46 +82,83 @@ func main() {
 	procs := flag.Int("procs", 0, "machine size (default: exactly what the mapping uses)")
 	out := flag.String("out", "fxprof", "output file prefix ('' = no files, console only)")
 	width := flag.Int("width", 100, "gantt width in characters")
+	auto := flag.Bool("auto", false, "ignore -modules/-stages and profile the optimizer's mapping for -procs processors (built from measured cost tables)")
+	goal := flag.Float64("goal", 0, "with -auto: throughput constraint in data sets/s (0 = minimize latency only)")
+	j := flag.Int("j", 0, "with -auto: max concurrent cost-table simulations (0 = all host cores)")
+	cache := flag.String("cache", "", "with -auto: directory for the on-disk cost-table cache ('' disables)")
 	flag.Parse()
 
-	stages, err := parseStages(*stagesFlag)
-	if err != nil {
-		fail(err)
+	var stages []int
+	if *auto {
+		if *procs <= 0 {
+			fail(fmt.Errorf("-auto needs an explicit -procs (the machine the optimizer maps onto)"))
+		}
+	} else {
+		var err error
+		stages, err = parseStages(*stagesFlag)
+		if err != nil {
+			fail(err)
+		}
+		total := 0
+		for _, q := range stages {
+			total += q
+		}
+		total *= *modules
+		if *procs == 0 {
+			*procs = total
+		}
+		if *procs < total {
+			fail(fmt.Errorf("mapping needs %d processors (modules x stages), -procs gives %d", total, *procs))
+		}
 	}
-	total := 0
-	for _, q := range stages {
-		total += q
-	}
-	total *= *modules
-	if *procs == 0 {
-		*procs = total
-	}
-	if *procs < total {
-		fail(fmt.Errorf("mapping needs %d processors (modules x stages), -procs gives %d", total, *procs))
-	}
+	opt := mapping.BuildOptions{Workers: *j, CacheDir: *cache}
 
 	col := &trace.Collector{}
 	m := machine.New(*procs, sim.Paragon())
 	m.SetTracer(col)
 
+	// pick runs the optimizer against measured cost tables (the -auto path)
+	// and reports the winning mapping and where its tables came from.
+	pick := func(model mapping.Model, src mapping.TableSource, err error) mapping.Choice {
+		if err != nil {
+			fail(err)
+		}
+		choice, err := mapping.Optimize(model, *goal)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("auto: chose %s for %d procs, goal %g sets/s (cost tables: %s)\n\n",
+			choice, *procs, *goal, src)
+		return choice
+	}
+
 	var stream stats.Result
 	var label string
 	switch *app {
 	case "ffthist":
-		mp := ffthist.Mapping{Modules: *modules, Stages: stages}
 		cfg := ffthist.Config{N: *n, Sets: *sets, Bins: 64}
+		mp := ffthist.Mapping{Modules: *modules, Stages: stages}
+		if *auto {
+			mp = ffthist.ChoiceToMapping(pick(ffthist.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
+		}
 		res := ffthist.Run(m, cfg, mp)
 		stream, label = res.Stream, mp.String()
 	case "radar":
-		mp := radar.Mapping{Modules: *modules, Stages: stages}
 		cfg := radar.DefaultConfig()
 		cfg.Gates, cfg.Sets = *n, *sets
+		mp := radar.Mapping{Modules: *modules, Stages: stages}
+		if *auto {
+			mp = radar.ChoiceToMapping(pick(radar.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
+		}
 		res := radar.Run(m, cfg, mp)
 		stream, label = res.Stream, mp.String()
 	case "stereo":
-		mp := stereo.Mapping{Modules: *modules, Stages: stages}
 		cfg := stereo.DefaultConfig()
 		cfg.W, cfg.Sets = *n, *sets
+		mp := stereo.Mapping{Modules: *modules, Stages: stages}
+		if *auto {
+			mp = stereo.ChoiceToMapping(pick(stereo.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
+		}
 		res := stereo.Run(m, cfg, mp)
 		stream, label = res.Stream, mp.String()
 	default:

@@ -17,6 +17,8 @@ func main() {
 	procs := flag.Int("procs", 0, "override processor count")
 	sets := flag.Int("sets", 0, "override stream length")
 	model := flag.String("model", "paragon", "cost model: paragon or workstation")
+	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
+	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	flag.Parse()
 	cfg := experiments.DefaultTable1()
 	if *quick {
@@ -28,6 +30,8 @@ func main() {
 	if *sets > 0 {
 		cfg.Sets = *sets
 	}
+	cfg.Workers = *j
+	cfg.CacheDir = *cache
 	switch *model {
 	case "paragon":
 		cfg.Cost = sim.Paragon()

@@ -46,13 +46,20 @@ func DefaultConfig() Config { return Config{N: 256, Sets: 8, Bins: 64} }
 // Mapping selects how processors are applied to the stream.
 type Mapping struct {
 	// Modules is the replication factor: the machine is divided into this
-	// many identical modules processing alternate data sets (Section 3.3).
+	// many modules processing alternate data sets (Section 3.3).
 	Modules int
 	// Stages gives processors per pipeline stage within one module
 	// (Figure 2(c)); len 3 for the cffts/rffts/hist pipeline. A single
 	// entry means the module runs all phases data-parallel on that many
 	// processors (Figure 2(a)).
 	Stages []int
+	// WideModules of the Modules (the first ones) run with WideStages
+	// instead of Stages — how the optimizer spends the P mod Modules
+	// leftover processors. Zero for homogeneous mappings.
+	WideModules int
+	// WideStages gives processors per stage of each wide module; nil when
+	// WideModules == 0.
+	WideStages []int
 }
 
 // DataParallel returns the pure data-parallel mapping on p processors.
@@ -61,13 +68,33 @@ func DataParallel(p int) Mapping { return Mapping{Modules: 1, Stages: []int{p}} 
 // Pipeline returns a single-module 3-stage pipeline mapping.
 func Pipeline(pc, pr, ph int) Mapping { return Mapping{Modules: 1, Stages: []int{pc, pr, ph}} }
 
+// ModuleStages returns the per-stage processor counts of module i (the
+// first WideModules modules are the wide ones).
+func (mp Mapping) ModuleStages(i int) []int {
+	if i < mp.WideModules {
+		return mp.WideStages
+	}
+	return mp.Stages
+}
+
+// ModuleSizes returns the total processors of each module, in module order.
+func (mp Mapping) ModuleSizes() []int {
+	sizes := make([]int, mp.Modules)
+	for i := range sizes {
+		for _, q := range mp.ModuleStages(i) {
+			sizes[i] += q
+		}
+	}
+	return sizes
+}
+
 // Procs returns the total processors the mapping uses.
 func (mp Mapping) Procs() int {
 	s := 0
-	for _, q := range mp.Stages {
-		s += q
+	for _, sz := range mp.ModuleSizes() {
+		s += sz
 	}
-	return mp.Modules * s
+	return s
 }
 
 // Validate checks the mapping against a machine size.
@@ -75,13 +102,32 @@ func (mp Mapping) Validate(total int) error {
 	if mp.Modules < 1 {
 		return fmt.Errorf("ffthist: Modules = %d", mp.Modules)
 	}
-	if len(mp.Stages) != 1 && len(mp.Stages) != 3 {
-		return fmt.Errorf("ffthist: need 1 or 3 stage sizes, got %v", mp.Stages)
+	if mp.WideModules < 0 || (mp.WideModules > 0 && mp.WideModules >= mp.Modules) {
+		return fmt.Errorf("ffthist: WideModules = %d of %d", mp.WideModules, mp.Modules)
 	}
-	for _, q := range mp.Stages {
-		if q < 1 {
-			return fmt.Errorf("ffthist: non-positive stage size in %v", mp.Stages)
+	checkStages := func(stages []int) error {
+		if len(stages) != 1 && len(stages) != 3 {
+			return fmt.Errorf("ffthist: need 1 or 3 stage sizes, got %v", stages)
 		}
+		for _, q := range stages {
+			if q < 1 {
+				return fmt.Errorf("ffthist: non-positive stage size in %v", stages)
+			}
+		}
+		return nil
+	}
+	if err := checkStages(mp.Stages); err != nil {
+		return err
+	}
+	if mp.WideModules > 0 {
+		if err := checkStages(mp.WideStages); err != nil {
+			return err
+		}
+		if len(mp.WideStages) != len(mp.Stages) {
+			return fmt.Errorf("ffthist: wide stages %v mismatch narrow %v", mp.WideStages, mp.Stages)
+		}
+	} else if mp.WideStages != nil {
+		return fmt.Errorf("ffthist: WideStages %v with zero WideModules", mp.WideStages)
 	}
 	if mp.Procs() > total {
 		return fmt.Errorf("ffthist: mapping uses %d processors, machine has only %d", mp.Procs(), total)
@@ -90,6 +136,16 @@ func (mp Mapping) Validate(total int) error {
 }
 
 func (mp Mapping) String() string {
+	shape := func(stages []int) string {
+		if len(stages) == 1 {
+			return fmt.Sprintf("dp %d", stages[0])
+		}
+		return fmt.Sprintf("pipeline(%d,%d,%d)", stages[0], stages[1], stages[2])
+	}
+	if mp.WideModules > 0 {
+		return fmt.Sprintf("replicated(%d x %s + %d x %s)",
+			mp.WideModules, shape(mp.WideStages), mp.Modules-mp.WideModules, shape(mp.Stages))
+	}
 	if len(mp.Stages) == 1 {
 		if mp.Modules == 1 {
 			return fmt.Sprintf("data-parallel(%d)", mp.Stages[0])
@@ -147,8 +203,8 @@ func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
 	}
 
 	runStats := fx.Run(mach, func(p *fx.Proc) {
-		streams.RunModules(p, mp.Modules, mp.Procs(), func(p *fx.Proc, module int) {
-			runModule(p, cfg, mp.Stages, module, mp.Modules, meter, record)
+		streams.RunModules(p, mp.ModuleSizes(), func(p *fx.Proc, module int) {
+			runModule(p, cfg, mp.ModuleStages(module), module, mp.Modules, meter, record)
 		})
 	})
 	res.Stream = meter.Summarize()

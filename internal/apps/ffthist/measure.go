@@ -1,0 +1,77 @@
+package ffthist
+
+import (
+	"fmt"
+
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/sim"
+	"fxpar/internal/stats"
+)
+
+// measureStage simulates stage s of FFT-Hist in isolation on p processors
+// for one data set and returns the virtual makespan — one cell of the
+// measured cost table t(s, p). The simulation is deterministic in virtual
+// time, so the result is a pure function of (cost, cfg, s, p).
+func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+	if p > cfg.N {
+		p = cfg.N // stages distribute over the N matrix rows
+	}
+	mach := machine.New(p, cost)
+	st := fx.Run(mach, func(px *fx.Proc) {
+		g := px.Group()
+		a := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.N, cfg.N))
+		switch s {
+		case 0: // cffts: sensor read + scatter + column FFTs
+			inputSet(px, a, 0, cfg.N)
+			fftLocalRows(px, a)
+		case 1: // rffts: row FFTs only
+			fftLocalRows(px, a)
+		case 2: // hist: histogram + reduction + result write
+			histSet(px, a, cfg, 0, stats.NewStream(), func(int, []int64) {})
+		default:
+			panic(fmt.Sprintf("ffthist: no stage %d", s))
+		}
+	})
+	return st.MakespanTime()
+}
+
+// measureDP simulates the whole program data-parallel on p processors for a
+// single data set and returns the per-set latency.
+func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+	if p > cfg.N {
+		p = cfg.N
+	}
+	one := cfg
+	one.Sets = 1
+	res := Run(machine.New(p, cost), one, DataParallel(p))
+	return res.Stream.Latency
+}
+
+// MeasuredModel builds the mapper's cost model for FFT-Hist by simulating
+// every stage at every candidate processor count (and the data-parallel
+// whole program), instead of using BuildModel's closed forms. The
+// measurement campaign fans out over opt.Workers host workers and is
+// memoized under a content key of (app, parameters, machine size, cost
+// constants) — see mapping.BuildTables — so repeated builds, in-process or
+// across process invocations with opt.CacheDir set, skip the simulations
+// entirely. The returned source says where the tables came from.
+func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
+	closed := BuildModel(cost, cfg, maxP) // reuse caps and transfer-cost structure
+	spec := mapping.TableSpec{
+		App:    "ffthist",
+		Params: fmt.Sprintf("N=%d,Bins=%d", cfg.N, cfg.Bins),
+		P:      maxP,
+		Stages: closed.StageNames,
+		Cost:   cost,
+	}
+	tab, src, err := mapping.BuildTables(spec, opt,
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
+		func(p int) float64 { return measureDP(cost, cfg, p) })
+	if err != nil {
+		return mapping.Model{}, src, err
+	}
+	return tab.Model(spec, maxP, closed.Caps, closed.Xfer), src, nil
+}

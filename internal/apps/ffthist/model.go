@@ -71,5 +71,8 @@ func BuildModel(cost sim.CostModel, cfg Config, maxP int) mapping.Model {
 // Processors the choice leaves unused simply idle (as in the paper's
 // data-parallel radar program, which could not use all 64 nodes).
 func ChoiceToMapping(c mapping.Choice) Mapping {
-	return Mapping{Modules: c.Modules, Stages: append([]int(nil), c.StageProcs...)}
+	return Mapping{
+		Modules: c.Modules, Stages: append([]int(nil), c.StageProcs...),
+		WideModules: c.WideModules, WideStages: append([]int(nil), c.WideStageProcs...),
+	}
 }

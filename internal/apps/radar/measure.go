@@ -1,0 +1,83 @@
+package radar
+
+import (
+	"fmt"
+
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/sim"
+	"fxpar/internal/stats"
+)
+
+// measureStage simulates stage s of the radar program in isolation on p
+// processors for one data set and returns the virtual makespan.
+func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+	caps := []int{cfg.Gates, cfg.Rows, cfg.Rows, cfg.Rows}
+	if p > caps[s] {
+		p = caps[s]
+	}
+	mach := machine.New(p, cost)
+	st := fx.Run(mach, func(px *fx.Proc) {
+		g := px.Group()
+		switch s {
+		case 0: // input: serial sensor read + scatter of the gate-major matrix
+			a0 := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.Gates, cfg.Rows))
+			inputSet(px, a0, cfg, 0)
+		case 1: // fft over the corner-turned rows
+			a1 := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.Rows, cfg.Gates))
+			fftRows(px, a1)
+		case 2: // scale
+			a1 := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.Rows, cfg.Gates))
+			scaleLocal(px, a1, cfg.Scale)
+		case 3: // threshold + reduce + detection write-out
+			a1 := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.Rows, cfg.Gates))
+			// The report I/O is data-dependent (detections found); real data
+			// sets yield one detection per row by construction, so pre-plant
+			// one per local row for a representative output volume.
+			if a1.IsMember() {
+				rows := a1.LocalShape()[0]
+				for r := 0; r < rows; r++ {
+					a1.Local()[r*cfg.Gates] = complex(1, 0)
+				}
+			}
+			thresholdAndReport(px, a1, cfg, 0, stats.NewStream(), func(int, int) {})
+		default:
+			panic(fmt.Sprintf("radar: no stage %d", s))
+		}
+	})
+	return st.MakespanTime()
+}
+
+// measureDP simulates the whole radar program data-parallel on p processors
+// for a single data set and returns the per-set latency.
+func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+	if p > cfg.Rows {
+		p = cfg.Rows // the data-parallel program cannot use more than Rows
+	}
+	one := cfg
+	one.Sets = 1
+	res := Run(machine.New(p, cost), one, DataParallel(p))
+	return res.Stream.Latency
+}
+
+// MeasuredModel builds the radar cost model from isolated stage simulations
+// memoized by content key; see ffthist.MeasuredModel for the contract.
+func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
+	closed := BuildModel(cost, cfg, maxP)
+	spec := mapping.TableSpec{
+		App:    "radar",
+		Params: fmt.Sprintf("Gates=%d,Rows=%d,Scale=%g,Thr=%g", cfg.Gates, cfg.Rows, cfg.Scale, cfg.Threshold),
+		P:      maxP,
+		Stages: closed.StageNames,
+		Cost:   cost,
+	}
+	tab, src, err := mapping.BuildTables(spec, opt,
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
+		func(p int) float64 { return measureDP(cost, cfg, p) })
+	if err != nil {
+		return mapping.Model{}, src, err
+	}
+	return tab.Model(spec, maxP, closed.Caps, closed.Xfer), src, nil
+}

@@ -44,22 +44,45 @@ func DefaultConfig() Config {
 
 // Mapping mirrors ffthist.Mapping: Modules replicas, each either
 // data-parallel (one stage size) or a 4-stage pipeline
-// (input/corner-turn, FFT, scale, threshold).
+// (input/corner-turn, FFT, scale, threshold). The first WideModules
+// modules run with WideStages instead of Stages — the optimizer's way of
+// spending the P mod Modules leftover processors.
 type Mapping struct {
-	Modules int
-	Stages  []int
+	Modules     int
+	Stages      []int
+	WideModules int
+	WideStages  []int
 }
 
 // DataParallel returns the data-parallel mapping on p processors.
 func DataParallel(p int) Mapping { return Mapping{Modules: 1, Stages: []int{p}} }
 
+// ModuleStages returns the per-stage processor counts of module i.
+func (mp Mapping) ModuleStages(i int) []int {
+	if i < mp.WideModules {
+		return mp.WideStages
+	}
+	return mp.Stages
+}
+
+// ModuleSizes returns the total processors of each module, in module order.
+func (mp Mapping) ModuleSizes() []int {
+	sizes := make([]int, mp.Modules)
+	for i := range sizes {
+		for _, q := range mp.ModuleStages(i) {
+			sizes[i] += q
+		}
+	}
+	return sizes
+}
+
 // Procs returns the processors the mapping occupies.
 func (mp Mapping) Procs() int {
 	s := 0
-	for _, q := range mp.Stages {
-		s += q
+	for _, sz := range mp.ModuleSizes() {
+		s += sz
 	}
-	return mp.Modules * s
+	return s
 }
 
 // Validate checks the mapping against the machine and workload: pipelines
@@ -68,16 +91,35 @@ func (mp Mapping) Validate(total int, cfg Config) error {
 	if mp.Modules < 1 {
 		return fmt.Errorf("radar: Modules = %d", mp.Modules)
 	}
-	if len(mp.Stages) != 1 && len(mp.Stages) != 4 {
-		return fmt.Errorf("radar: need 1 or 4 stage sizes, got %v", mp.Stages)
+	if mp.WideModules < 0 || (mp.WideModules > 0 && mp.WideModules >= mp.Modules) {
+		return fmt.Errorf("radar: WideModules = %d of %d", mp.WideModules, mp.Modules)
 	}
-	for i, q := range mp.Stages {
-		if q < 1 {
-			return fmt.Errorf("radar: non-positive stage size in %v", mp.Stages)
+	checkStages := func(stages []int) error {
+		if len(stages) != 1 && len(stages) != 4 {
+			return fmt.Errorf("radar: need 1 or 4 stage sizes, got %v", stages)
 		}
-		if (len(mp.Stages) == 1 || i > 0) && q > cfg.Rows {
-			return fmt.Errorf("radar: stage %d uses %d processors but only %d rows exist", i, q, cfg.Rows)
+		for i, q := range stages {
+			if q < 1 {
+				return fmt.Errorf("radar: non-positive stage size in %v", stages)
+			}
+			if (len(stages) == 1 || i > 0) && q > cfg.Rows {
+				return fmt.Errorf("radar: stage %d uses %d processors but only %d rows exist", i, q, cfg.Rows)
+			}
 		}
+		return nil
+	}
+	if err := checkStages(mp.Stages); err != nil {
+		return err
+	}
+	if mp.WideModules > 0 {
+		if err := checkStages(mp.WideStages); err != nil {
+			return err
+		}
+		if len(mp.WideStages) != len(mp.Stages) {
+			return fmt.Errorf("radar: wide stages %v mismatch narrow %v", mp.WideStages, mp.Stages)
+		}
+	} else if mp.WideStages != nil {
+		return fmt.Errorf("radar: WideStages %v with zero WideModules", mp.WideStages)
 	}
 	if mp.Procs() > total {
 		return fmt.Errorf("radar: mapping uses %d processors, machine has %d", mp.Procs(), total)
@@ -86,6 +128,16 @@ func (mp Mapping) Validate(total int, cfg Config) error {
 }
 
 func (mp Mapping) String() string {
+	shape := func(stages []int) string {
+		if len(stages) == 1 {
+			return fmt.Sprintf("dp %d", stages[0])
+		}
+		return fmt.Sprintf("pipeline%v", stages)
+	}
+	if mp.WideModules > 0 {
+		return fmt.Sprintf("replicated(%d x %s + %d x %s)",
+			mp.WideModules, shape(mp.WideStages), mp.Modules-mp.WideModules, shape(mp.Stages))
+	}
 	if len(mp.Stages) == 1 {
 		if mp.Modules == 1 {
 			return fmt.Sprintf("data-parallel(%d)", mp.Stages[0])
@@ -137,8 +189,8 @@ func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
 		mu <- struct{}{}
 	}
 	runStats := fx.Run(mach, func(p *fx.Proc) {
-		streams.RunModules(p, mp.Modules, mp.Procs(), func(p *fx.Proc, module int) {
-			runModule(p, cfg, mp.Stages, module, mp.Modules, meter, record)
+		streams.RunModules(p, mp.ModuleSizes(), func(p *fx.Proc, module int) {
+			runModule(p, cfg, mp.ModuleStages(module), module, mp.Modules, meter, record)
 		})
 	})
 	res.Stream = meter.Summarize()

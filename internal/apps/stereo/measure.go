@@ -1,0 +1,70 @@
+package stereo
+
+import (
+	"fmt"
+
+	"fxpar/internal/dist"
+	"fxpar/internal/fx"
+	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/sim"
+	"fxpar/internal/stats"
+)
+
+// measureStage simulates stage s of the stereo program in isolation on p
+// processors for one data set and returns the virtual makespan.
+func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+	if p > cfg.H {
+		p = cfg.H // all stages distribute over the H image rows
+	}
+	mach := machine.New(p, cost)
+	st := fx.Run(mach, func(px *fx.Proc) {
+		g := px.Group()
+		vol := newVolume(px, g, cfg)
+		switch s {
+		case 0: // diff: camera read + scatter + SSD volume
+			diffStage(px, vol, cfg, 0)
+		case 1: // error: window sums with halo exchange
+			errorStage(px, vol, cfg)
+		case 2: // depth: argmin + reduce + depth-image write
+			depth := dist.New[int32](px.Proc, dist.RowBlock2D(g, cfg.H, cfg.W))
+			depthStage(px, vol, depth, cfg, 0, stats.NewStream(), func(int, int64) {})
+		default:
+			panic(fmt.Sprintf("stereo: no stage %d", s))
+		}
+	})
+	return st.MakespanTime()
+}
+
+// measureDP simulates the whole stereo program data-parallel on p
+// processors for a single data set and returns the per-set latency.
+func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+	if p > cfg.H {
+		p = cfg.H
+	}
+	one := cfg
+	one.Sets = 1
+	res := Run(machine.New(p, cost), one, DataParallel(p))
+	return res.Stream.Latency
+}
+
+// MeasuredModel builds the stereo cost model from isolated stage
+// simulations memoized by content key; see ffthist.MeasuredModel for the
+// contract.
+func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
+	closed := BuildModel(cost, cfg, maxP)
+	spec := mapping.TableSpec{
+		App:    "stereo",
+		Params: fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window),
+		P:      maxP,
+		Stages: closed.StageNames,
+		Cost:   cost,
+	}
+	tab, src, err := mapping.BuildTables(spec, opt,
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
+		func(p int) float64 { return measureDP(cost, cfg, p) })
+	if err != nil {
+		return mapping.Model{}, src, err
+	}
+	return tab.Model(spec, maxP, closed.Caps, closed.Xfer), src, nil
+}

@@ -38,22 +38,45 @@ func DefaultConfig() Config {
 }
 
 // Mapping: Modules replicas of either a data-parallel module (one entry) or
-// a 3-stage pipeline (diff, error, depth).
+// a 3-stage pipeline (diff, error, depth). The first WideModules modules
+// run with WideStages instead of Stages — the optimizer's way of spending
+// the P mod Modules leftover processors.
 type Mapping struct {
-	Modules int
-	Stages  []int
+	Modules     int
+	Stages      []int
+	WideModules int
+	WideStages  []int
 }
 
 // DataParallel returns the data-parallel mapping on p processors.
 func DataParallel(p int) Mapping { return Mapping{Modules: 1, Stages: []int{p}} }
 
+// ModuleStages returns the per-stage processor counts of module i.
+func (mp Mapping) ModuleStages(i int) []int {
+	if i < mp.WideModules {
+		return mp.WideStages
+	}
+	return mp.Stages
+}
+
+// ModuleSizes returns the total processors of each module, in module order.
+func (mp Mapping) ModuleSizes() []int {
+	sizes := make([]int, mp.Modules)
+	for i := range sizes {
+		for _, q := range mp.ModuleStages(i) {
+			sizes[i] += q
+		}
+	}
+	return sizes
+}
+
 // Procs returns the processors the mapping occupies.
 func (mp Mapping) Procs() int {
 	s := 0
-	for _, q := range mp.Stages {
-		s += q
+	for _, sz := range mp.ModuleSizes() {
+		s += sz
 	}
-	return mp.Modules * s
+	return s
 }
 
 // Validate checks the mapping.
@@ -61,16 +84,35 @@ func (mp Mapping) Validate(total int, cfg Config) error {
 	if mp.Modules < 1 {
 		return fmt.Errorf("stereo: Modules = %d", mp.Modules)
 	}
-	if len(mp.Stages) != 1 && len(mp.Stages) != 3 {
-		return fmt.Errorf("stereo: need 1 or 3 stage sizes, got %v", mp.Stages)
+	if mp.WideModules < 0 || (mp.WideModules > 0 && mp.WideModules >= mp.Modules) {
+		return fmt.Errorf("stereo: WideModules = %d of %d", mp.WideModules, mp.Modules)
 	}
-	for _, q := range mp.Stages {
-		if q < 1 {
-			return fmt.Errorf("stereo: non-positive stage size in %v", mp.Stages)
+	checkStages := func(stages []int) error {
+		if len(stages) != 1 && len(stages) != 3 {
+			return fmt.Errorf("stereo: need 1 or 3 stage sizes, got %v", stages)
 		}
-		if q > cfg.H {
-			return fmt.Errorf("stereo: stage of %d processors exceeds %d image rows", q, cfg.H)
+		for _, q := range stages {
+			if q < 1 {
+				return fmt.Errorf("stereo: non-positive stage size in %v", stages)
+			}
+			if q > cfg.H {
+				return fmt.Errorf("stereo: stage of %d processors exceeds %d image rows", q, cfg.H)
+			}
 		}
+		return nil
+	}
+	if err := checkStages(mp.Stages); err != nil {
+		return err
+	}
+	if mp.WideModules > 0 {
+		if err := checkStages(mp.WideStages); err != nil {
+			return err
+		}
+		if len(mp.WideStages) != len(mp.Stages) {
+			return fmt.Errorf("stereo: wide stages %v mismatch narrow %v", mp.WideStages, mp.Stages)
+		}
+	} else if mp.WideStages != nil {
+		return fmt.Errorf("stereo: WideStages %v with zero WideModules", mp.WideStages)
 	}
 	if mp.Procs() > total {
 		return fmt.Errorf("stereo: mapping uses %d processors, machine has %d", mp.Procs(), total)
@@ -79,6 +121,16 @@ func (mp Mapping) Validate(total int, cfg Config) error {
 }
 
 func (mp Mapping) String() string {
+	shape := func(stages []int) string {
+		if len(stages) == 1 {
+			return fmt.Sprintf("dp %d", stages[0])
+		}
+		return fmt.Sprintf("pipeline%v", stages)
+	}
+	if mp.WideModules > 0 {
+		return fmt.Sprintf("replicated(%d x %s + %d x %s)",
+			mp.WideModules, shape(mp.WideStages), mp.Modules-mp.WideModules, shape(mp.Stages))
+	}
 	if len(mp.Stages) == 1 {
 		if mp.Modules == 1 {
 			return fmt.Sprintf("data-parallel(%d)", mp.Stages[0])
@@ -145,8 +197,8 @@ func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
 		mu <- struct{}{}
 	}
 	runStats := fx.Run(mach, func(p *fx.Proc) {
-		streams.RunModules(p, mp.Modules, mp.Procs(), func(p *fx.Proc, module int) {
-			runModule(p, cfg, mp.Stages, module, mp.Modules, meter, record)
+		streams.RunModules(p, mp.ModuleSizes(), func(p *fx.Proc, module int) {
+			runModule(p, cfg, mp.ModuleStages(module), module, mp.Modules, meter, record)
 		})
 	})
 	res.Stream = meter.Summarize()

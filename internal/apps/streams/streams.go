@@ -12,26 +12,35 @@ import (
 	"fxpar/internal/group"
 )
 
-// RunModules partitions the current group into `modules` equal subgroups
-// using the first `used` processors (the rest idle, like the nodes the
-// paper's data-parallel radar could not exploit) and runs body on each
-// module with its index. With one module and no idle processors the body
-// runs directly on the current group, avoiding a needless partition level.
-// used must be divisible by modules and not exceed the current group.
-func RunModules(p *fx.Proc, modules, used int, body func(p *fx.Proc, module int)) {
+// RunModules partitions the current group into one subgroup per entry of
+// sizes — sizes[i] processors for module i, not necessarily equal, so the
+// optimizer can hand leftover processors to some modules — with any
+// remaining processors idling (like the nodes the paper's data-parallel
+// radar could not exploit), and runs body on each module with its index.
+// With one module and no idle processors the body runs directly on the
+// current group, avoiding a needless partition level. The sizes must be
+// positive and sum to at most the current group size.
+func RunModules(p *fx.Proc, sizes []int, body func(p *fx.Proc, module int)) {
 	np := p.NumberOfProcessors()
-	if modules < 1 || used < modules || used > np || used%modules != 0 {
-		panic(fmt.Sprintf("streams: cannot run %d modules on %d of %d processors", modules, used, np))
+	modules := len(sizes)
+	used := 0
+	for _, s := range sizes {
+		if s < 1 {
+			panic(fmt.Sprintf("streams: non-positive module size in %v", sizes))
+		}
+		used += s
+	}
+	if modules < 1 || used > np {
+		panic(fmt.Sprintf("streams: cannot run modules %v on %d processors", sizes, np))
 	}
 	idle := np - used
 	if modules == 1 && idle == 0 {
 		body(p, 0)
 		return
 	}
-	per := used / modules
 	specs := make([]group.Spec, 0, modules+1)
-	for i := 0; i < modules; i++ {
-		specs = append(specs, group.Sub(ModuleName(i), per))
+	for i, s := range sizes {
+		specs = append(specs, group.Sub(ModuleName(i), s))
 	}
 	if idle > 0 {
 		specs = append(specs, group.Sub("idle", idle))
@@ -45,6 +54,16 @@ func RunModules(p *fx.Proc, modules, used int, body func(p *fx.Proc, module int)
 			})
 		}
 	})
+}
+
+// Uniform returns the sizes slice of modules equal modules of per
+// processors each.
+func Uniform(modules, per int) []int {
+	sizes := make([]int, modules)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	return sizes
 }
 
 // ModuleName returns the subgroup name of module i.

@@ -16,7 +16,7 @@ func testMachine(n int) *machine.Machine {
 func TestSingleModuleNoPartition(t *testing.T) {
 	m := testMachine(4)
 	fx.Run(m, func(p *fx.Proc) {
-		RunModules(p, 1, 4, func(p *fx.Proc, mod int) {
+		RunModules(p, []int{4}, func(p *fx.Proc, mod int) {
 			if mod != 0 || p.NumberOfProcessors() != 4 || p.Depth() != 1 {
 				t.Errorf("mod=%d np=%d depth=%d", mod, p.NumberOfProcessors(), p.Depth())
 			}
@@ -29,7 +29,7 @@ func TestModulesSplitEvenly(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]int{}
 	fx.Run(m, func(p *fx.Proc) {
-		RunModules(p, 3, 6, func(p *fx.Proc, mod int) {
+		RunModules(p, Uniform(3, 2), func(p *fx.Proc, mod int) {
 			if p.NumberOfProcessors() != 2 {
 				t.Errorf("module %d np=%d", mod, p.NumberOfProcessors())
 			}
@@ -48,7 +48,7 @@ func TestModulesSplitEvenly(t *testing.T) {
 func TestIdleProcessorsSkip(t *testing.T) {
 	m := testMachine(5)
 	stats := fx.Run(m, func(p *fx.Proc) {
-		RunModules(p, 2, 4, func(p *fx.Proc, mod int) {
+		RunModules(p, []int{2, 2}, func(p *fx.Proc, mod int) {
 			p.Compute(1000)
 		})
 	})
@@ -62,7 +62,7 @@ func TestSingleModuleWithIdle(t *testing.T) {
 	var mu sync.Mutex
 	ran := 0
 	fx.Run(m, func(p *fx.Proc) {
-		RunModules(p, 1, 3, func(p *fx.Proc, mod int) {
+		RunModules(p, []int{3}, func(p *fx.Proc, mod int) {
 			if p.NumberOfProcessors() != 3 {
 				t.Errorf("np = %d", p.NumberOfProcessors())
 			}
@@ -76,21 +76,55 @@ func TestSingleModuleWithIdle(t *testing.T) {
 	}
 }
 
-func TestInvalidArgsPanic(t *testing.T) {
-	cases := []struct{ modules, used int }{
-		{0, 4}, {3, 4}, {2, 6}, {2, 1},
+func TestUnevenModuleSizes(t *testing.T) {
+	m := testMachine(7)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	fx.Run(m, func(p *fx.Proc) {
+		RunModules(p, []int{3, 2, 2}, func(p *fx.Proc, mod int) {
+			want := 2
+			if mod == 0 {
+				want = 3
+			}
+			if p.NumberOfProcessors() != want {
+				t.Errorf("module %d np=%d, want %d", mod, p.NumberOfProcessors(), want)
+			}
+			mu.Lock()
+			seen[mod]++
+			mu.Unlock()
+		})
+	})
+	if seen[0] != 3 || seen[1] != 2 || seen[2] != 2 {
+		t.Errorf("module membership = %v", seen)
 	}
-	for _, tc := range cases {
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	cases := [][]int{
+		{},        // no modules
+		{3, 2},    // uses 5 of 4
+		{2, 2, 2}, // uses 6 of 4
+		{0, 2},    // non-positive size
+		{-1},      // non-positive size
+	}
+	for _, sizes := range cases {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("modules=%d used=%d accepted", tc.modules, tc.used)
+					t.Errorf("sizes=%v accepted", sizes)
 				}
 			}()
 			m := testMachine(4)
 			fx.Run(m, func(p *fx.Proc) {
-				RunModules(p, tc.modules, tc.used, func(*fx.Proc, int) {})
+				RunModules(p, sizes, func(*fx.Proc, int) {})
 			})
 		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	got := Uniform(3, 2)
+	if len(got) != 3 || got[0] != 2 || got[2] != 2 {
+		t.Errorf("Uniform(3,2) = %v", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
 )
 
@@ -70,7 +71,10 @@ func TestTable1Print(t *testing.T) {
 
 func TestFig5QuickShapes(t *testing.T) {
 	cfg := QuickFig5()
-	rows := Fig5(cfg)
+	rows, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -100,6 +104,53 @@ func TestFig5QuickShapes(t *testing.T) {
 	PrintFig5(&buf, rows, cfg)
 	if !strings.Contains(buf.String(), "processor allocation") {
 		t.Error("diagram missing")
+	}
+}
+
+// TestCampaignParallelismIsInvisible is the acceptance check for the
+// host-parallel campaign driver: the rendered Table 1 and Figure 5 must be
+// byte-identical whether the campaign runs on one host thread or several,
+// with cold cost-table caches both times.
+func TestCampaignParallelismIsInvisible(t *testing.T) {
+	render := func(workers int) string {
+		mapping.ResetTableMemo() // cold in-process cache for both runs
+		t1 := QuickTable1()
+		t1.Workers = workers
+		f5 := QuickFig5()
+		f5.Workers = workers
+		var buf bytes.Buffer
+		PrintTable1(&buf, Table1(t1), t1.Procs)
+		rows, err := Fig5(f5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PrintFig5(&buf, rows, f5)
+		return buf.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("-j1 and -j4 output differ:\n--- j1 ---\n%s\n--- j4 ---\n%s", serial, parallel)
+	}
+}
+
+// TestTable1WarmDiskCache: with a populated cache directory, a fresh
+// process (simulated by clearing the memo) sources every row's cost tables
+// from disk and produces the same rows.
+func TestTable1WarmDiskCache(t *testing.T) {
+	cfg := QuickTable1()
+	cfg.CacheDir = t.TempDir()
+	mapping.ResetTableMemo()
+	cold := Table1(cfg)
+	mapping.ResetTableMemo()
+	warm := Table1(cfg)
+	for i, r := range warm {
+		if r.ModelSource != "disk" {
+			t.Errorf("row %d (%s %s): tables from %q, want disk", i, r.Name, r.Size, r.ModelSource)
+		}
+		c := cold[i]
+		if r.Best != c.Best || r.TaskThroughput != c.TaskThroughput || r.TaskLatency != c.TaskLatency {
+			t.Errorf("row %d differs warm vs cold: %+v vs %+v", i, r, c)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fxpar/internal/machine"
 	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
 )
 
 // Fig5Row is one mapping of Figure 5: the latency-optimal mapping of the
@@ -33,6 +34,10 @@ type Fig5Config struct {
 	Procs int
 	N     int
 	Sets  int
+	// Workers bounds host parallelism (0 = GOMAXPROCS); CacheDir persists
+	// the measured cost tables. Neither changes any simulated number.
+	Workers  int
+	CacheDir string
 }
 
 // DefaultFig5 matches the paper: 512x512 FFT-Hist on 64 processors.
@@ -44,10 +49,19 @@ func QuickFig5() Fig5Config { return Fig5Config{Procs: 16, N: 64, Sets: 6} }
 // Fig5 regenerates Figure 5: the best mapping under no constraint, and
 // under throughput constraints matching the paper's ratios (the paper used
 // goals of 2 and 4 sets/s against a 1.99 sets/s data-parallel baseline).
-func Fig5(cfg Fig5Config) []Fig5Row {
+//
+// The cost tables come from memoized stage simulations (see
+// mapping.BuildTables); the three constraint cases then run concurrently.
+// The returned error is a table-construction failure — individual
+// infeasible constraints are reported in their row instead.
+func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	cost := sim.Paragon()
 	appCfg := ffthist.Config{N: cfg.N, Sets: cfg.Sets, Bins: 64}
-	model := ffthist.BuildModel(cost, appCfg, cfg.Procs)
+	opt := mapping.BuildOptions{Workers: cfg.Workers, CacheDir: cfg.CacheDir}
+	model, _, err := ffthist.MeasuredModel(cost, appCfg, cfg.Procs, opt)
+	if err != nil {
+		return nil, err
+	}
 	dpThroughput := 1 / model.DPT[cfg.Procs]
 
 	cases := []struct {
@@ -58,29 +72,35 @@ func Fig5(cfg Fig5Config) []Fig5Row {
 		{"throughput >= 1.005x DP", 1.005 * dpThroughput}, // paper: goal 2 vs DP 1.99
 		{"throughput >= 2.01x DP", 2.01 * dpThroughput},   // paper: goal 4 vs DP 1.99
 	}
-	rows := make([]Fig5Row, 0, len(cases))
-	for _, c := range cases {
+	res := sweep.Map(cfg.Workers, len(cases), func(i int) (Fig5Row, error) {
+		c := cases[i]
 		row := Fig5Row{Constraint: c.label, Goal: c.goal}
 		choice, err := mapping.Optimize(model, c.goal)
 		if err != nil {
 			row.Constraint += " [infeasible]"
-			rows = append(rows, row)
-			continue
+			return row, nil
 		}
 		row.Choice = choice
 		row.Mapping = ffthist.ChoiceToMapping(choice)
-		res := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, row.Mapping)
-		row.Throughput = res.Stream.Throughput
-		row.Latency = res.Stream.Latency
+		r := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, row.Mapping)
+		row.Throughput = r.Stream.Throughput
+		row.Latency = r.Stream.Latency
 		if pc, err := mapping.OptimizePipeline(model, c.goal); err == nil {
 			row.Pipeline = pc
 			pres := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.ChoiceToMapping(pc))
 			row.PipelineThroughput = pres.Stream.Throughput
 			row.PipelineLatency = pres.Stream.Latency
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	rows := make([]Fig5Row, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		rows[i] = r.Value
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintFig5 writes the mappings with a processor-allocation diagram in the
@@ -99,12 +119,15 @@ func PrintFig5(w io.Writer, rows []Fig5Row, cfg Fig5Config) {
 		fmt.Fprintf(w, "  processor allocation:\n")
 		stageNames := []string{"colffts", "rowffts", "hist"}
 		for m := 0; m < r.Choice.Modules; m++ {
-			if len(r.Choice.StageProcs) == 1 {
+			// Wide modules (the ones absorbing P mod r leftover processors)
+			// have their own stage widths.
+			procs := r.Choice.ModuleStageProcs(m)
+			if len(procs) == 1 {
 				fmt.Fprintf(w, "    module %d: [%s] all stages x %d procs\n",
-					m+1, strings.Repeat("#", min(r.Choice.StageProcs[0], 64)), r.Choice.StageProcs[0])
+					m+1, strings.Repeat("#", min(procs[0], 64)), procs[0])
 				continue
 			}
-			for s, q := range r.Choice.StageProcs {
+			for s, q := range procs {
 				fmt.Fprintf(w, "    module %d %-8s: [%s] %d procs\n",
 					m+1, stageNames[s], strings.Repeat("#", min(q, 64)), q)
 			}

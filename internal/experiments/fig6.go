@@ -8,6 +8,7 @@ import (
 	"fxpar/internal/apps/airshed"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
 )
 
 // Fig6Point is one point of Figure 6's speedup plot.
@@ -24,6 +25,8 @@ type Fig6Point struct {
 type Fig6Config struct {
 	ProcCounts []int
 	App        airshed.Config
+	// Workers bounds host parallelism for the sweep (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig6 matches the paper's sweep up to 64 processors.
@@ -48,16 +51,32 @@ func QuickFig6() Fig6Config {
 
 // Fig6 regenerates Figure 6: Airshed speedup over the 1-processor time for
 // the data-parallel and the task+data-parallel (separated I/O) versions.
+// Every point is an independent simulation, so the whole sweep (baseline
+// included) fans out over cfg.Workers host threads.
 func Fig6(cfg Fig6Config) []Fig6Point {
 	cost := sim.Paragon()
-	t1 := airshed.Run(machine.New(1, cost), cfg.App, airshed.DataParallel).Makespan
-	points := make([]Fig6Point, 0, len(cfg.ProcCounts))
-	for _, p := range cfg.ProcCounts {
+	// Job 0 is the 1-processor baseline; job i+1 simulates point i (both
+	// program versions). Speedups are filled in after the barrier because
+	// they all divide by the baseline.
+	res := sweep.Map(cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
+		if i == 0 {
+			return Fig6Point{Procs: 1,
+				DPMakespan: airshed.Run(machine.New(1, cost), cfg.App, airshed.DataParallel).Makespan}, nil
+		}
+		p := cfg.ProcCounts[i-1]
 		pt := Fig6Point{Procs: p}
 		pt.DPMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.DataParallel).Makespan
-		pt.DPSpeedup = t1 / pt.DPMakespan
 		if p >= 4 {
 			pt.TaskMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.TaskIO).Makespan
+		}
+		return pt, nil
+	})
+	t1 := res[0].Value.DPMakespan
+	points := make([]Fig6Point, 0, len(cfg.ProcCounts))
+	for _, r := range res[1:] {
+		pt := r.Value
+		pt.DPSpeedup = t1 / pt.DPMakespan
+		if pt.TaskMakespan > 0 {
 			pt.TaskSpeedup = t1 / pt.TaskMakespan
 			pt.TaskImprovement = (pt.DPMakespan - pt.TaskMakespan) / pt.DPMakespan
 		}

@@ -22,6 +22,7 @@ import (
 	"fxpar/internal/machine"
 	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
 )
 
 // Table1Row is one program of Table 1.
@@ -38,6 +39,7 @@ type Table1Row struct {
 	Goal                        float64 // GoalRatio x predicted DP throughput
 	Best                        string  // chosen mapping
 	TaskThroughput, TaskLatency float64
+	ModelSource                 string // where the cost tables came from: computed | memory | disk
 }
 
 // Table1Config controls the workload scale (full = paper sizes; quick =
@@ -50,6 +52,12 @@ type Table1Config struct {
 	// mapper's decisions respond to it — rerunning Table 1 under
 	// sim.Workstation() shows different mappings winning.
 	Cost sim.CostModel
+	// Workers bounds host parallelism for the simulation campaign
+	// (0 = GOMAXPROCS). All simulated times are identical for every value.
+	Workers int
+	// CacheDir, when non-empty, persists the measured cost tables to disk
+	// so later runs skip the cost-table simulations entirely.
+	CacheDir string
 }
 
 // DefaultTable1 runs at the paper's scale: 64 processors.
@@ -65,51 +73,61 @@ func (c Table1Config) cost() sim.CostModel {
 	return c.Cost
 }
 
+func (c Table1Config) buildOptions() mapping.BuildOptions {
+	return mapping.BuildOptions{Workers: c.Workers, CacheDir: c.CacheDir}
+}
+
 // Table1 regenerates Table 1: for each sensor program, the data-parallel
 // throughput/latency and the latency-optimal task+data parallel mapping
 // meeting the paper's (relative) throughput goal.
+//
+// The four rows are independent simulation campaigns, so they run
+// concurrently on up to cfg.Workers host threads; inside each row the cost
+// tables are themselves measured in parallel. Every simulated number is
+// byte-identical to a Workers=1 run.
 func Table1(cfg Table1Config) []Table1Row {
 	cost := cfg.cost()
-	rows := []Table1Row{}
-
-	// FFT-Hist 256x256 (quick: 32) — paper: DP 3.90/s @ .256s; goal 8;
-	// task 13.3/s @ .293s.
-	n1 := 256
+	// FFT-Hist 256x256 and 512x512 (quick: 32/64), Radar 512x10x4
+	// (quick: 64x8), Stereo 256x240 (quick: 64x24); paper numbers inline.
+	n1, n2 := 256, 512
 	if cfg.Quick {
-		n1 = 32
+		n1, n2 = 32, 64
 	}
-	rows = append(rows, ffthistRow("FFT-Hist", n1, cfg,
-		3.90, .256, 8, 13.3, .293, cost))
-
-	// FFT-Hist 512x512 (quick: 64) — paper: DP 1.99/s @ .502s; goal 2;
-	// task 2.48/s @ .807s.
-	n2 := 512
-	if cfg.Quick {
-		n2 = 64
+	builders := []func() Table1Row{
+		func() Table1Row { return ffthistRow("FFT-Hist", n1, cfg, 3.90, .256, 8, 13.3, .293, cost) },
+		func() Table1Row { return ffthistRow("FFT-Hist", n2, cfg, 1.99, .502, 2, 2.48, .807, cost) },
+		func() Table1Row { return radarRow(cfg, cost) },
+		func() Table1Row { return stereoRow(cfg, cost) },
 	}
-	rows = append(rows, ffthistRow("FFT-Hist", n2, cfg,
-		1.99, .502, 2, 2.48, .807, cost))
-
-	// Radar 512x10x4 (quick: 64x8) — paper: DP 23.4/s @ .043s; goal 50;
-	// task 70.2/s @ .043s.
-	rows = append(rows, radarRow(cfg, cost))
-
-	// Stereo 256x240 (quick: 64x24) — paper: DP 3.64/s @ .275s; goal 10;
-	// task 11.67/s @ .514s.
-	rows = append(rows, stereoRow(cfg, cost))
+	res := sweep.Map(cfg.Workers, len(builders), func(i int) (Table1Row, error) {
+		return builders[i](), nil
+	})
+	rows := make([]Table1Row, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			rows[i].Best = "error: " + r.Err.Error()
+			continue
+		}
+		rows[i] = r.Value
+	}
 	return rows
 }
 
 func ffthistRow(name string, n int, cfg Table1Config,
 	pDP, pDPLat, pGoal, pTask, pTaskLat float64, cost sim.CostModel) Table1Row {
 	appCfg := ffthist.Config{N: n, Sets: cfg.Sets, Bins: 64}
-	model := ffthist.BuildModel(cost, appCfg, cfg.Procs)
 	row := Table1Row{
 		Name: name, Size: fmt.Sprintf("%dx%d", n, n),
 		PaperDPThroughput: pDP, PaperDPLatency: pDPLat, PaperGoal: pGoal,
 		PaperTaskThroughput: pTask, PaperTaskLatency: pTaskLat,
 		GoalRatio: pGoal / pDP,
 	}
+	model, src, err := ffthist.MeasuredModel(cost, appCfg, cfg.Procs, cfg.buildOptions())
+	if err != nil {
+		row.Best = "model: " + err.Error()
+		return row
+	}
+	row.ModelSource = src.String()
 	dpCap := cfg.Procs
 	if dpCap > n {
 		dpCap = n
@@ -134,13 +152,18 @@ func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if cfg.Quick {
 		appCfg = radar.Config{Gates: 64, Rows: 8, Sets: cfg.Sets, Scale: 1.0 / 64, Threshold: 0.05}
 	}
-	model := radar.BuildModel(cost, appCfg, cfg.Procs)
 	row := Table1Row{
 		Name: "Radar", Size: fmt.Sprintf("%dx%d", appCfg.Gates, appCfg.Rows),
 		PaperDPThroughput: 23.4, PaperDPLatency: .043, PaperGoal: 50,
 		PaperTaskThroughput: 70.2, PaperTaskLatency: .043,
 		GoalRatio: 50.0 / 23.4,
 	}
+	model, src, err := radar.MeasuredModel(cost, appCfg, cfg.Procs, cfg.buildOptions())
+	if err != nil {
+		row.Best = "model: " + err.Error()
+		return row
+	}
+	row.ModelSource = src.String()
 	dpCap := cfg.Procs
 	if dpCap > appCfg.Rows {
 		dpCap = appCfg.Rows
@@ -165,13 +188,18 @@ func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if cfg.Quick {
 		appCfg = stereo.Config{W: 64, H: 24, Disparities: 8, Window: 2, Sets: cfg.Sets}
 	}
-	model := stereo.BuildModel(cost, appCfg, cfg.Procs)
 	row := Table1Row{
 		Name: "Stereo", Size: fmt.Sprintf("%dx%d", appCfg.W, appCfg.H),
 		PaperDPThroughput: 3.64, PaperDPLatency: .275, PaperGoal: 10,
 		PaperTaskThroughput: 11.67, PaperTaskLatency: .514,
 		GoalRatio: 10.0 / 3.64,
 	}
+	model, src, err := stereo.MeasuredModel(cost, appCfg, cfg.Procs, cfg.buildOptions())
+	if err != nil {
+		row.Best = "model: " + err.Error()
+		return row
+	}
+	row.ModelSource = src.String()
 	dpCap := cfg.Procs
 	if dpCap > appCfg.H {
 		dpCap = appCfg.H

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"testing"
+)
+
+// TestTryRecvEmitsTraceEvents is the regression test for the TryRecv
+// bookkeeping bug: the non-blocking path used to skip the EvWait/EvRecv
+// events and seq bumps that Recv emits, leaving traced timelines with
+// missing receive markers and breaking send→recv edge matching.
+func TestTryRecvEmitsTraceEvents(t *testing.T) {
+	m := New(2, testCost())
+	tr := &sliceTracer{}
+	m.SetTracer(tr)
+	m.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 7, 64)
+		case 1:
+			// The message has a positive virtual arrival time while the
+			// receiver's clock is still 0, so a wait interval must be traced
+			// even on the non-blocking path.
+			for {
+				if _, ok := p.TryRecv(0); ok {
+					return
+				}
+			}
+		}
+	})
+	var wait, recv *Event
+	for i := range tr.evs {
+		e := &tr.evs[i]
+		if e.Proc != 1 {
+			continue
+		}
+		switch e.Kind {
+		case EvWait:
+			wait = e
+		case EvRecv:
+			recv = e
+		}
+	}
+	if wait == nil {
+		t.Fatal("TryRecv emitted no EvWait event for a not-yet-arrived message")
+	}
+	if recv == nil {
+		t.Fatal("TryRecv emitted no EvRecv marker")
+	}
+	if wait.Peer != 0 || wait.Bytes != 64 || wait.Start != 0 || wait.End <= 0 {
+		t.Errorf("wait event = %+v, want peer 0, bytes 64, span [0, arrival]", wait)
+	}
+	if recv.Peer != 0 || recv.Bytes != 64 || recv.Start != recv.End || recv.End != wait.End {
+		t.Errorf("recv marker = %+v, want zero-length marker at wait end %g", recv, wait.End)
+	}
+	if recv.Seq != wait.Seq+1 {
+		t.Errorf("seq numbers wait=%d recv=%d, want consecutive", wait.Seq, recv.Seq)
+	}
+}
+
+// TestTryRecvMatchesRecvAccounting pins that both receive paths produce the
+// same clock advance, idle time, and received-message count.
+func TestTryRecvMatchesRecvAccounting(t *testing.T) {
+	type obs struct {
+		clock, idle float64
+		recvd       int64
+	}
+	run := func(try bool) obs {
+		m := New(2, testCost())
+		var o obs
+		m.Run(func(p *Proc) {
+			switch p.ID() {
+			case 0:
+				p.Compute(5000)
+				p.Send(1, 1, 8)
+			case 1:
+				if try {
+					for {
+						if _, ok := p.TryRecv(0); ok {
+							break
+						}
+					}
+				} else {
+					p.Recv(0)
+				}
+				o = obs{clock: p.Now(), idle: p.IdleTime(), recvd: 1}
+			}
+		})
+		return o
+	}
+	blocking, nonblocking := run(false), run(true)
+	if blocking != nonblocking {
+		t.Errorf("TryRecv accounting %+v differs from Recv accounting %+v", nonblocking, blocking)
+	}
+}
+
+// TestLargeMachineConstructionIsLazy guards the lazy-mailbox allocation:
+// constructing a 1024-processor machine must not materialize the ~1M
+// per-ordered-pair mailboxes up front. The pointer-slice allocation plus the
+// Machine header itself stay within a handful of allocations.
+func TestLargeMachineConstructionIsLazy(t *testing.T) {
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = New(1024, testCost())
+	})
+	if allocs > 4 {
+		t.Errorf("New(1024) performs %.0f allocations, want <= 4 (mailboxes must be lazy)", allocs)
+	}
+}
+
+// TestLazyMailboxesMaterializeOnlyUsedPairs checks that after a run touching
+// k ordered pairs, exactly those slots are non-nil.
+func TestLazyMailboxesMaterializeOnlyUsedPairs(t *testing.T) {
+	m := New(8, testCost())
+	m.Run(func(p *Proc) {
+		n := p.Machine().N()
+		p.Send((p.ID()+1)%n, p.ID(), 8)
+		p.Recv((p.ID() - 1 + n) % n)
+	})
+	live := 0
+	for i := range m.mail {
+		if m.mail[i].Load() != nil {
+			live++
+		}
+	}
+	if live != 8 {
+		t.Errorf("%d mailboxes materialized for an 8-pair ring, want 8", live)
+	}
+}
+
+// BenchmarkMachineNew1024 tracks machine-construction cost at the large
+// machine size the sweep benchmark targets.
+func BenchmarkMachineNew1024(b *testing.B) {
+	cost := testCost()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = New(1024, cost)
+	}
+}

@@ -18,6 +18,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fxpar/internal/sim"
 )
@@ -183,8 +184,28 @@ type Machine struct {
 	// hops returns the network distance between two physical processors;
 	// nil models a flat (distance-free) network.
 	hops func(a, b int) int
-	// mail[dst*n+src] is the FIFO from src to dst.
-	mail []*mailbox
+	// mail[dst*n+src] is the FIFO from src to dst, allocated lazily on the
+	// first send or receive touching the pair: a machine of n processors has
+	// n^2 ordered pairs, but real programs use a tiny fraction of them, and
+	// eager allocation made New(1024, ...) materialize ~1M mailboxes.
+	mail []atomic.Pointer[mailbox]
+}
+
+// mailboxFor returns the FIFO from src to dst, creating it on first use.
+// The sender and the receiver may race to create the same pair's mailbox;
+// CompareAndSwap lets exactly one instance win, so all messages of an
+// ordered pair flow through one queue and the per-pair FIFO guarantee is
+// preserved.
+func (m *Machine) mailboxFor(dst, src int) *mailbox {
+	slot := &m.mail[dst*m.n+src]
+	if mb := slot.Load(); mb != nil {
+		return mb
+	}
+	mb := newMailbox()
+	if slot.CompareAndSwap(nil, mb) {
+		return mb
+	}
+	return slot.Load()
 }
 
 // Hops returns the network distance between two processors (0 on a flat
@@ -210,11 +231,7 @@ func New(n int, cost sim.CostModel) *Machine {
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Machine{n: n, cost: cost, mail: make([]*mailbox, n*n)}
-	for i := range m.mail {
-		m.mail[i] = newMailbox()
-	}
-	return m
+	return &Machine{n: n, cost: cost, mail: make([]atomic.Pointer[mailbox], n*n)}
 }
 
 // NewMesh creates a machine whose cols*rows processors are arranged in a 2D
@@ -405,7 +422,7 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 		Bytes:    bytes,
 		ArriveAt: p.clock + wire,
 	}
-	p.m.mail[dst*p.m.n+p.id].put(msg)
+	p.m.mailboxFor(dst, p.id).put(msg)
 	p.sent++
 	p.bytes += int64(bytes)
 }
@@ -416,7 +433,28 @@ func (p *Proc) Recv(src int) Message {
 	if src < 0 || src >= p.m.n {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d (machine has %d)", src, p.m.n))
 	}
-	msg := p.m.mail[p.id*p.m.n+src].get()
+	msg := p.m.mailboxFor(p.id, src).get()
+	p.finishRecv(src, msg)
+	return msg
+}
+
+// TryRecv receives a message from src if one has already been deposited.
+// Used by tests; SPMD programs use Recv. It performs the same post-receive
+// bookkeeping as Recv, so traced programs using it still emit the
+// EvWait/EvRecv markers trace analysis matches against EvSend events.
+func (p *Proc) TryRecv(src int) (Message, bool) {
+	msg, ok := p.m.mailboxFor(p.id, src).tryGet()
+	if !ok {
+		return Message{}, false
+	}
+	p.finishRecv(src, msg)
+	return msg, true
+}
+
+// finishRecv is the post-receive bookkeeping shared by Recv and TryRecv:
+// wait-time accounting with its EvWait interval, the EvRecv marker, and the
+// received-message counter.
+func (p *Proc) finishRecv(src int, msg Message) {
 	if msg.ArriveAt > p.clock {
 		if p.m.tracer != nil {
 			p.seq++
@@ -432,22 +470,6 @@ func (p *Proc) Recv(src int) Message {
 			Seq: p.seq, Peer: src, Bytes: msg.Bytes})
 	}
 	p.recvd++
-	return msg
-}
-
-// TryRecv receives a message from src if one has already been deposited.
-// Used by tests; SPMD programs use Recv.
-func (p *Proc) TryRecv(src int) (Message, bool) {
-	msg, ok := p.m.mail[p.id*p.m.n+src].tryGet()
-	if !ok {
-		return Message{}, false
-	}
-	if msg.ArriveAt > p.clock {
-		p.idle += msg.ArriveAt - p.clock
-		p.clock = msg.ArriveAt
-	}
-	p.recvd++
-	return msg, true
 }
 
 // ProcStats is the summary of one processor after a run.
@@ -518,7 +540,7 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 	}
 	for dst := 0; dst < m.n; dst++ {
 		for src := 0; src < m.n; src++ {
-			if q := m.mail[dst*m.n+src]; q.pending() != 0 {
+			if q := m.mail[dst*m.n+src].Load(); q != nil && q.pending() != 0 {
 				panic(fmt.Sprintf("machine: %d unconsumed message(s) from %d to %d at program exit", q.pending(), src, dst))
 			}
 		}

@@ -165,7 +165,10 @@ func TestMailboxReusesCapacity(t *testing.T) {
 			t.Fatalf("message %d: got %v", i, got.Data)
 		}
 	}
-	mb := m.mail[1*m.n+0]
+	mb := m.mail[1*m.n+0].Load()
+	if mb == nil {
+		t.Fatal("mailbox for pair (1,0) never materialized")
+	}
 	if cap(mb.queue) > 4 {
 		t.Errorf("mailbox capacity grew to %d under alternating traffic", cap(mb.queue))
 	}

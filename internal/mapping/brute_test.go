@@ -6,13 +6,64 @@ import (
 	"testing/quick"
 )
 
-// bruteForce enumerates every mapping in the optimizer's search space —
-// all module counts, and per module either the capped data-parallel mode or
-// every stage-processor split — and returns the latency-minimal feasible
-// choice, computed directly from the model definitions.
+// bruteModuleBest enumerates every single-module assignment on at most q
+// processors — the capped data-parallel mode and every stage-processor
+// split — and returns the latency-minimal feasible one, computed directly
+// from the model definitions (data-parallel wins latency ties, matching the
+// optimizer's candidate order).
+func bruteModuleBest(m Model, q int, moduleGoal float64) (procs []int, lat, period float64, ok bool) {
+	nS := len(m.StageNames)
+	lat = math.Inf(1)
+
+	pdp := m.dpCap(q)
+	if t := m.DPT[pdp]; t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) {
+		procs, lat, period, ok = []int{pdp}, t, t, true
+	}
+
+	if q < nS {
+		return procs, lat, period, ok
+	}
+	var rec func(s, used int, cur []int)
+	rec = func(s, used int, cur []int) {
+		if s == nS {
+			l := 0.0
+			per := 0.0
+			feasible := true
+			for i := 0; i < nS; i++ {
+				ti := m.StageT[i][cur[i]]
+				x := 0.0
+				if i > 0 {
+					x = m.Xfer(i-1, cur[i-1], cur[i])
+				}
+				l += ti + x
+				if ti+x > per {
+					per = ti + x
+				}
+				if moduleGoal > 0 && ti+x > 1/moduleGoal {
+					feasible = false
+				}
+			}
+			if feasible && l < lat {
+				procs, lat, period, ok = append([]int(nil), cur...), l, per, true
+			}
+			return
+		}
+		capS := m.cap(s, q)
+		for c := 1; c <= capS && used+c <= q-(nS-1-s); c++ {
+			cur[s] = c
+			rec(s+1, used+c, cur)
+		}
+	}
+	rec(0, 0, make([]int, nS))
+	return procs, lat, period, ok
+}
+
+// bruteForce mirrors the optimizer's full search space — all module counts,
+// each module assignment found exhaustively, the P mod r leftover processors
+// given to the first P mod r modules when the wider assignment is no worse —
+// and returns the latency-minimal feasible choice.
 func bruteForce(m Model, goal float64) (Choice, bool) {
 	best := Choice{PredLatency: math.Inf(1)}
-	nS := len(m.StageNames)
 	for r := 1; r <= m.P; r++ {
 		per := m.P / r
 		if per < 1 {
@@ -20,54 +71,26 @@ func bruteForce(m Model, goal float64) (Choice, bool) {
 		}
 		moduleGoal := goal / float64(r)
 
-		// Data-parallel module.
-		pdp := m.dpCap(per)
-		t := m.DPT[pdp]
-		if t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) && t < best.PredLatency {
-			best = Choice{Modules: r, StageProcs: []int{pdp}, PredLatency: t, PredThroughput: float64(r) / t}
-		}
-
-		// Every pipeline split.
-		if per < nS {
+		procs, lat, period, ok := bruteModuleBest(m, per, moduleGoal)
+		if !ok {
 			continue
 		}
-		var rec func(s, used int, procs []int)
-		rec = func(s, used int, procs []int) {
-			if s == nS {
-				lat := 0.0
-				period := 0.0
-				feasible := true
-				for i := 0; i < nS; i++ {
-					ti := m.StageT[i][procs[i]]
-					x := 0.0
-					if i > 0 {
-						x = m.Xfer(i-1, procs[i-1], procs[i])
-					}
-					lat += ti + x
-					if ti+x > period {
-						period = ti + x
-					}
-					if moduleGoal > 0 && ti+x > 1/moduleGoal {
-						feasible = false
-					}
+		c := Choice{Modules: r, StageProcs: procs, PredLatency: lat, PredThroughput: float64(r) / period}
+		if rem := m.P % r; rem > 0 {
+			wProcs, wLat, wPeriod, wOK := bruteModuleBest(m, per+1, moduleGoal)
+			if wOK && wLat <= lat && !sameProcs(wProcs, procs) {
+				maxPeriod := period
+				if wPeriod > maxPeriod {
+					maxPeriod = wPeriod
 				}
-				if feasible && lat < best.PredLatency {
-					best = Choice{
-						Modules:        r,
-						StageProcs:     append([]int(nil), procs...),
-						PredLatency:    lat,
-						PredThroughput: float64(r) / period,
-					}
-				}
-				return
-			}
-			capS := m.cap(s, per)
-			for q := 1; q <= capS && used+q <= per-(nS-1-s); q++ {
-				procs[s] = q
-				rec(s+1, used+q, procs)
+				c.WideModules, c.WideStageProcs = rem, wProcs
+				c.PredLatency = (float64(rem)*wLat + float64(r-rem)*lat) / float64(r)
+				c.PredThroughput = float64(r) / maxPeriod
 			}
 		}
-		rec(0, 0, make([]int, nS))
+		if c.PredLatency < best.PredLatency {
+			best = c
+		}
 	}
 	if math.IsInf(best.PredLatency, 1) {
 		return Choice{}, false

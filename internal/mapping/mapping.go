@@ -82,40 +82,68 @@ func (m Model) dpCap(p int) int {
 	return c
 }
 
-// Choice is a selected mapping.
+// Choice is a selected mapping. When P mod r processors are left over by a
+// replication factor r, the first WideModules modules run on one processor
+// more than the rest; the remaining Modules-WideModules modules use
+// StageProcs. A homogeneous choice has WideModules == 0.
 type Choice struct {
-	// Modules is the replication factor.
+	// Modules is the replication factor (total module count).
 	Modules int
-	// StageProcs is processors per stage within one module; a single entry
-	// means the module runs data-parallel.
+	// StageProcs is processors per stage within one narrow module; a single
+	// entry means the module runs data-parallel.
 	StageProcs []int
-	// PredLatency is the model-predicted per-set latency.
+	// WideModules is how many of the Modules use the wider assignment
+	// (0 when the machine divides evenly or the leftover is not worth using).
+	WideModules int
+	// WideStageProcs is processors per stage of each wide module; nil when
+	// WideModules == 0.
+	WideStageProcs []int
+	// PredLatency is the model-predicted per-set latency (module-count
+	// weighted mean over wide and narrow modules).
 	PredLatency float64
 	// PredThroughput is the model-predicted steady-state throughput
-	// (modules / bottleneck period).
+	// (modules / bottleneck module period).
 	PredThroughput float64
+}
+
+// ModuleStageProcs returns the per-stage processor counts of module i; the
+// first WideModules modules are the wide ones.
+func (c Choice) ModuleStageProcs(i int) []int {
+	if i < c.WideModules {
+		return c.WideStageProcs
+	}
+	return c.StageProcs
 }
 
 // UsesProcs returns the total processors the choice occupies.
 func (c Choice) UsesProcs() int {
-	per := 0
-	for _, p := range c.StageProcs {
-		per += p
+	sum := func(procs []int) int {
+		s := 0
+		for _, p := range procs {
+			s += p
+		}
+		return s
 	}
-	return per * c.Modules
+	return sum(c.StageProcs)*(c.Modules-c.WideModules) + sum(c.WideStageProcs)*c.WideModules
 }
 
 func (c Choice) String() string {
-	if len(c.StageProcs) == 1 {
-		if c.Modules == 1 {
-			return fmt.Sprintf("data-parallel(%d)", c.StageProcs[0])
+	shape := func(procs []int) string {
+		if len(procs) == 1 {
+			return fmt.Sprintf("data-parallel(%d)", procs[0])
 		}
-		return fmt.Sprintf("%d x data-parallel(%d)", c.Modules, c.StageProcs[0])
+		return fmt.Sprintf("pipeline%v", procs)
 	}
-	if c.Modules == 1 {
-		return fmt.Sprintf("pipeline%v", c.StageProcs)
+	if c.WideModules == 0 {
+		if c.Modules == 1 {
+			return shape(c.StageProcs)
+		}
+		return fmt.Sprintf("%d x %s", c.Modules, shape(c.StageProcs))
 	}
-	return fmt.Sprintf("%d x pipeline%v", c.Modules, c.StageProcs)
+	// Heterogeneous modules: always spell out both counts.
+	return fmt.Sprintf("%d x %s + %d x %s",
+		c.WideModules, shape(c.WideStageProcs),
+		c.Modules-c.WideModules, shape(c.StageProcs))
 }
 
 // Optimize returns the latency-minimal mapping whose predicted throughput is
@@ -142,6 +170,39 @@ func OptimizePipeline(m Model, goal float64) (Choice, error) {
 	return c, nil
 }
 
+// moduleBest returns the latency-minimal single-module assignment on at most
+// q processors whose period meets moduleGoal: the better of a data-parallel
+// module and a pipeline module (when both are feasible, lower latency wins,
+// data-parallel breaking the tie). period is the module's per-set bottleneck
+// time, the reciprocal of its standalone throughput.
+func (m Model) moduleBest(q int, moduleGoal float64, allowDP bool) (procs []int, lat, period float64, ok bool) {
+	lat = math.Inf(1)
+	if allowDP {
+		pdp := m.dpCap(q)
+		if t := m.DPT[pdp]; t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) {
+			procs, lat, period, ok = []int{pdp}, t, t, true
+		}
+	}
+	if len(m.StageNames) > 1 && q >= len(m.StageNames) {
+		if c, pipeOK := m.pipelineDP(q, moduleGoal); pipeOK && c.PredLatency < lat {
+			procs, lat, period, ok = c.StageProcs, c.PredLatency, 1/c.PredThroughput, true
+		}
+	}
+	return procs, lat, period, ok
+}
+
+func sameProcs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func optimize(m Model, goal float64, maxModules int, allowDP bool) (Choice, error) {
 	if err := m.Validate(); err != nil {
 		return Choice{}, err
@@ -152,32 +213,40 @@ func optimize(m Model, goal float64, maxModules int, allowDP bool) (Choice, erro
 		if per < 1 {
 			break
 		}
-		// Per-module goal: the r modules share the stream round-robin.
+		// Per-module goal: the r modules share the stream round-robin, so
+		// each must sustain a 1/r share of the overall goal.
 		moduleGoal := goal / float64(r)
 
-		// Candidate 1: data-parallel module.
-		pdp := m.dpCap(per)
-		t := m.DPT[pdp]
-		if allowDP && t > 0 && (moduleGoal == 0 || 1/t >= moduleGoal) {
-			c := Choice{
-				Modules: r, StageProcs: []int{pdp},
-				PredLatency:    t,
-				PredThroughput: float64(r) / t,
-			}
-			if c.PredLatency < best.PredLatency {
-				best = c
+		procs, lat, period, ok := m.moduleBest(per, moduleGoal, allowDP)
+		if !ok {
+			continue
+		}
+		c := Choice{
+			Modules: r, StageProcs: procs,
+			PredLatency:    lat,
+			PredThroughput: float64(r) / period,
+		}
+
+		// Distribute the P mod r leftover processors: the first rem modules
+		// get one more, when the wider assignment is no worse. The mean
+		// latency over modules can only improve, and each module still meets
+		// its share of the goal, so this never loses to the homogeneous
+		// split it replaces.
+		if rem := m.P % r; rem > 0 {
+			wProcs, wLat, wPeriod, wOK := m.moduleBest(per+1, moduleGoal, allowDP)
+			if wOK && wLat <= lat && !sameProcs(wProcs, procs) {
+				maxPeriod := period
+				if wPeriod > maxPeriod {
+					maxPeriod = wPeriod
+				}
+				c.WideModules, c.WideStageProcs = rem, wProcs
+				c.PredLatency = (float64(rem)*wLat + float64(r-rem)*lat) / float64(r)
+				c.PredThroughput = float64(r) / maxPeriod
 			}
 		}
 
-		// Candidate 2: pipeline module via the DP.
-		if len(m.StageNames) > 1 && per >= len(m.StageNames) {
-			if c, ok := m.pipelineDP(per, moduleGoal); ok {
-				c.Modules = r
-				c.PredThroughput *= float64(r)
-				if c.PredLatency < best.PredLatency {
-					best = c
-				}
-			}
+		if c.PredLatency < best.PredLatency {
+			best = c
 		}
 	}
 	if math.IsInf(best.PredLatency, 1) {

@@ -1,0 +1,236 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
+)
+
+// TableSpec identifies one cost-table build by content: the application, its
+// parameters, the machine size, and every cost-model constant. Two specs with
+// equal keys describe byte-identical tables, so the tables can be memoized
+// across calls and across process invocations.
+type TableSpec struct {
+	// App names the application ("ffthist", "radar", ...).
+	App string
+	// Params is a canonical rendering of the application parameters that
+	// affect per-set stage times (data sizes, kernel constants — not the
+	// stream length).
+	Params string
+	// P is the machine size the tables cover (entries 1..P).
+	P int
+	// Stages are the stage names, in pipeline order.
+	Stages []string
+	// Cost holds the simulator's cost constants.
+	Cost sim.CostModel
+}
+
+// Key renders the spec as a canonical string: the content key of the memo
+// caches. CostModel is a flat struct of float64 fields, so %+v yields a
+// stable field-name=value rendering in declaration order.
+func (s TableSpec) Key() string {
+	return fmt.Sprintf("app=%s|params=%s|P=%d|stages=%v|cost=%+v", s.App, s.Params, s.P, s.Stages, s.Cost)
+}
+
+// Tables holds the measured time tables of one spec: StageT[s][p] is the
+// per-set time of stage s on p processors and DPT[p] the whole-program
+// data-parallel time, both with index 0 unused, exactly as Model consumes
+// them.
+type Tables struct {
+	// Key echoes the spec key the tables were built under, so a disk cache
+	// hit can be verified against hash collisions and stale files.
+	Key    string
+	StageT [][]float64
+	DPT    []float64
+}
+
+// TableSource says where BuildTables found the tables.
+type TableSource int
+
+const (
+	// SourceComputed: the tables were built by running simulations.
+	SourceComputed TableSource = iota
+	// SourceMemory: in-process cache hit, no simulation ran.
+	SourceMemory
+	// SourceDisk: on-disk cache hit, no simulation ran.
+	SourceDisk
+)
+
+func (s TableSource) String() string {
+	switch s {
+	case SourceComputed:
+		return "computed"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("TableSource(%d)", int(s))
+}
+
+// BuildOptions configures a table build campaign.
+type BuildOptions struct {
+	// Workers bounds the host-parallel simulation pool; <= 0 means one
+	// worker per CPU (see sweep.Workers).
+	Workers int
+	// CacheDir, when non-empty, enables the on-disk JSON cache: tables are
+	// read from and written to CacheDir keyed by a hash of the spec key.
+	CacheDir string
+}
+
+// tableMemo is the in-process cache, shared by every build in the process.
+var tableMemo sync.Map // key string -> Tables
+
+// cachePath maps a spec key to its cache file. FNV-64a keeps filenames
+// short; the stored Key field guards against collisions.
+func cachePath(dir, key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(dir, fmt.Sprintf("fxtab-%016x.json", h.Sum64()))
+}
+
+// readDiskCache loads and verifies a cached table file. Any failure — file
+// absent, malformed JSON, key mismatch, wrong shape — is a miss.
+func readDiskCache(path, key string, nStages, p int) (Tables, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Tables{}, false
+	}
+	var t Tables
+	if err := json.Unmarshal(data, &t); err != nil || t.Key != key {
+		return Tables{}, false
+	}
+	if len(t.StageT) != nStages || len(t.DPT) != p+1 {
+		return Tables{}, false
+	}
+	for _, tab := range t.StageT {
+		if len(tab) != p+1 {
+			return Tables{}, false
+		}
+	}
+	return t, true
+}
+
+// writeDiskCache persists tables best-effort: a cache write failure never
+// fails the build. The temp-file + rename dance keeps concurrent processes
+// from observing half-written JSON.
+func writeDiskCache(path string, t Tables) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "fxtab-*.tmp")
+	if err != nil {
+		return
+	}
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(t); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// BuildTables returns the cost tables for spec, consulting the in-process
+// memo and then the optional disk cache before measuring. A miss fans the
+// nStages·P stage measurements and P data-parallel measurements out over a
+// sweep worker pool — each job is one isolated simulation — and the
+// assembled tables are stored in both caches.
+//
+// stage(s, p) must return the per-set time of stage s on p processors and
+// dp(p) the whole-program data-parallel per-set time; both must be pure
+// functions of the spec (the memoization contract). Simulations are
+// deterministic in virtual time, so parallel and serial builds produce
+// identical tables.
+func BuildTables(spec TableSpec, opt BuildOptions,
+	stage func(s, p int) float64, dp func(p int) float64) (Tables, TableSource, error) {
+	key := spec.Key()
+	nStages := len(spec.Stages)
+	if nStages == 0 || spec.P < 1 {
+		return Tables{}, SourceComputed, fmt.Errorf("mapping: bad table spec %q", key)
+	}
+	if v, ok := tableMemo.Load(key); ok {
+		return v.(Tables), SourceMemory, nil
+	}
+	var path string
+	if opt.CacheDir != "" {
+		path = cachePath(opt.CacheDir, key)
+		if t, ok := readDiskCache(path, key, nStages, spec.P); ok {
+			tableMemo.Store(key, t)
+			return t, SourceDisk, nil
+		}
+	}
+
+	// One job per (stage, procs) cell plus one per DP processor count,
+	// indexed so results land in deterministic submission order.
+	n := nStages*spec.P + spec.P
+	results := sweep.Map(opt.Workers, n, func(i int) (float64, error) {
+		if i < nStages*spec.P {
+			s, p := i/spec.P, i%spec.P+1
+			return stage(s, p), nil
+		}
+		return dp(i - nStages*spec.P + 1), nil
+	})
+
+	t := Tables{Key: key, StageT: make([][]float64, nStages), DPT: make([]float64, spec.P+1)}
+	for s := range t.StageT {
+		t.StageT[s] = make([]float64, spec.P+1)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			if i < nStages*spec.P {
+				return Tables{}, SourceComputed, fmt.Errorf("mapping: stage %s on %d procs: %w",
+					spec.Stages[i/spec.P], i%spec.P+1, r.Err)
+			}
+			return Tables{}, SourceComputed, fmt.Errorf("mapping: data-parallel on %d procs: %w",
+				i-nStages*spec.P+1, r.Err)
+		}
+		if i < nStages*spec.P {
+			t.StageT[i/spec.P][i%spec.P+1] = r.Value
+		} else {
+			t.DPT[i-nStages*spec.P+1] = r.Value
+		}
+	}
+
+	tableMemo.Store(key, t)
+	if path != "" {
+		writeDiskCache(path, t)
+	}
+	return t, SourceComputed, nil
+}
+
+// Model assembles a mapper Model from the tables plus the structural pieces
+// that are not measured: the parallelism caps and the transfer-cost
+// function.
+func (t Tables) Model(spec TableSpec, p int, caps []int, xfer func(s, a, b int) float64) Model {
+	return Model{
+		P:          p,
+		StageNames: spec.Stages,
+		StageT:     t.StageT,
+		DPT:        t.DPT,
+		Caps:       caps,
+		Xfer:       xfer,
+	}
+}
+
+// ResetTableMemo clears the in-process cache. Tests use it to exercise the
+// disk-cache path.
+func ResetTableMemo() {
+	tableMemo.Range(func(k, _ any) bool {
+		tableMemo.Delete(k)
+		return true
+	})
+}

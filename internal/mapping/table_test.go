@@ -1,0 +1,221 @@
+package mapping
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fxpar/internal/sim"
+)
+
+func testSpec(p int) TableSpec {
+	return TableSpec{
+		App:    "synthetic",
+		Params: "N=16",
+		P:      p,
+		Stages: []string{"s0", "s1"},
+		Cost:   sim.Paragon(),
+	}
+}
+
+// countingFns returns stage/dp functions that count invocations.
+func countingFns(calls *atomic.Int64) (func(s, p int) float64, func(p int) float64) {
+	stage := func(s, p int) float64 {
+		calls.Add(1)
+		return float64(s+1) / float64(p)
+	}
+	dp := func(p int) float64 {
+		calls.Add(1)
+		return 3.0 / float64(p)
+	}
+	return stage, dp
+}
+
+func TestBuildTablesComputesAndMemoizes(t *testing.T) {
+	ResetTableMemo()
+	spec := testSpec(4)
+	var calls atomic.Int64
+	stage, dp := countingFns(&calls)
+
+	tab, src, err := BuildTables(spec, BuildOptions{Workers: 4}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceComputed {
+		t.Errorf("first build source = %v, want computed", src)
+	}
+	if want := int64(2*4 + 4); calls.Load() != want {
+		t.Errorf("%d measurement calls, want %d", calls.Load(), want)
+	}
+	if tab.StageT[1][2] != 1.0 || tab.DPT[3] != 1.0 {
+		t.Errorf("table values wrong: StageT[1][2]=%g DPT[3]=%g", tab.StageT[1][2], tab.DPT[3])
+	}
+
+	// Second build: in-process memo hit, zero new simulations.
+	tab2, src2, err := BuildTables(spec, BuildOptions{Workers: 4}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != SourceMemory {
+		t.Errorf("second build source = %v, want memory", src2)
+	}
+	if calls.Load() != int64(12) {
+		t.Errorf("memo hit still ran %d measurements", calls.Load()-12)
+	}
+	if tab2.StageT[0][1] != tab.StageT[0][1] {
+		t.Error("memoized tables differ")
+	}
+}
+
+func TestBuildTablesDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(3)
+	var calls atomic.Int64
+	stage, dp := countingFns(&calls)
+
+	ResetTableMemo()
+	if _, src, err := BuildTables(spec, BuildOptions{CacheDir: dir}, stage, dp); err != nil || src != SourceComputed {
+		t.Fatalf("cold build: src=%v err=%v", src, err)
+	}
+	first := calls.Load()
+
+	// Fresh process simulated by clearing the in-process memo: the disk
+	// cache must satisfy the build with zero simulations.
+	ResetTableMemo()
+	tab, src, err := BuildTables(spec, BuildOptions{CacheDir: dir}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceDisk {
+		t.Errorf("warm build source = %v, want disk", src)
+	}
+	if calls.Load() != first {
+		t.Errorf("disk hit ran %d extra measurements", calls.Load()-first)
+	}
+	if tab.DPT[2] != 1.5 {
+		t.Errorf("DPT[2] = %g after disk round-trip", tab.DPT[2])
+	}
+
+	// A different spec must not hit the same cache entry.
+	other := spec
+	other.Params = "N=32"
+	ResetTableMemo()
+	if _, src, err := BuildTables(other, BuildOptions{CacheDir: dir}, stage, dp); err != nil || src != SourceComputed {
+		t.Errorf("different params: src=%v err=%v, want computed", src, err)
+	}
+}
+
+func TestBuildTablesRejectsCorruptCacheFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(2)
+	var calls atomic.Int64
+	stage, dp := countingFns(&calls)
+	path := cachePath(dir, spec.Key())
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetTableMemo()
+	if _, src, err := BuildTables(spec, BuildOptions{CacheDir: dir}, stage, dp); err != nil || src != SourceComputed {
+		t.Errorf("corrupt cache: src=%v err=%v, want recompute", src, err)
+	}
+	// The rebuild must have repaired the file.
+	ResetTableMemo()
+	if _, src, err := BuildTables(spec, BuildOptions{CacheDir: dir}, stage, dp); err != nil || src != SourceDisk {
+		t.Errorf("after repair: src=%v err=%v, want disk hit", src, err)
+	}
+}
+
+func TestBuildTablesPropagatesJobPanic(t *testing.T) {
+	ResetTableMemo()
+	spec := testSpec(3)
+	stage := func(s, p int) float64 {
+		if s == 1 && p == 2 {
+			panic("infeasible distribution")
+		}
+		return 1
+	}
+	dp := func(p int) float64 { return 1 }
+	_, _, err := BuildTables(spec, BuildOptions{}, stage, dp)
+	if err == nil {
+		t.Fatal("panicking measurement did not fail the build")
+	}
+	if !strings.Contains(err.Error(), "s1") || !strings.Contains(err.Error(), "2 procs") {
+		t.Errorf("error %q does not locate the failing cell", err)
+	}
+	// The failed build must not be cached.
+	if _, ok := tableMemo.Load(spec.Key()); ok {
+		t.Error("failed build was memoized")
+	}
+}
+
+func TestTableSpecKeyCoversCostModel(t *testing.T) {
+	a := testSpec(4)
+	b := a
+	b.Cost.Alpha *= 2
+	if a.Key() == b.Key() {
+		t.Error("changing a cost constant did not change the key")
+	}
+	c := a
+	c.P = 5
+	if a.Key() == c.Key() {
+		t.Error("changing P did not change the key")
+	}
+	d := a
+	d.Stages = []string{"s0", "zz"}
+	if a.Key() == d.Key() {
+		t.Error("changing stage names did not change the key")
+	}
+}
+
+func TestTablesModelAssembly(t *testing.T) {
+	ResetTableMemo()
+	spec := testSpec(4)
+	var calls atomic.Int64
+	stage, dp := countingFns(&calls)
+	tab, _, err := BuildTables(spec, BuildOptions{}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tab.Model(spec, spec.P, []int{0, 2}, func(s, a, b int) float64 { return 0.001 })
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(cachePath("/x", spec.Key()))[:6] != "fxtab-" {
+		t.Error("cache filename prefix changed")
+	}
+}
+
+// TestBuildTablesParallelEqualsSerial: worker count must not affect table
+// contents (the determinism contract of the campaign driver).
+func TestBuildTablesParallelEqualsSerial(t *testing.T) {
+	spec := testSpec(6)
+	stage := func(s, p int) float64 { return float64((s+1)*1000+p) * 1e-6 }
+	dp := func(p int) float64 { return float64(p) * 1e-3 }
+	ResetTableMemo()
+	serial, _, err := BuildTables(spec, BuildOptions{Workers: 1}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetTableMemo()
+	par, _, err := BuildTables(spec, BuildOptions{Workers: 8}, stage, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range serial.StageT {
+		for p := 1; p <= spec.P; p++ {
+			if serial.StageT[s][p] != par.StageT[s][p] {
+				t.Fatalf("StageT[%d][%d]: serial %g != parallel %g", s, p, serial.StageT[s][p], par.StageT[s][p])
+			}
+		}
+	}
+	for p := 1; p <= spec.P; p++ {
+		if serial.DPT[p] != par.DPT[p] {
+			t.Fatalf("DPT[%d]: serial %g != parallel %g", p, serial.DPT[p], par.DPT[p])
+		}
+	}
+}

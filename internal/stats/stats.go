@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -60,7 +61,12 @@ type Result struct {
 	// Sets is the number of completed data sets.
 	Sets int
 	// Throughput is the steady-state rate in data sets per virtual second:
-	// (n-1) / (last completion - first completion) for n > 1.
+	// (n-1) / (last completion - first completion) for n > 1. When all n
+	// sets complete at the same virtual instant (a one-batch stream, e.g.
+	// every module finishing together), that span is degenerate and the
+	// rate falls back to n / Latency — n sets delivered in one latency's
+	// worth of pipeline occupancy. For a single-set stream there is no
+	// steady state at all, and by convention Throughput = 1 / Latency.
 	Throughput float64
 	// Latency is the mean completion-minus-injection time.
 	Latency float64
@@ -81,7 +87,16 @@ func (s *Stream) Summarize() Result {
 	var firstC, lastC float64
 	firstC = math.Inf(1)
 	var sumLat, maxLat float64
-	for i, c := range s.complete {
+	// Sum in set order: float addition is order-sensitive at the ulp, and
+	// map iteration order is randomized, so ranging the map directly makes
+	// Latency differ between identical runs.
+	sets := make([]int, 0, n)
+	for i := range s.complete {
+		sets = append(sets, i)
+	}
+	sort.Ints(sets)
+	for _, i := range sets {
+		c := s.complete[i]
 		inj, ok := s.inject[i]
 		if !ok {
 			panic(fmt.Sprintf("stats: data set %d completed but never injected", i))
@@ -102,9 +117,17 @@ func (s *Stream) Summarize() Result {
 		}
 	}
 	r := Result{Sets: n, Latency: sumLat / float64(n), MaxLatency: maxLat}
-	if n > 1 && lastC > firstC {
+	switch {
+	case n > 1 && lastC > firstC:
 		r.Throughput = float64(n-1) / (lastC - firstC)
-	} else if r.Latency > 0 {
+	case n > 1 && r.Latency > 0:
+		// Degenerate span: all completions share one virtual timestamp, so
+		// the inter-completion rate is undefined. The stream still delivered
+		// n sets, so account for all of them rather than collapsing to the
+		// single-set rate (which under-reports by up to n×).
+		r.Throughput = float64(n) / r.Latency
+	case r.Latency > 0:
+		// Single-set convention: one set in one latency.
 		r.Throughput = 1 / r.Latency
 	}
 	return r

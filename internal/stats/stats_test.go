@@ -50,6 +50,43 @@ func TestSteadyStateThroughput(t *testing.T) {
 	}
 }
 
+// TestOneBatchStreamThroughput is the regression test for the degenerate
+// completion span: a multi-set stream whose sets all complete at the same
+// virtual instant (e.g. replicated modules finishing together) used to fall
+// back to the single-set rate 1/Latency, under-reporting throughput by up
+// to n×. The n-based accounting must credit every delivered set.
+func TestOneBatchStreamThroughput(t *testing.T) {
+	s := NewStream()
+	const n = 8
+	for i := 0; i < n; i++ {
+		s.Inject(i, 0)
+		s.Complete(i, 0.5) // all complete in one batch
+	}
+	r := s.Summarize()
+	if r.Sets != n {
+		t.Fatalf("sets = %d, want %d", r.Sets, n)
+	}
+	if math.Abs(r.Latency-0.5) > 1e-12 {
+		t.Errorf("latency = %g, want 0.5", r.Latency)
+	}
+	want := float64(n) / 0.5 // 16 sets/s, not the single-set 2 sets/s
+	if math.Abs(r.Throughput-want) > 1e-12 {
+		t.Errorf("throughput = %g, want %g (n/latency for a one-batch stream)", r.Throughput, want)
+	}
+}
+
+// TestSingleSetConvention pins the documented n==1 convention separately
+// from the degenerate-span case: one set in one latency.
+func TestSingleSetConvention(t *testing.T) {
+	s := NewStream()
+	s.Inject(0, 3.0)
+	s.Complete(0, 3.25)
+	r := s.Summarize()
+	if math.Abs(r.Throughput-4.0) > 1e-12 {
+		t.Errorf("single-set throughput = %g, want 1/latency = 4", r.Throughput)
+	}
+}
+
 func TestInjectKeepsEarliest(t *testing.T) {
 	s := NewStream()
 	s.Inject(0, 2.0)
@@ -112,5 +149,25 @@ func TestResultString(t *testing.T) {
 	str := r.String()
 	if !strings.Contains(str, "5 sets") || !strings.Contains(str, "2.5") {
 		t.Errorf("String() = %q", str)
+	}
+}
+
+// TestSummarizeIsDeterministic: Latency is a float sum, and float addition
+// is order-sensitive at the ulp, so Summarize must visit sets in a fixed
+// order. Pre-fix it ranged over a map (randomized order) and two calls on
+// the same stream could return latencies differing in the last bit.
+func TestSummarizeIsDeterministic(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 24; i++ {
+		s.Inject(i, 0)
+		// Latencies spanning many magnitudes make the sum maximally
+		// sensitive to accumulation order.
+		s.Complete(i, 1.0/float64(3*i+1)+float64(i%5)*1e9)
+	}
+	want := s.Summarize()
+	for trial := 0; trial < 100; trial++ {
+		if got := s.Summarize(); got != want {
+			t.Fatalf("trial %d: Summarize not deterministic: %+v vs %+v", trial, got, want)
+		}
 	}
 }

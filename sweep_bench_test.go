@@ -1,0 +1,112 @@
+// BenchmarkSweepCampaign measures the host-parallel simulation-campaign
+// driver (internal/sweep) end to end: a batch of independent large-machine
+// simulations fanned out over the host cores, the kind of campaign the
+// cost-table builder (mapping.BuildTables) runs. Unlike the virtual-time
+// benchmarks in bench_test.go, the interesting numbers here are HOST times:
+// campaign wall-clock, simulations per host second, and the construction
+// time of a 1024-processor machine (which the lazy mailbox representation
+// keeps out of the O(n^2) regime).
+//
+// Each run snapshots its numbers to BENCH_sweep.json so CI can archive the
+// campaign throughput alongside the Table 1 virtual-time snapshot.
+package fxpar_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fxpar/internal/comm"
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
+)
+
+type sweepBenchFile struct {
+	// Campaign shape.
+	Jobs         int // independent simulations per campaign
+	MachineProcs int // simulated processors per simulation
+	Workers      int // host worker bound (GOMAXPROCS)
+	// Host-time results.
+	CampaignSeconds   float64 // wall-clock for one campaign
+	SimsPerSecond     float64
+	MachineNew1024Sec float64 // constructing one 1024-proc machine
+	// A virtual-time spot check: makespan of job 0, identical on every
+	// host and at every worker count.
+	Job0Makespan float64
+}
+
+// campaignJob simulates a neighbour-exchange relaxation on a large machine;
+// the job index scales the compute load so the campaign is heterogeneous,
+// like a real cost-table sweep over processor counts.
+func campaignJob(procs, job int) float64 {
+	m := machine.New(procs, sim.Paragon())
+	st := m.Run(func(p *machine.Proc) {
+		g := group.World(procs)
+		r := p.ID()
+		for it := 0; it < 4; it++ {
+			p.Compute(float64(1+job) * 1e3)
+			comm.Send(p, g, (r+1)%procs, []float64{float64(r)})
+			comm.Recv[float64](p, g, (r+procs-1)%procs)
+		}
+	})
+	return st.MakespanTime()
+}
+
+func BenchmarkSweepCampaign(b *testing.B) {
+	const procs, jobs = 256, 24
+	var campaign time.Duration
+	var makespans []float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := sweep.Map(0, jobs, func(j int) (float64, error) {
+			return campaignJob(procs, j), nil
+		})
+		campaign = time.Since(start)
+		makespans = makespans[:0]
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			makespans = append(makespans, r.Value)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/campaign.Seconds(), "sims/s")
+
+	// Construction cost of a machine at the paper-exceeding 1024-processor
+	// scale: with lazy mailboxes this is O(n), not O(n^2) mailbox allocs.
+	constStart := time.Now()
+	const constructions = 50
+	for i := 0; i < constructions; i++ {
+		_ = machine.New(1024, sim.Paragon())
+	}
+	construct := time.Since(constStart).Seconds() / constructions
+	b.ReportMetric(construct*1e9, "new1024-ns")
+
+	snap := sweepBenchFile{
+		Jobs:              jobs,
+		MachineProcs:      procs,
+		Workers:           runtime.GOMAXPROCS(0),
+		CampaignSeconds:   campaign.Seconds(),
+		SimsPerSecond:     float64(jobs) / campaign.Seconds(),
+		MachineNew1024Sec: construct,
+		Job0Makespan:      makespans[0],
+	}
+	f, err := os.Create("BENCH_sweep.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
