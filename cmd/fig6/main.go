@@ -6,15 +6,27 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
+	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	flag.Parse()
+	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig6:", err)
+		os.Exit(1)
+	}
+	defer stopMon()
+	if url != "" {
+		fmt.Printf("campaign monitor: %s/snapshot (fxtop -url %s)\n", url, url)
+	}
 	cfg := experiments.DefaultFig6()
 	if *quick {
 		cfg = experiments.QuickFig6()

@@ -9,12 +9,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fxpar/internal/apps/barneshut"
 	"fxpar/internal/apps/qsort"
+	"fxpar/internal/benchcmp"
 	"fxpar/internal/experiments"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
 )
 
 // benchFile is the machine-readable Table 1 snapshot: enough context to
@@ -41,12 +44,60 @@ func writeJSON(path string, cfg experiments.Table1Config, rows []experiments.Tab
 	return f.Close()
 }
 
+// reportDiffs prints a benchmark comparison verdict to stderr/stdout.
+func reportDiffs(basePath, curName string, diffs []benchcmp.Diff, tolerancePct float64) {
+	if len(diffs) == 0 {
+		fmt.Printf("baseline check: %s vs %s OK (tolerance %g%%)\n", basePath, curName, tolerancePct)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fxbench: %d regression(s) vs %s (tolerance %g%%):\n", len(diffs), basePath, tolerancePct)
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads")
 	jsonPath := flag.String("json", "BENCH_table1.json", "write Table 1 as machine-readable JSON to this file ('' disables)")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
+	baseline := flag.String("baseline", "", "compare the Table 1 snapshot against this committed BENCH_*.json and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0, "relative tolerance in percent for -baseline/-compare (virtual times are deterministic: 0 is exact)")
+	skip := flag.String("skip", "", "regexp of snapshot paths to ignore in -baseline/-compare (host-time fields)")
+	compare := flag.String("compare", "", "standalone mode: compare two snapshot files 'baseline.json:current.json' and exit")
+	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	flag.Parse()
+
+	// Standalone comparison mode: no simulations, just diff two snapshots.
+	// This is how CI checks a regenerated BENCH_sweep.json against the
+	// committed one.
+	if *compare != "" {
+		basePath, curPath, ok := strings.Cut(*compare, ":")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "fxbench: -compare wants 'baseline.json:current.json'")
+			os.Exit(2)
+		}
+		diffs, err := benchcmp.CompareFiles(basePath, curPath, *tolerance, *skip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(2)
+		}
+		reportDiffs(basePath, curPath, diffs, *tolerance)
+		if len(diffs) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxbench:", err)
+		os.Exit(1)
+	}
+	defer stopMon()
+	if url != "" {
+		fmt.Printf("campaign monitor: %s/snapshot (fxtop -url %s)\n", url, url)
+	}
 
 	t1 := experiments.DefaultTable1()
 	f5 := experiments.DefaultFig5()
@@ -66,6 +117,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *baseline != "" {
+		cur := benchFile{Procs: t1.Procs, Sets: t1.Sets, Quick: t1.Quick, Rows: rows}
+		diffs, err := benchcmp.CompareToBaseline(*baseline, cur, *tolerance, *skip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(2)
+		}
+		reportDiffs(*baseline, "current run", diffs, *tolerance)
+		if len(diffs) > 0 {
+			os.Exit(1)
+		}
 	}
 	fmt.Println()
 	f5rows, err := experiments.Fig5(f5)

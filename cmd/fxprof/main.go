@@ -113,9 +113,14 @@ func main() {
 	}
 	opt := mapping.BuildOptions{Workers: *j, CacheDir: *cache}
 
+	// The full collector drives the post-hoc views (Gantt, critical path,
+	// Chrome export); the streaming sinks aggregate the same run online and
+	// are checked against the post-hoc pipeline byte for byte below.
 	col := &trace.Collector{}
+	sink := metrics.NewStreamSink(*procs)
+	comm := trace.NewCommMatrix(*procs)
 	m := machine.New(*procs, sim.Paragon())
-	m.SetTracer(col)
+	m.SetTracer(trace.Tee(col, sink, comm))
 
 	// pick runs the optimizer against measured cost tables (the -auto path)
 	// and reports the winning mapping and where its tables came from.
@@ -182,9 +187,26 @@ func main() {
 	trace.SpanSummary(os.Stdout, col)
 	fmt.Println()
 
-	snap := metrics.FromTrace(evs).Snapshot()
-	fmt.Println("--- per-group metrics ---")
+	// The reported metrics come from the streaming sink; cross-check against
+	// the post-hoc pipeline so any divergence between the two fails loudly
+	// instead of producing subtly different profiles.
+	snap := sink.Snapshot()
+	js, err := snap.JSON()
+	if err != nil {
+		fail(err)
+	}
+	postJS, err := metrics.FromTrace(evs).Snapshot().JSON()
+	if err != nil {
+		fail(err)
+	}
+	if string(js) != string(postJS) {
+		fail(fmt.Errorf("streaming metrics diverge from post-hoc pipeline (%d vs %d bytes)", len(js), len(postJS)))
+	}
+	fmt.Println("--- per-group metrics (streamed; verified against post-hoc) ---")
 	snap.WriteText(os.Stdout)
+	fmt.Println()
+	fmt.Println("--- communication matrix ---")
+	trace.WriteCommMatrix(os.Stdout, comm.Snapshot())
 	fmt.Println()
 
 	cp := trace.ComputeCriticalPath(evs)
@@ -192,10 +214,6 @@ func main() {
 	cp.WriteReport(os.Stdout)
 
 	if *out != "" {
-		js, err := snap.JSON()
-		if err != nil {
-			fail(err)
-		}
 		writeFile(*out+".metrics.json", func(f *os.File) error {
 			_, err := f.Write(js)
 			return err

@@ -54,15 +54,18 @@ func main() {
 		{"data-parallel(6)", ffthist.DataParallel(procs)},
 		{"pipeline(2,2,2)", ffthist.Pipeline(2, 2, 2)},
 	} {
+		// The Gantt needs the full event log (Collector); utilization comes
+		// from the streaming sink, which aggregates the same run online.
 		col := &trace.Collector{}
+		util := trace.NewUtilSink(procs)
 		m := machine.New(procs, sim.Paragon())
-		m.SetTracer(col)
+		m.SetTracer(trace.Tee(col, util))
 		res := ffthist.Run(m, cfg, tc.mp)
 		fmt.Printf("=== %s: %.2f sets/s, latency %.4f s ===\n", tc.label,
 			res.Stream.Throughput, res.Stream.Latency)
 		trace.Gantt(os.Stdout, col, procs, *width)
 		fmt.Println()
-		trace.Utilization(os.Stdout, col, procs)
+		util.Snapshot().WriteText(os.Stdout)
 		fmt.Println()
 		if *chrome != "" {
 			name := *chrome + "." + sanitizeLabel(tc.label) + ".json"

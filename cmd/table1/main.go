@@ -10,6 +10,7 @@ import (
 
 	"fxpar/internal/experiments"
 	"fxpar/internal/sim"
+	"fxpar/internal/sweep"
 )
 
 func main() {
@@ -19,7 +20,17 @@ func main() {
 	model := flag.String("model", "paragon", "cost model: paragon or workstation")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
+	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	flag.Parse()
+	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	defer stopMon()
+	if url != "" {
+		fmt.Printf("campaign monitor: %s/snapshot (fxtop -url %s)\n", url, url)
+	}
 	cfg := experiments.DefaultTable1()
 	if *quick {
 		cfg = experiments.QuickTable1()

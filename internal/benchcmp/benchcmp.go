@@ -1,0 +1,177 @@
+// Package benchcmp compares benchmark snapshot files (the BENCH_*.json
+// artifacts committed to this repository) against a freshly generated run,
+// so CI can fail on regressions instead of silently re-uploading drifted
+// numbers.
+//
+// Snapshots are treated as generic JSON: every numeric leaf becomes a
+// flattened "Rows[3].Makespan"-style path, and corresponding leaves are
+// compared under a relative tolerance. Virtual-time fields are deterministic
+// and compare exactly at tolerance 0; host-time fields (wall seconds,
+// throughput) vary run to run and are excluded with a skip pattern.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Diff is one discrepancy between baseline and current snapshots.
+type Diff struct {
+	Path string
+	// Base and Cur are the two values; NaN marks a side where the path is
+	// missing or non-numeric.
+	Base, Cur float64
+	// RelPct is the relative difference |cur-base|/|base| in percent
+	// (infinite when base is 0 and cur is not).
+	RelPct float64
+}
+
+func (d Diff) String() string {
+	switch {
+	case math.IsNaN(d.Base):
+		return fmt.Sprintf("%s: missing from baseline (current %g)", d.Path, d.Cur)
+	case math.IsNaN(d.Cur):
+		return fmt.Sprintf("%s: missing from current run (baseline %g)", d.Path, d.Base)
+	default:
+		return fmt.Sprintf("%s: baseline %g, current %g (%+.3f%%)", d.Path, d.Base, d.Cur, d.RelPct)
+	}
+}
+
+// Flatten decodes JSON and maps every numeric leaf to its flattened path
+// ("Rows[3].Makespan"). Booleans flatten to 0/1; strings and nulls are
+// ignored (they carry configuration, not measurements).
+func Flatten(data []byte) (map[string]float64, error) {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	flattenInto(out, "", v)
+	return out, nil
+}
+
+func flattenInto(out map[string]float64, path string, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			flattenInto(out, p, child)
+		}
+	case []any:
+		for i, child := range x {
+			flattenInto(out, path+"["+strconv.Itoa(i)+"]", child)
+		}
+	case float64:
+		out[path] = x
+	case bool:
+		if x {
+			out[path] = 1
+		} else {
+			out[path] = 0
+		}
+	}
+}
+
+// Compare reports every path whose values differ by more than tolerancePct
+// percent (relative to the baseline value), plus paths present on only one
+// side. Paths matching skip (which may be nil) are ignored entirely. The
+// result is sorted by path.
+func Compare(baseline, current map[string]float64, tolerancePct float64, skip *regexp.Regexp) []Diff {
+	var diffs []Diff
+	skipped := func(p string) bool { return skip != nil && skip.MatchString(p) }
+	for p, b := range baseline {
+		if skipped(p) {
+			continue
+		}
+		c, ok := current[p]
+		if !ok {
+			diffs = append(diffs, Diff{Path: p, Base: b, Cur: math.NaN()})
+			continue
+		}
+		if b == c {
+			continue
+		}
+		rel := math.Inf(1)
+		if b != 0 {
+			rel = (c - b) / math.Abs(b) * 100
+		}
+		if math.Abs(rel) > tolerancePct {
+			diffs = append(diffs, Diff{Path: p, Base: b, Cur: c, RelPct: rel})
+		}
+	}
+	for p, c := range current {
+		if skipped(p) {
+			continue
+		}
+		if _, ok := baseline[p]; !ok {
+			diffs = append(diffs, Diff{Path: p, Base: math.NaN(), Cur: c})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Path < diffs[j].Path })
+	return diffs
+}
+
+// CompareFiles compares two snapshot files on disk.
+func CompareFiles(basePath, curPath string, tolerancePct float64, skipPattern string) ([]Diff, error) {
+	var skip *regexp.Regexp
+	if skipPattern != "" {
+		var err error
+		if skip, err = regexp.Compile(skipPattern); err != nil {
+			return nil, fmt.Errorf("benchcmp: bad skip pattern: %w", err)
+		}
+	}
+	base, err := loadFlat(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := loadFlat(curPath)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(base, cur, tolerancePct, skip), nil
+}
+
+// CompareToBaseline compares an in-memory snapshot (marshalled to JSON)
+// against a baseline file.
+func CompareToBaseline(basePath string, current any, tolerancePct float64, skipPattern string) ([]Diff, error) {
+	var skip *regexp.Regexp
+	if skipPattern != "" {
+		var err error
+		if skip, err = regexp.Compile(skipPattern); err != nil {
+			return nil, fmt.Errorf("benchcmp: bad skip pattern: %w", err)
+		}
+	}
+	base, err := loadFlat(basePath)
+	if err != nil {
+		return nil, err
+	}
+	js, err := json.Marshal(current)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := Flatten(js)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(base, cur, tolerancePct, skip), nil
+}
+
+func loadFlat(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	flat, err := Flatten(data)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	return flat, nil
+}

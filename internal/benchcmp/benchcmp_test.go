@@ -1,0 +1,88 @@
+package benchcmp
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestFlatten(t *testing.T) {
+	flat, err := Flatten([]byte(`{
+		"Procs": 64, "Quick": false, "Label": "ignored",
+		"Rows": [{"Makespan": 1.5}, {"Makespan": 2.25}],
+		"Nested": {"Deep": {"X": 3}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"Procs": 64, "Quick": 0,
+		"Rows[0].Makespan": 1.5, "Rows[1].Makespan": 2.25,
+		"Nested.Deep.X": 3,
+	}
+	if len(flat) != len(want) {
+		t.Errorf("flat = %v", flat)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("%s = %g, want %g", k, flat[k], v)
+		}
+	}
+}
+
+func TestCompareToleranceAndSkip(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100, "hostSec": 1, "gone": 5}
+	cur := map[string]float64{"a": 100.5, "b": 120, "hostSec": 9, "new": 7}
+
+	diffs := Compare(base, cur, 1.0, regexp.MustCompile(`(?i)sec`))
+	// a is within 1%, hostSec skipped; expect b drift, gone missing, new extra.
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if diffs[0].Path != "b" || math.Abs(diffs[0].RelPct-20) > 1e-9 {
+		t.Errorf("diffs[0] = %v", diffs[0])
+	}
+	if diffs[1].Path != "gone" || !math.IsNaN(diffs[1].Cur) {
+		t.Errorf("diffs[1] = %v", diffs[1])
+	}
+	if diffs[2].Path != "new" || !math.IsNaN(diffs[2].Base) {
+		t.Errorf("diffs[2] = %v", diffs[2])
+	}
+
+	// Exact tolerance: identical maps produce no diffs.
+	if d := Compare(base, base, 0, nil); len(d) != 0 {
+		t.Errorf("self-compare diffs = %v", d)
+	}
+}
+
+func TestCompareFilesAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	os.WriteFile(basePath, []byte(`{"x": 10, "wallSeconds": 3}`), 0o644)
+	os.WriteFile(curPath, []byte(`{"x": 10, "wallSeconds": 99}`), 0o644)
+
+	diffs, err := CompareFiles(basePath, curPath, 0, "Seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("diffs = %v", diffs)
+	}
+
+	diffs, err = CompareToBaseline(basePath, map[string]any{"x": 11, "wallSeconds": 0}, 5, "Seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || diffs[0].Path != "x" {
+		t.Errorf("diffs = %v", diffs)
+	}
+	if _, err := CompareFiles(filepath.Join(dir, "missing.json"), curPath, 0, ""); err == nil {
+		t.Error("missing baseline should error")
+	}
+	if _, err := CompareFiles(basePath, curPath, 0, "("); err == nil {
+		t.Error("bad skip pattern should error")
+	}
+}

@@ -72,7 +72,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 		{"throughput >= 1.005x DP", 1.005 * dpThroughput}, // paper: goal 2 vs DP 1.99
 		{"throughput >= 2.01x DP", 2.01 * dpThroughput},   // paper: goal 4 vs DP 1.99
 	}
-	res := sweep.Map(cfg.Workers, len(cases), func(i int) (Fig5Row, error) {
+	res := sweep.MapNamed("fig5", cfg.Workers, len(cases), func(i int) (Fig5Row, error) {
 		c := cases[i]
 		row := Fig5Row{Constraint: c.label, Goal: c.goal}
 		choice, err := mapping.Optimize(model, c.goal)

@@ -58,7 +58,7 @@ func Fig6(cfg Fig6Config) []Fig6Point {
 	// Job 0 is the 1-processor baseline; job i+1 simulates point i (both
 	// program versions). Speedups are filled in after the barrier because
 	// they all divide by the baseline.
-	res := sweep.Map(cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
+	res := sweep.MapNamed("fig6", cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
 		if i == 0 {
 			return Fig6Point{Procs: 1,
 				DPMakespan: airshed.Run(machine.New(1, cost), cfg.App, airshed.DataParallel).Makespan}, nil

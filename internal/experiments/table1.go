@@ -99,7 +99,7 @@ func Table1(cfg Table1Config) []Table1Row {
 		func() Table1Row { return radarRow(cfg, cost) },
 		func() Table1Row { return stereoRow(cfg, cost) },
 	}
-	res := sweep.Map(cfg.Workers, len(builders), func(i int) (Table1Row, error) {
+	res := sweep.MapNamed("table1", cfg.Workers, len(builders), func(i int) (Table1Row, error) {
 		return builders[i](), nil
 	})
 	rows := make([]Table1Row, len(res))

@@ -176,6 +176,18 @@ type Tracer interface {
 	Record(Event)
 }
 
+// BlockTracer is an optional extension a Tracer may implement to observe a
+// receive at the moment it blocks on the host: RecordBlocked(proc, src, now)
+// is called when Recv finds no deposited message from src and is about to
+// suspend the processor goroutine. Unlike Record events, these callbacks
+// depend on host scheduling (whether the sender's deposit has host-happened
+// yet), so they are NOT part of the deterministic event stream — they exist
+// for flight recorders and stall detectors, which want to see a wait that
+// may never finish. Implementations must be safe for concurrent use.
+type BlockTracer interface {
+	RecordBlocked(proc, src int, now float64)
+}
+
 // Machine is a simulated multicomputer with a fixed number of processors.
 type Machine struct {
 	n      int
@@ -433,7 +445,20 @@ func (p *Proc) Recv(src int) Message {
 	if src < 0 || src >= p.m.n {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d (machine has %d)", src, p.m.n))
 	}
-	msg := p.m.mailboxFor(p.id, src).get()
+	mb := p.m.mailboxFor(p.id, src)
+	var msg Message
+	if bt, ok := p.m.tracer.(BlockTracer); ok {
+		// Flight-recorder path: announce the block before suspending, so a
+		// receive that never completes still leaves a trace of what the
+		// processor was waiting for.
+		var have bool
+		if msg, have = mb.tryGet(); !have {
+			bt.RecordBlocked(p.id, src, p.clock)
+			msg = mb.get()
+		}
+	} else {
+		msg = mb.get()
+	}
 	p.finishRecv(src, msg)
 	return msg
 }

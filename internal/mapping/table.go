@@ -177,7 +177,7 @@ func BuildTables(spec TableSpec, opt BuildOptions,
 	// One job per (stage, procs) cell plus one per DP processor count,
 	// indexed so results land in deterministic submission order.
 	n := nStages*spec.P + spec.P
-	results := sweep.Map(opt.Workers, n, func(i int) (float64, error) {
+	results := sweep.MapNamed("cost-tables", opt.Workers, n, func(i int) (float64, error) {
 		if i < nStages*spec.P {
 			s, p := i/spec.P, i%spec.P+1
 			return stage(s, p), nil

@@ -22,7 +22,6 @@ import (
 	"math"
 	"sort"
 
-	"fxpar/internal/machine"
 	"fxpar/internal/trace"
 )
 
@@ -36,14 +35,20 @@ type Histogram struct {
 	Buckets [HistBuckets]int64 `json:"buckets"`
 }
 
-// Add records one duration in seconds.
+// Add records one duration in seconds. Durations below one microsecond land
+// in bucket 0 — including zero, negative values (a malformed event whose End
+// precedes its Start) and NaN, which would otherwise index the bucket array
+// with a negative int(math.Log2(us)).
 func (h *Histogram) Add(seconds float64) {
 	us := seconds * 1e6
 	b := 0
-	if us >= 1 {
+	if us >= 1 { // false for NaN and negatives: they clamp to bucket 0
 		b = int(math.Log2(us))
 		if b >= HistBuckets {
 			b = HistBuckets - 1
+		}
+		if b < 0 { // paranoia against Log2 edge cases just above 1
+			b = 0
 		}
 	}
 	h.Buckets[b]++
@@ -147,58 +152,8 @@ func keyOf(label string) (group, op string) {
 	return group, op
 }
 
-// FromTrace builds a registry from a run's events (typically
-// Collector.Events()). The result is a pure function of the event values,
-// which are virtual-time deterministic.
-func FromTrace(evs []machine.Event) *Registry {
-	t := trace.NewTimeline(evs)
-	r := NewRegistry()
-	procs := map[int]bool{}
-	for i, e := range t.Events {
-		procs[e.Proc] = true
-		if e.End > r.totals.Makespan {
-			r.totals.Makespan = e.End
-		}
-		var m *OpMetrics
-		if label := t.OwnerLabel(i); label != "" {
-			m = r.Op(keyOf(label))
-		} else {
-			m = r.Op("(root)", "(program)")
-		}
-		d := e.End - e.Start
-		switch e.Kind {
-		case machine.EvCompute:
-			m.Compute += d
-			r.totals.Compute += d
-		case machine.EvWait:
-			m.Wait += d
-			r.totals.Wait += d
-		case machine.EvSend:
-			m.Send += d
-			m.MsgsSent++
-			m.BytesSent += int64(e.Bytes)
-			r.totals.Send += d
-			r.totals.Msgs++
-			r.totals.Bytes += int64(e.Bytes)
-		case machine.EvRecv:
-			m.MsgsRecvd++
-			m.BytesRecvd += int64(e.Bytes)
-		case machine.EvIO:
-			m.IO += d
-			r.totals.IO += d
-		}
-	}
-	for _, s := range t.Spans {
-		m := r.Op(keyOf(s.Label))
-		m.Spans++
-		m.Time += s.Duration()
-		m.Dur.Add(s.Duration())
-	}
-	r.totals.Procs = len(procs)
-	r.totals.Events = len(t.Events)
-	r.totals.SpanKinds = len(r.ops)
-	return r
-}
+// FromTrace (see stream.go) builds a registry from a run's events using the
+// same per-processor fold that powers the online StreamSink.
 
 // Snapshot is a deterministic, serializable view of a registry: operations
 // sorted by (group, op).

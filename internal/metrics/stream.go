@@ -1,0 +1,258 @@
+package metrics
+
+// Streaming aggregation: the same per-(group, operation) registry the
+// post-hoc FromTrace pipeline produces, maintained online as the run emits
+// events, in O(procs + groups) memory — no event slice is ever retained.
+//
+// Byte-identical snapshots are guaranteed by construction, not by luck: all
+// accumulation is per-processor (each processor's events arrive in program
+// order, whether live from its goroutine or post-hoc from a sorted slice),
+// and a snapshot merges the per-processor partial registries in ascending
+// processor order. FromTrace is implemented on exactly this code — it feeds
+// the sorted event slice through the same per-processor fold and the same
+// merge — so the online and post-hoc paths cannot drift apart, down to
+// float-summation associativity.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/trace"
+)
+
+// frame is one open span on a processor's stack: where it started and the
+// pre-resolved registry cell its closure will credit.
+type frame struct {
+	start float64
+	cell  *OpMetrics
+}
+
+// procState folds one processor's event stream into a partial registry. It
+// is single-writer: only the owning processor goroutine (or the FromTrace
+// loop) feeds it.
+type procState struct {
+	reg  *Registry
+	root *OpMetrics
+	// cells caches label -> cell so steady-state span traffic does not
+	// re-split labels or re-build map keys (zero allocations per event).
+	cells map[string]*OpMetrics
+	stack []frame
+	seen  bool
+	// Partial totals; Makespan/Events/Procs/SpanKinds are finalized by merge.
+	totals   Totals
+	makespan float64
+	events   int
+}
+
+func newProcState() *procState {
+	return &procState{reg: NewRegistry(), cells: make(map[string]*OpMetrics)}
+}
+
+// rootCell returns (creating on first use) the ("(root)", "(program)") cell
+// for events outside every span.
+func (st *procState) rootCell() *OpMetrics {
+	if st.root == nil {
+		st.root = st.reg.Op("(root)", "(program)")
+	}
+	return st.root
+}
+
+// feed folds one event. Events must arrive in the processor's program order.
+func (st *procState) feed(e machine.Event) {
+	st.seen = true
+	st.events++
+	if e.End > st.makespan {
+		st.makespan = e.End
+	}
+	switch e.Kind {
+	case machine.EvSpanBegin:
+		if len(st.stack) == 0 {
+			// Top-level span markers are attributed to the root scope, which
+			// materializes the root cell exactly as the post-hoc owner walk did.
+			st.rootCell()
+		}
+		cell := st.cells[e.Label]
+		if cell == nil {
+			cell = st.reg.Op(keyOf(e.Label))
+			st.cells[e.Label] = cell
+		}
+		st.stack = append(st.stack, frame{start: e.Start, cell: cell})
+	case machine.EvSpanEnd:
+		if len(st.stack) == 0 {
+			st.rootCell() // unmatched end: owned by the root scope
+			return
+		}
+		f := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		d := e.Start - f.start
+		f.cell.Spans++
+		f.cell.Time += d
+		f.cell.Dur.Add(d)
+	default:
+		m := st.rootCell()
+		if len(st.stack) > 0 {
+			m = st.stack[len(st.stack)-1].cell
+		}
+		d := e.End - e.Start
+		switch e.Kind {
+		case machine.EvCompute:
+			m.Compute += d
+			st.totals.Compute += d
+		case machine.EvWait:
+			m.Wait += d
+			st.totals.Wait += d
+		case machine.EvSend:
+			m.Send += d
+			m.MsgsSent++
+			m.BytesSent += int64(e.Bytes)
+			st.totals.Send += d
+			st.totals.Msgs++
+			st.totals.Bytes += int64(e.Bytes)
+		case machine.EvRecv:
+			m.MsgsRecvd++
+			m.BytesRecvd += int64(e.Bytes)
+		case machine.EvIO:
+			m.IO += d
+			st.totals.IO += d
+		}
+	}
+}
+
+// mergeInto folds one processor's partial registry into out. Callers merge
+// processors in ascending id order, so per-key field additions happen in a
+// fixed order and the merged floats are a pure function of the partials.
+// Per-key accumulation is independent across keys, so the iteration order of
+// st.reg.ops does not matter.
+func mergeInto(out *Registry, st *procState) {
+	if st == nil || !st.seen {
+		return
+	}
+	for k, m := range st.reg.ops {
+		dst := out.ops[k]
+		if dst == nil {
+			dst = &OpMetrics{Group: m.Group, Op: m.Op}
+			out.ops[k] = dst
+		}
+		dst.Spans += m.Spans
+		dst.Time += m.Time
+		dst.Compute += m.Compute
+		dst.Wait += m.Wait
+		dst.Send += m.Send
+		dst.IO += m.IO
+		dst.MsgsSent += m.MsgsSent
+		dst.BytesSent += m.BytesSent
+		dst.MsgsRecvd += m.MsgsRecvd
+		dst.BytesRecvd += m.BytesRecvd
+		for i := range dst.Dur.Buckets {
+			dst.Dur.Buckets[i] += m.Dur.Buckets[i]
+		}
+	}
+	out.totals.Compute += st.totals.Compute
+	out.totals.Wait += st.totals.Wait
+	out.totals.Send += st.totals.Send
+	out.totals.IO += st.totals.IO
+	out.totals.Msgs += st.totals.Msgs
+	out.totals.Bytes += st.totals.Bytes
+	out.totals.Events += st.events
+	out.totals.Procs++
+	if st.makespan > out.totals.Makespan {
+		out.totals.Makespan = st.makespan
+	}
+}
+
+// mergeStates folds per-processor partial registries (ascending processor
+// order) into one registry.
+func mergeStates(states []*procState) *Registry {
+	out := NewRegistry()
+	for _, st := range states {
+		mergeInto(out, st)
+	}
+	out.totals.SpanKinds = len(out.ops)
+	return out
+}
+
+// streamShard pairs a processor's fold state with the mutex that lets
+// Snapshot read it mid-run. The owning processor goroutine is the only
+// writer, so the lock is uncontended on the record path.
+type streamShard struct {
+	mu sync.Mutex
+	st *procState
+}
+
+// StreamSink is a machine.Tracer that maintains the per-(group, operation)
+// registry online. Its Snapshot is byte-identical to
+// FromTrace(collector.Events()).Snapshot() for the same run, while retaining
+// no events: memory is O(procs + distinct (group, op) keys).
+type StreamSink struct {
+	shards  []streamShard
+	dropped atomic.Int64
+}
+
+var _ machine.Tracer = (*StreamSink)(nil)
+
+// NewStreamSink returns a sink for a machine of the given processor count.
+func NewStreamSink(procs int) *StreamSink {
+	s := &StreamSink{shards: make([]streamShard, procs)}
+	for i := range s.shards {
+		s.shards[i].st = newProcState()
+	}
+	return s
+}
+
+// Record implements machine.Tracer. Events whose processor id is outside
+// [0, procs) are counted in Dropped and otherwise ignored.
+func (s *StreamSink) Record(e machine.Event) {
+	if e.Proc < 0 || e.Proc >= len(s.shards) {
+		s.dropped.Add(1)
+		return
+	}
+	sh := &s.shards[e.Proc]
+	sh.mu.Lock()
+	sh.st.feed(e)
+	sh.mu.Unlock()
+}
+
+// Dropped returns the number of events ignored for an out-of-range
+// processor id.
+func (s *StreamSink) Dropped() int64 { return s.dropped.Load() }
+
+// Registry merges the per-processor partials into a full registry. Safe to
+// call mid-run: each processor's partial is read under its lock (the result
+// is then a causally consistent per-processor prefix, not a global cut).
+func (s *StreamSink) Registry() *Registry {
+	out := NewRegistry()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		mergeInto(out, sh.st)
+		sh.mu.Unlock()
+	}
+	out.totals.SpanKinds = len(out.ops)
+	return out
+}
+
+// Snapshot merges and materializes the registry in sorted order.
+func (s *StreamSink) Snapshot() Snapshot { return s.Registry().Snapshot() }
+
+// FromTrace builds a registry from a run's events (typically
+// Collector.Events(); any order is accepted, the input is not modified).
+// The result is a pure function of the event values, which are virtual-time
+// deterministic — and it is computed by the same per-processor fold and
+// merge as StreamSink, so the two pipelines agree byte for byte.
+func FromTrace(evs []machine.Event) *Registry {
+	sorted := append([]machine.Event(nil), evs...)
+	trace.SortEvents(sorted)
+	var states []*procState
+	var cur *procState
+	lastProc := 0
+	for _, e := range sorted {
+		if cur == nil || e.Proc != lastProc {
+			cur = newProcState()
+			states = append(states, cur) // sorted input: ascending proc order
+			lastProc = e.Proc
+		}
+		cur.feed(e)
+	}
+	return mergeStates(states)
+}

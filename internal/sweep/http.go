@@ -1,0 +1,186 @@
+package sweep
+
+// HTTP exposure of the campaign monitor, consumed by cmd/fxtop or any
+// curl/browser:
+//
+//	GET /snapshot  — one MonitorSnapshot as JSON
+//	GET /events    — server-sent events: one JSON snapshot per state change
+//	                 (coalesced), plus a 1 s heartbeat so ETAs keep moving
+//
+// StartMonitor binds a listener, installs the monitor as the process-global
+// campaign observer, and returns the base URL — which the -monitor flag of
+// the experiment drivers prints so fxtop can attach.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultMonitorAddr is where experiment drivers bind when -monitor is given
+// without an address.
+const DefaultMonitorAddr = "127.0.0.1:6070"
+
+// ServeMux returns the monitor's HTTP handler, for embedding in an existing
+// server.
+func (m *Monitor) ServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", m.handleSnapshot)
+	mux.HandleFunc("/events", m.handleEvents)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderText(w, m.Snapshot())
+	})
+	return mux
+}
+
+func (m *Monitor) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.Snapshot()) //nolint:errcheck // client gone is not our error
+}
+
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := m.subscribe()
+	defer cancel()
+	heartbeat := time.NewTicker(time.Second)
+	defer heartbeat.Stop()
+	send := func() bool {
+		js, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", js); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-heartbeat.C:
+		}
+		if !send() {
+			return
+		}
+	}
+}
+
+// StartMonitor creates a Monitor, serves it on addr (DefaultMonitorAddr when
+// empty; use ":0" for an ephemeral port), and installs it as the
+// process-global campaign observer. The returned stop func deactivates the
+// monitor and closes the server.
+func StartMonitor(addr string) (m *Monitor, url string, stop func(), err error) {
+	if addr == "" {
+		addr = DefaultMonitorAddr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("sweep: monitor listen %s: %w", addr, err)
+	}
+	m = NewMonitor()
+	srv := &http.Server{Handler: m.ServeMux()}
+	go srv.Serve(ln) //nolint:errcheck // closed on stop
+	prev := Activate(m)
+	stop = func() {
+		Activate(prev)
+		srv.Close()
+	}
+	return m, "http://" + ln.Addr().String(), stop, nil
+}
+
+// MonitorFromFlag interprets the experiment drivers' shared -monitor flag:
+// "" leaves monitoring off (no-op stop), "auto" binds DefaultMonitorAddr,
+// anything else is a listen address. Callers print the returned URL so
+// fxtop users know where to attach.
+func MonitorFromFlag(value string) (url string, stop func(), err error) {
+	if value == "" {
+		return "", func() {}, nil
+	}
+	if value == "auto" {
+		value = DefaultMonitorAddr
+	}
+	_, url, stop, err = StartMonitor(value)
+	return url, stop, err
+}
+
+// RenderText renders a snapshot as the fxtop terminal view: one line per
+// campaign with a progress bar, throughput and ETA.
+func RenderText(w io.Writer, s MonitorSnapshot) {
+	fmt.Fprintf(w, "campaign monitor  up %s\n", fmtDur(s.UptimeSec))
+	if len(s.Campaigns) == 0 {
+		fmt.Fprintln(w, "(no campaigns yet)")
+		return
+	}
+	wn := len("campaign")
+	for _, c := range s.Campaigns {
+		if len(c.Name) > wn {
+			wn = len(c.Name)
+		}
+	}
+	const barW = 30
+	for _, c := range s.Campaigns {
+		frac := 0.0
+		if c.Total > 0 {
+			frac = float64(c.Finished) / float64(c.Total)
+		}
+		fill := int(frac * barW)
+		if fill > barW {
+			fill = barW
+		}
+		bar := make([]byte, barW)
+		for i := range bar {
+			if i < fill {
+				bar[i] = '='
+			} else {
+				bar[i] = ' '
+			}
+		}
+		status := fmt.Sprintf("eta %s", fmtDur(c.ETASec))
+		if c.Done {
+			status = "done"
+		} else if c.ETASec < 0 {
+			status = "eta ?"
+		}
+		fmt.Fprintf(w, "%-*s [%s] %d/%d  run %d  fail %d  %s  %s\n",
+			wn, c.Name, bar, c.Finished, c.Total, c.Running, c.Failed,
+			fmtDur(c.ElapsedSec), status)
+	}
+}
+
+// fmtDur renders seconds compactly (1.2s, 3m05s, 2h10m).
+func fmtDur(sec float64) string {
+	if sec < 0 {
+		return "?"
+	}
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}

@@ -1,0 +1,232 @@
+package sweep
+
+// Campaign instrumentation: when a Monitor is active (see Activate /
+// StartMonitor), every MapNamed campaign registers itself and streams
+// per-job start/finish counts, so an external observer — the fxtop live
+// monitor, or the HTTP endpoints in http.go — can watch a long sweep
+// progress instead of staring at a silent terminal.
+//
+// The instrumentation is strictly an observer: job scheduling, result
+// ordering and the simulated outputs are untouched, and with no active
+// Monitor the added cost of Map is one atomic load.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Campaign tracks one named MapNamed invocation's progress. All methods are
+// nil-safe: a nil *Campaign (no active monitor) does nothing.
+type Campaign struct {
+	mon   *Monitor
+	name  string
+	total int
+	begun time.Time
+
+	started  atomic.Int64
+	finished atomic.Int64
+	failed   atomic.Int64
+	done     atomic.Bool
+	endNanos atomic.Int64 // wall end time (UnixNano) once done
+}
+
+func (c *Campaign) jobStarted() {
+	if c == nil {
+		return
+	}
+	c.started.Add(1)
+	c.mon.notify()
+}
+
+func (c *Campaign) jobFinished(failed bool) {
+	if c == nil {
+		return
+	}
+	if failed {
+		c.failed.Add(1)
+	}
+	c.finished.Add(1)
+	c.mon.notify()
+}
+
+func (c *Campaign) finish() {
+	if c == nil {
+		return
+	}
+	c.endNanos.Store(time.Now().UnixNano())
+	c.done.Store(true)
+	c.mon.notify()
+}
+
+// CampaignSnapshot is a point-in-time view of one campaign.
+type CampaignSnapshot struct {
+	Name     string `json:"name"`
+	Total    int    `json:"total"`
+	Started  int64  `json:"started"`
+	Finished int64  `json:"finished"`
+	Failed   int64  `json:"failed"`
+	// Running is the number of jobs started but not yet finished.
+	Running int64 `json:"running"`
+	Done    bool  `json:"done"`
+	// ElapsedSec is wall time since the campaign began (frozen once done).
+	ElapsedSec float64 `json:"elapsedSec"`
+	// ETASec estimates remaining wall time from per-job throughput so far;
+	// -1 until the first job finishes.
+	ETASec float64 `json:"etaSec"`
+}
+
+func (c *Campaign) snapshot(now time.Time) CampaignSnapshot {
+	s := CampaignSnapshot{
+		Name:     c.name,
+		Total:    c.total,
+		Started:  c.started.Load(),
+		Finished: c.finished.Load(),
+		Failed:   c.failed.Load(),
+		Done:     c.done.Load(),
+		ETASec:   -1,
+	}
+	s.Running = s.Started - s.Finished
+	end := now
+	if s.Done {
+		end = time.Unix(0, c.endNanos.Load())
+	}
+	s.ElapsedSec = end.Sub(c.begun).Seconds()
+	if s.Done {
+		s.ETASec = 0
+	} else if s.Finished > 0 {
+		perJob := s.ElapsedSec / float64(s.Finished)
+		s.ETASec = perJob * float64(int64(s.Total)-s.Finished)
+	}
+	return s
+}
+
+// MonitorSnapshot is a point-in-time view of every campaign the process has
+// run while the monitor was active.
+type MonitorSnapshot struct {
+	UptimeSec float64            `json:"uptimeSec"`
+	Campaigns []CampaignSnapshot `json:"campaigns"`
+}
+
+// Monitor aggregates campaign progress for one process. Create with
+// NewMonitor (or StartMonitor, which also serves it over HTTP) and install
+// with Activate.
+type Monitor struct {
+	start time.Time
+
+	mu        sync.Mutex
+	campaigns []*Campaign
+	subs      map[chan struct{}]struct{}
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{start: time.Now(), subs: make(map[chan struct{}]struct{})}
+}
+
+// begin registers a new campaign. Nil-safe.
+func (m *Monitor) begin(name string, total int) *Campaign {
+	if m == nil {
+		return nil
+	}
+	if name == "" {
+		name = "(campaign)"
+	}
+	c := &Campaign{mon: m, name: name, total: total, begun: time.Now()}
+	m.mu.Lock()
+	m.campaigns = append(m.campaigns, c)
+	m.mu.Unlock()
+	m.notify()
+	return c
+}
+
+// Snapshot returns the current view of all campaigns, in begin order.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	now := time.Now()
+	m.mu.Lock()
+	cs := append([]*Campaign(nil), m.campaigns...)
+	m.mu.Unlock()
+	out := MonitorSnapshot{UptimeSec: now.Sub(m.start).Seconds()}
+	for _, c := range cs {
+		out.Campaigns = append(out.Campaigns, c.snapshot(now))
+	}
+	return out
+}
+
+// subscribe returns a channel that receives a (coalesced) tick whenever
+// campaign state changes, plus an unsubscribe func.
+func (m *Monitor) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	m.mu.Lock()
+	m.subs[ch] = struct{}{}
+	m.mu.Unlock()
+	return ch, func() {
+		m.mu.Lock()
+		delete(m.subs, ch)
+		m.mu.Unlock()
+	}
+}
+
+// notify wakes subscribers; sends coalesce into the buffered slot, so a
+// burst of job completions costs subscribers one wakeup.
+func (m *Monitor) notify() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	for ch := range m.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	m.mu.Unlock()
+}
+
+// active is the process-global monitor MapNamed reports to; nil (the
+// default) disables all instrumentation.
+var active atomic.Pointer[Monitor]
+
+// Activate installs m as the process-global campaign monitor (nil to
+// disable). Returns the previous monitor.
+func Activate(m *Monitor) *Monitor {
+	return active.Swap(m)
+}
+
+// ActiveMonitor returns the installed monitor, or nil.
+func ActiveMonitor() *Monitor { return active.Load() }
+
+// MapNamed is Map with a campaign name for the active monitor: identical
+// scheduling and results, plus per-job start/finish accounting when a
+// Monitor is installed.
+func MapNamed[T any](name string, workers, n int, fn func(i int) (T, error)) []Result[T] {
+	camp := ActiveMonitor().begin(name, n) // nil-safe: nil monitor → nil campaign
+	defer camp.finish()
+	results := make([]Result[T], n)
+	if n == 0 {
+		return results
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				camp.jobStarted()
+				runJob(i, fn, &results[i])
+				camp.jobFinished(results[i].Err != nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapNamedReportsProgress: a monitored campaign must account every job
+// exactly once and end done with zero running.
+func TestMapNamedReportsProgress(t *testing.T) {
+	m := NewMonitor()
+	prev := Activate(m)
+	defer Activate(prev)
+
+	res := MapNamed("unit", 4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i * i, nil
+	})
+	if len(res) != 10 {
+		t.Fatalf("len = %d", len(res))
+	}
+	snap := m.Snapshot()
+	if len(snap.Campaigns) != 1 {
+		t.Fatalf("campaigns = %+v", snap.Campaigns)
+	}
+	c := snap.Campaigns[0]
+	if c.Name != "unit" || c.Total != 10 || c.Started != 10 || c.Finished != 10 ||
+		c.Failed != 1 || c.Running != 0 || !c.Done || c.ETASec != 0 {
+		t.Errorf("campaign snapshot = %+v", c)
+	}
+}
+
+// TestMapUnchangedWithoutMonitor: with no active monitor, Map must behave
+// exactly as before (results in submission order, panics captured).
+func TestMapUnchangedWithoutMonitor(t *testing.T) {
+	if ActiveMonitor() != nil {
+		t.Fatal("monitor unexpectedly active")
+	}
+	res := Map(2, 5, func(i int) (int, error) {
+		if i == 2 {
+			panic("job 2")
+		}
+		return i, nil
+	})
+	for i, r := range res {
+		if i == 2 {
+			if _, ok := r.Err.(*PanicError); !ok {
+				t.Errorf("job 2 err = %v, want PanicError", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Errorf("job %d = %+v", i, r)
+		}
+	}
+}
+
+// TestMonitorServesLiveSnapshotMidCampaign is the fxtop acceptance test: the
+// HTTP endpoint must serve a JSON snapshot while a campaign is still
+// running, showing in-flight jobs.
+func TestMonitorServesLiveSnapshotMidCampaign(t *testing.T) {
+	_, url, stop, err := StartMonitor("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	release := make(chan struct{})
+	var entered atomic.Int64
+	done := make(chan []Result[int])
+	go func() {
+		done <- MapNamed("live", 2, 4, func(i int) (int, error) {
+			entered.Add(1)
+			<-release // hold jobs mid-flight until the test has snapshotted
+			return i, nil
+		})
+	}()
+	for entered.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(url + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MonitorSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Campaigns) != 1 {
+		t.Fatalf("campaigns = %+v", snap.Campaigns)
+	}
+	c := snap.Campaigns[0]
+	if c.Name != "live" || c.Total != 4 || c.Running == 0 || c.Done {
+		t.Errorf("mid-campaign snapshot = %+v, want running jobs and not done", c)
+	}
+
+	close(release)
+	res := <-done
+	if vals, err := Values(res); err != nil || len(vals) != 4 {
+		t.Fatalf("campaign results: %v %v", vals, err)
+	}
+
+	// After completion, the same endpoint reports done.
+	resp, err = http.Get(url + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if c := snap.Campaigns[0]; !c.Done || c.Finished != 4 {
+		t.Errorf("post-campaign snapshot = %+v", c)
+	}
+}
+
+// TestMonitorSSE: /events must deliver at least one data: frame holding a
+// valid snapshot.
+func TestMonitorSSE(t *testing.T) {
+	m, url, stop, err := StartMonitor("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	MapNamed("sse", 2, 3, func(i int) (int, error) { return i, nil })
+
+	resp, err := http.Get(url + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var snap MonitorSnapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+		if len(snap.Campaigns) != 1 || snap.Campaigns[0].Name != "sse" {
+			t.Errorf("SSE snapshot = %+v", snap)
+		}
+		_ = m
+		return // one frame is enough
+	}
+	t.Fatal("no data frame received")
+}
+
+// TestRenderText: the terminal view shows progress bars and flags failures.
+func TestRenderText(t *testing.T) {
+	var sb strings.Builder
+	RenderText(&sb, MonitorSnapshot{
+		UptimeSec: 62,
+		Campaigns: []CampaignSnapshot{
+			{Name: "table1", Total: 8, Started: 8, Finished: 8, Done: true, ElapsedSec: 2.5},
+			{Name: "fig5", Total: 10, Started: 4, Finished: 2, Running: 2, Failed: 1, ElapsedSec: 1, ETASec: 4},
+		},
+	})
+	out := sb.String()
+	for _, want := range []string{"table1", "8/8", "done", "fig5", "2/10", "fail 1", "eta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var empty strings.Builder
+	RenderText(&empty, MonitorSnapshot{})
+	if !strings.Contains(empty.String(), "no campaigns") {
+		t.Errorf("empty render:\n%s", empty.String())
+	}
+}

@@ -18,8 +18,6 @@ package sweep
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Result holds one job's outcome. Exactly one of Value/Err is meaningful:
@@ -54,32 +52,10 @@ func Workers(j int) int {
 // the n results indexed by submission order. workers <= 0 defaults to
 // GOMAXPROCS. The call blocks until every job has finished; job panics are
 // captured into the corresponding Result as a *PanicError.
+// When a campaign Monitor is active (see Activate), the run is reported
+// under the generic "(campaign)" name; use MapNamed to label it.
 func Map[T any](workers, n int, fn func(i int) (T, error)) []Result[T] {
-	results := make([]Result[T], n)
-	if n == 0 {
-		return results
-	}
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				runJob(i, fn, &results[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return results
+	return MapNamed("", workers, n, fn)
 }
 
 // runJob executes one job with panic capture. Separate from the worker loop

@@ -1,0 +1,171 @@
+package trace
+
+// Flight recorder: a fixed-size ring of the most recent events per
+// processor, kept while the run is in progress. When a campaign simulation
+// stalls or deadlocks, the rings answer "what was every processor last
+// doing" without the memory cost of a full Collector. The recorder also
+// implements machine.BlockTracer, so a receive that never completes still
+// deposits an open EvWait marker (End == Start, by convention) for the
+// blocked processor — the one event a post-hoc collector can never show,
+// because the machine only records a wait after it finishes.
+//
+// Ring contents are for postmortems: the set of events present depends on
+// host scheduling progress, unlike the deterministic virtual-time values
+// inside each event.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"fxpar/internal/machine"
+)
+
+// DefaultFlightDepth is the per-processor ring size used when
+// NewFlightRecorder is given a non-positive depth.
+const DefaultFlightDepth = 64
+
+// flightRing is one processor's circular event buffer.
+type flightRing struct {
+	mu    sync.Mutex
+	buf   []machine.Event
+	next  int   // index of the slot the next event overwrites
+	total int64 // events ever recorded on this ring
+}
+
+// FlightRecorder retains the last depth events of every processor.
+type FlightRecorder struct {
+	rings   []flightRing
+	depth   int
+	dropped atomic.Int64
+}
+
+var (
+	_ machine.Tracer      = (*FlightRecorder)(nil)
+	_ machine.BlockTracer = (*FlightRecorder)(nil)
+)
+
+// NewFlightRecorder returns a recorder for a machine of the given size,
+// retaining the last depth events per processor (DefaultFlightDepth when
+// depth <= 0).
+func NewFlightRecorder(procs, depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{rings: make([]flightRing, procs), depth: depth}
+}
+
+// Depth returns the per-processor ring size.
+func (f *FlightRecorder) Depth() int { return f.depth }
+
+func (f *FlightRecorder) push(proc int, e machine.Event) {
+	if proc < 0 || proc >= len(f.rings) {
+		f.dropped.Add(1)
+		return
+	}
+	r := &f.rings[proc]
+	r.mu.Lock()
+	if len(r.buf) < f.depth {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % f.depth
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Record implements machine.Tracer.
+func (f *FlightRecorder) Record(e machine.Event) { f.push(e.Proc, e) }
+
+// RecordBlocked implements machine.BlockTracer: it deposits an open wait
+// marker (Kind EvWait, End == Start) naming the peer the processor is
+// blocked on. If the message eventually arrives, the machine's normal
+// closed EvWait interval follows it in the ring.
+func (f *FlightRecorder) RecordBlocked(proc, src int, now float64) {
+	f.push(proc, machine.Event{Proc: proc, Kind: machine.EvWait, Start: now, End: now, Peer: src})
+}
+
+// Snapshot returns each processor's retained events, oldest first. Safe to
+// call at any time, including while processors are blocked — which is the
+// point.
+func (f *FlightRecorder) Snapshot() [][]machine.Event {
+	out := make([][]machine.Event, len(f.rings))
+	for i := range f.rings {
+		r := &f.rings[i]
+		r.mu.Lock()
+		evs := make([]machine.Event, 0, len(r.buf))
+		if len(r.buf) < f.depth {
+			evs = append(evs, r.buf...)
+		} else {
+			evs = append(evs, r.buf[r.next:]...)
+			evs = append(evs, r.buf[:r.next]...)
+		}
+		r.mu.Unlock()
+		out[i] = evs
+	}
+	return out
+}
+
+// OpenWait reports whether proc's most recent retained event is an open wait
+// marker, and if so which peer it is blocked on and since when.
+func (f *FlightRecorder) OpenWait(proc int) (peer int, since float64, blocked bool) {
+	if proc < 0 || proc >= len(f.rings) {
+		return 0, 0, false
+	}
+	r := &f.rings[proc]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return 0, 0, false
+	}
+	last := len(r.buf) - 1
+	if len(r.buf) == f.depth {
+		last = (r.next - 1 + f.depth) % f.depth
+	}
+	e := r.buf[last]
+	if e.Kind == machine.EvWait && e.End == e.Start {
+		return e.Peer, e.Start, true
+	}
+	return 0, 0, false
+}
+
+// WriteText renders a postmortem: one line per processor with its last few
+// events (most recent last), flagging processors whose newest event is an
+// open wait.
+func (f *FlightRecorder) WriteText(w io.Writer, lastN int) {
+	if lastN <= 0 {
+		lastN = 8
+	}
+	snap := f.Snapshot()
+	fmt.Fprintf(w, "flight recorder: last %d event(s) per processor (most recent last)\n", lastN)
+	for pr, evs := range snap {
+		if len(evs) > lastN {
+			evs = evs[len(evs)-lastN:]
+		}
+		fmt.Fprintf(w, "p%04d:", pr)
+		if len(evs) == 0 {
+			fmt.Fprintf(w, " (no events)")
+		}
+		for _, e := range evs {
+			switch {
+			case e.Kind == machine.EvWait && e.End == e.Start:
+				fmt.Fprintf(w, " wait<-%d@%.6f(BLOCKED)", e.Peer, e.Start)
+			case e.Kind == machine.EvSend:
+				fmt.Fprintf(w, " send->%d[%.6f,%.6f]", e.Peer, e.Start, e.End)
+			case e.Kind == machine.EvWait:
+				fmt.Fprintf(w, " wait<-%d[%.6f,%.6f]", e.Peer, e.Start, e.End)
+			case e.Kind == machine.EvRecv:
+				fmt.Fprintf(w, " recv<-%d@%.6f", e.Peer, e.Start)
+			case e.Kind == machine.EvSpanBegin:
+				fmt.Fprintf(w, " begin(%s)@%.6f", e.Label, e.Start)
+			case e.Kind == machine.EvSpanEnd:
+				fmt.Fprintf(w, " end(%s)@%.6f", e.Label, e.Start)
+			default:
+				fmt.Fprintf(w, " %s[%.6f,%.6f]", e.Kind, e.Start, e.End)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

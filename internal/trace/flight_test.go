@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"fxpar/internal/machine"
+)
+
+// TestFlightRecorderStalledRun is the postmortem acceptance test: a receive
+// that never completes must leave an open EvWait marker visible in the ring
+// snapshot for the blocked processor — the one event a Collector can never
+// show, because the machine records waits only after they finish.
+func TestFlightRecorderStalledRun(t *testing.T) {
+	fr := NewFlightRecorder(2, 8)
+	m := machine.New(2, intCost())
+	m.SetTracer(fr)
+	// p1 receives from p0, but p0 never sends: the run deadlocks by
+	// construction. Run it on a leaked goroutine and observe the stall from
+	// outside — exactly how a campaign monitor would.
+	go m.Run(func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.Compute(1)
+			return
+		}
+		p.BeginSpan("on:cons:group[1]")
+		p.Compute(2)
+		p.Recv(0) // blocks forever
+		p.EndSpan()
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, blocked := fr.OpenWait(1); blocked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked processor never surfaced an open wait marker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	peer, since, blocked := fr.OpenWait(1)
+	if !blocked || peer != 0 {
+		t.Fatalf("OpenWait(1) = (%d, %g, %v), want peer 0 blocked", peer, since, blocked)
+	}
+	if since != 2 { // p1's virtual clock after Compute(2) under intCost
+		t.Errorf("blocked since %g, want virtual time 2", since)
+	}
+
+	// The ring snapshot's last event for p1 is the open wait, preceded by its
+	// program history (span begin, compute).
+	snap := fr.Snapshot()
+	evs := snap[1]
+	if len(evs) == 0 {
+		t.Fatal("empty ring for the blocked processor")
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != machine.EvWait || last.End != last.Start || last.Peer != 0 {
+		t.Errorf("last ring event = %+v, want open EvWait on peer 0", last)
+	}
+	// p0 ran to completion; its ring must not report a stall.
+	if _, _, blocked := fr.OpenWait(0); blocked {
+		t.Error("completed processor reported as blocked")
+	}
+
+	var buf bytes.Buffer
+	fr.WriteText(&buf, 8)
+	if !strings.Contains(buf.String(), "BLOCKED") {
+		t.Errorf("postmortem does not flag the stall:\n%s", buf.String())
+	}
+}
+
+// TestFlightRecorderRingWraps: the ring keeps exactly the last depth events,
+// oldest first.
+func TestFlightRecorderRingWraps(t *testing.T) {
+	fr := NewFlightRecorder(1, 4)
+	for i := 0; i < 10; i++ {
+		fr.Record(machine.Event{Proc: 0, Kind: machine.EvCompute, Start: float64(i), End: float64(i + 1), Seq: int64(i)})
+	}
+	evs := fr.Snapshot()[0]
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := float64(6 + i); e.Start != want {
+			t.Errorf("ring[%d].Start = %g, want %g (oldest first)", i, e.Start, want)
+		}
+	}
+}
+
+// TestFlightRecorderCompletedWaitClosesMarker: when the awaited message does
+// arrive, the machine's closed EvWait interval follows the open marker, so
+// OpenWait no longer reports a stall.
+func TestFlightRecorderCompletedWaitClosesMarker(t *testing.T) {
+	fr := NewFlightRecorder(2, 8)
+	m := machine.New(2, intCost())
+	m.SetTracer(fr)
+	m.Run(func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.Compute(10)
+			p.Send(1, 99, 4)
+		} else {
+			p.Recv(0)
+		}
+	})
+	if _, _, blocked := fr.OpenWait(1); blocked {
+		t.Error("completed receive still reported as blocked")
+	}
+	// The open marker (if the host scheduler made p1 block) must be followed
+	// by a closed wait or recv marker; either way the newest event is closed.
+	evs := fr.Snapshot()[1]
+	if len(evs) == 0 {
+		t.Fatal("empty ring")
+	}
+	last := evs[len(evs)-1]
+	if last.Kind == machine.EvWait && last.End == last.Start {
+		t.Errorf("newest event is still an open wait: %+v", last)
+	}
+}
+
+// TestFlightRecorderOutOfRange: events for unknown processors are dropped,
+// not folded, and OpenWait on a bad id is false.
+func TestFlightRecorderOutOfRange(t *testing.T) {
+	fr := NewFlightRecorder(1, 4)
+	fr.Record(machine.Event{Proc: 7, Kind: machine.EvCompute})
+	fr.RecordBlocked(-1, 0, 0)
+	if _, _, blocked := fr.OpenWait(7); blocked {
+		t.Error("OpenWait(out of range) = true")
+	}
+}

@@ -52,19 +52,7 @@ type Timeline struct {
 // Collector.Events(); any order is accepted, the input is not modified).
 func NewTimeline(evs []machine.Event) *Timeline {
 	t := &Timeline{Events: append([]machine.Event(nil), evs...)}
-	sort.Slice(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
-		}
-		if a.Seq != b.Seq {
-			return a.Seq < b.Seq
-		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		return a.End < b.End
-	})
+	SortEvents(t.Events)
 	t.owner = make([]int, len(t.Events))
 	var open []int
 	lastProc := -1

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fxpar/internal/machine"
+)
+
+// streamedProducerConsumer runs the producerConsumer scenario with a
+// Collector and the streaming sinks attached side by side through Tee.
+func streamedProducerConsumer(t *testing.T) (*Collector, *UtilSink, *CommMatrix) {
+	t.Helper()
+	col := &Collector{}
+	util := NewUtilSink(2)
+	comm := NewCommMatrix(2)
+	m := machine.New(2, intCost())
+	m.SetTracer(Tee(col, util, comm))
+	m.Run(func(p *machine.Proc) {
+		if p.ID() == 0 {
+			p.BeginSpan("on:prod:group[0]")
+			p.Compute(10)
+			p.Send(1, 99, 4)
+			p.EndSpan()
+		} else {
+			p.BeginSpan("on:cons:group[1]")
+			p.Recv(0)
+			p.Compute(2)
+			p.EndSpan()
+		}
+	})
+	return col, util, comm
+}
+
+// TestUtilSinkMatchesBusyByKind: the streamed utilization must equal the
+// post-hoc BusyByKind fold of the full event log, and the streamed extent
+// must equal Collector.Span().
+func TestUtilSinkMatchesBusyByKind(t *testing.T) {
+	col, util, _ := streamedProducerConsumer(t)
+	snap := util.Snapshot()
+	if snap.Dropped != 0 {
+		t.Fatalf("UtilSink dropped %d events", snap.Dropped)
+	}
+	byKind := col.BusyByKind(2)
+	pick := func(k machine.EventKind, pr int) float64 {
+		if byKind[k] == nil {
+			return 0
+		}
+		return byKind[k][pr]
+	}
+	for pr := 0; pr < 2; pr++ {
+		u := snap.PerProc[pr]
+		if u.Compute != pick(machine.EvCompute, pr) ||
+			u.Send != pick(machine.EvSend, pr) ||
+			u.Wait != pick(machine.EvWait, pr) ||
+			u.IO != pick(machine.EvIO, pr) {
+			t.Errorf("p%d: streamed %+v != post-hoc compute=%g send=%g wait=%g io=%g",
+				pr, u, pick(machine.EvCompute, pr), pick(machine.EvSend, pr),
+				pick(machine.EvWait, pr), pick(machine.EvIO, pr))
+		}
+	}
+	start, end := col.Span()
+	if snap.Start != start || snap.End != end {
+		t.Errorf("streamed extent [%g,%g] != collector span [%g,%g]", snap.Start, snap.End, start, end)
+	}
+
+	// The rendered table must match Utilization's byte for byte.
+	var live, posthoc bytes.Buffer
+	snap.WriteText(&live)
+	Utilization(&posthoc, col, 2)
+	if live.String() != posthoc.String() {
+		t.Errorf("streamed utilization table differs:\n--- streaming\n%s--- post-hoc\n%s", live.String(), posthoc.String())
+	}
+}
+
+// TestCommMatrixMatchesPostHoc: the streamed (src,dst) matrix must equal the
+// reference fold over the full event log.
+func TestCommMatrixMatchesPostHoc(t *testing.T) {
+	col, _, comm := streamedProducerConsumer(t)
+	live := comm.Snapshot()
+	ref := CommFromEvents(col.Events())
+	if len(live) != len(ref) {
+		t.Fatalf("edge count: streaming %d != post-hoc %d", len(live), len(ref))
+	}
+	for i := range live {
+		if live[i] != ref[i] {
+			t.Errorf("edge %d: streaming %+v != post-hoc %+v", i, live[i], ref[i])
+		}
+	}
+	// The scenario has exactly one communicating pair: p0 -> p1, one 4-byte
+	// message sent and consumed.
+	want := CommEdge{Src: 0, Dst: 1, MsgsSent: 1, BytesSent: 4, MsgsRecvd: 1, BytesRecvd: 4}
+	if len(live) != 1 || live[0] != want {
+		t.Errorf("matrix = %+v, want [%+v]", live, want)
+	}
+	var buf bytes.Buffer
+	WriteCommMatrix(&buf, live)
+	if !strings.Contains(buf.String(), "p0000 p0001") {
+		t.Errorf("rendered matrix:\n%s", buf.String())
+	}
+}
+
+// TestCollectorEventsCached: Events() must return the same cached slice until
+// the next Record invalidates it.
+func TestCollectorEventsCached(t *testing.T) {
+	c := &Collector{}
+	c.Record(machine.Event{Proc: 0, Kind: machine.EvCompute, Start: 0, End: 1, Seq: 1})
+	ev1 := c.Events()
+	ev2 := c.Events()
+	if len(ev1) != 1 || len(ev2) != 1 {
+		t.Fatalf("lens %d %d", len(ev1), len(ev2))
+	}
+	if &ev1[0] != &ev2[0] {
+		t.Error("Events() rebuilt the view with no intervening Record")
+	}
+	c.Record(machine.Event{Proc: 1, Kind: machine.EvCompute, Start: 1, End: 2, Seq: 1})
+	ev3 := c.Events()
+	if len(ev3) != 2 {
+		t.Errorf("after Record, Events() len = %d, want 2", len(ev3))
+	}
+}
+
+// TestTeeFanOut: every child sees every event; nil children are skipped; a
+// single-child tee unwraps to the child itself.
+func TestTeeFanOut(t *testing.T) {
+	a := &Collector{}
+	b := &Collector{}
+	tr := Tee(nil, a, nil, b)
+	tr.Record(machine.Event{Proc: 0, Kind: machine.EvCompute, Start: 0, End: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out: a=%d b=%d, want 1 and 1", a.Len(), b.Len())
+	}
+	if got := Tee(a); got != machine.Tracer(a) {
+		t.Error("single-child Tee should unwrap")
+	}
+	if got := Tee(); got != nil {
+		t.Error("empty Tee should be nil")
+	}
+	// A tee advertises BlockTracer only when a child implements it.
+	if _, ok := Tee(a, b).(machine.BlockTracer); ok {
+		t.Error("tee of plain collectors must not advertise BlockTracer")
+	}
+	fr := NewFlightRecorder(2, 4)
+	bt, ok := Tee(a, fr).(machine.BlockTracer)
+	if !ok {
+		t.Fatal("tee with a FlightRecorder child must advertise BlockTracer")
+	}
+	bt.RecordBlocked(1, 0, 3.5)
+	if peer, since, blocked := fr.OpenWait(1); !blocked || peer != 0 || since != 3.5 {
+		t.Errorf("OpenWait = (%d, %g, %v), want (0, 3.5, true)", peer, since, blocked)
+	}
+}

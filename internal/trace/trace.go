@@ -12,72 +12,143 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fxpar/internal/machine"
 )
 
+// collectorShards is the number of independent append buffers a Collector
+// stripes events over (indexed by event processor id). One global mutex was
+// contended by every processor goroutine on large machines; striping makes
+// recording scale with the host while keeping the zero value ready to use.
+const collectorShards = 64
+
+// collectorShard is one stripe of a Collector's event buffer.
+type collectorShard struct {
+	mu     sync.Mutex
+	events []machine.Event
+}
+
 // Collector accumulates events from a traced run. It is safe for concurrent
 // use by processor goroutines. The zero value is ready to use.
 type Collector struct {
-	mu     sync.Mutex
-	events []machine.Event
+	shards [collectorShards]collectorShard
+	// dirty marks that events were recorded since the last Events() call;
+	// the sorted view is cached until then, because one profiling pass
+	// (metrics, critical path, Gantt) reads it several times.
+	dirty   atomic.Bool
+	cacheMu sync.Mutex
+	cache   []machine.Event
 }
 
 var _ machine.Tracer = (*Collector)(nil)
 
 // Record implements machine.Tracer.
 func (c *Collector) Record(e machine.Event) {
-	c.mu.Lock()
-	c.events = append(c.events, e)
-	c.mu.Unlock()
+	sh := &c.shards[shardIndex(e.Proc)]
+	sh.mu.Lock()
+	sh.events = append(sh.events, e)
+	sh.mu.Unlock()
+	c.dirty.Store(true)
 }
 
-// Events returns a copy of the recorded events sorted by (processor,
-// sequence number) — per-processor program order, which is deterministic
-// regardless of recording interleaving. Events recorded without sequence
-// numbers (hand-built test fixtures) fall back to (start, end) order.
-func (c *Collector) Events() []machine.Event {
-	c.mu.Lock()
-	out := append([]machine.Event(nil), c.events...)
-	c.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Proc != out[j].Proc {
-			return out[i].Proc < out[j].Proc
+// shardIndex maps a processor id (possibly negative in hand-built fixtures)
+// to its stripe.
+func shardIndex(proc int) int {
+	if proc < 0 {
+		proc = -proc
+	}
+	return proc % collectorShards
+}
+
+// SortEvents orders events in place by (processor, sequence number) —
+// per-processor program order, which is deterministic regardless of
+// recording interleaving. Events recorded without sequence numbers
+// (hand-built test fixtures) fall back to (start, end) order. It is the
+// canonical order of Events() and of every post-hoc analysis.
+func SortEvents(evs []machine.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Proc != evs[j].Proc {
+			return evs[i].Proc < evs[j].Proc
 		}
-		if out[i].Seq != out[j].Seq {
-			return out[i].Seq < out[j].Seq
+		if evs[i].Seq != evs[j].Seq {
+			return evs[i].Seq < evs[j].Seq
 		}
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
 		}
-		return out[i].End < out[j].End
+		return evs[i].End < evs[j].End
 	})
+}
+
+// Events returns the recorded events sorted by (processor, sequence number):
+// per-processor program order, deterministic regardless of recording
+// interleaving. The sorted view is cached until the next Record, so the
+// repeated calls of one profiling pass (metrics, critical path, Gantt) sort
+// only once. Callers must treat the returned slice as read-only; it is
+// shared between calls.
+func (c *Collector) Events() []machine.Event {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache != nil && !c.dirty.Load() {
+		return c.cache
+	}
+	c.dirty.Store(false)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	out := make([]machine.Event, 0, n)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.events...)
+		sh.mu.Unlock()
+	}
+	SortEvents(out)
+	c.cache = out
 	return out
 }
 
 // Len returns the number of recorded events.
 func (c *Collector) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.events)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Span returns the [min start, max end] of all events (0,0 when empty). The
-// extrema are computed in one pass under the lock — no copy, no sort.
+// extrema are computed in one pass over the shards — no copy, no sort.
 func (c *Collector) Span() (start, end float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.events) == 0 {
-		return 0, 0
+	first := true
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.events {
+			if first {
+				start, end = e.Start, e.End
+				first = false
+				continue
+			}
+			if e.Start < start {
+				start = e.Start
+			}
+			if e.End > end {
+				end = e.End
+			}
+		}
+		sh.mu.Unlock()
 	}
-	start, end = c.events[0].Start, c.events[0].End
-	for _, e := range c.events[1:] {
-		if e.Start < start {
-			start = e.Start
-		}
-		if e.End > end {
-			end = e.End
-		}
+	if first {
+		return 0, 0
 	}
 	return start, end
 }

@@ -1,0 +1,153 @@
+// BenchmarkTraceOverhead measures what observing a simulation costs the
+// host, across the three tracing configurations a user can choose:
+//
+//   - untraced: the nil-tracer hot path (the baseline every simulation pays);
+//   - streaming: the online sinks of the telemetry layer (metrics.StreamSink
+//     + trace.UtilSink + trace.CommMatrix behind a trace.Tee), which fold
+//     each event into O(procs + groups) state and never retain events;
+//   - collector: the full trace.Collector retaining every event, plus the
+//     post-hoc metrics.FromTrace pass — what fxprof pays for its Gantt and
+//     critical-path views.
+//
+// Each configuration times the same traced pipeline run *including* snapshot
+// production, so the comparison is end to end: fold-as-you-go versus
+// retain-then-scan. The numbers land in BENCH_obs.json; the streaming
+// configuration's overhead must not exceed the full collector's, which CI
+// checks from the committed snapshot.
+package fxpar_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/metrics"
+	"fxpar/internal/sim"
+	"fxpar/internal/trace"
+)
+
+type obsBenchFile struct {
+	// Workload shape: one neighbour-exchange run per measurement.
+	Procs  int
+	Iters  int
+	Events int // events one traced run emits
+	// Host time per run, by tracing configuration (seconds).
+	UntracedSec  float64
+	StreamingSec float64
+	CollectorSec float64
+	// Overheads relative to untraced (x: 1.0 = free).
+	StreamingOverhead float64
+	CollectorOverhead float64
+	// Virtual-time spot check, identical on every host.
+	Makespan float64
+}
+
+// Workload shape: a ring neighbour exchange on obsProcs processors for
+// obsIters rounds inside a named span — event-heavy (each round emits a
+// span pair, compute, send, wait and recv marker per processor), which is
+// exactly the regime where retaining the event log starts to cost.
+const (
+	obsProcs = 32
+	obsIters = 100
+)
+
+// obsRun executes one neighbour-exchange run under the given tracer (nil =
+// untraced) and returns its makespan.
+func obsRun(tr machine.Tracer) float64 {
+	m := machine.New(obsProcs, sim.Paragon())
+	m.SetTracer(tr)
+	st := m.Run(func(p *machine.Proc) {
+		r := p.ID()
+		for it := 0; it < obsIters; it++ {
+			p.BeginSpan("exchange:group[ring]")
+			p.Compute(1e3)
+			p.Send((r+1)%obsProcs, it, 8)
+			p.Recv((r + obsProcs - 1) % obsProcs)
+			p.EndSpan()
+		}
+	})
+	return st.MakespanTime()
+}
+
+// timeRuns reports the best-of-3 average host time per run of fn.
+func timeRuns(runs int, fn func()) float64 {
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			fn()
+		}
+		per := time.Since(start).Seconds() / float64(runs)
+		if attempt == 0 || per < best {
+			best = per
+		}
+	}
+	return best
+}
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	const procs = obsProcs
+	runs := b.N
+	if runs < 5 {
+		runs = 5
+	}
+
+	var makespan float64
+	untraced := timeRuns(runs, func() { makespan = obsRun(nil) })
+
+	var sinkEvents int64
+	streaming := timeRuns(runs, func() {
+		sink := metrics.NewStreamSink(procs)
+		util := trace.NewUtilSink(procs)
+		comm := trace.NewCommMatrix(procs)
+		obsRun(trace.Tee(sink, util, comm))
+		snap := sink.Snapshot()
+		usnap := util.Snapshot()
+		edges := comm.Snapshot()
+		sinkEvents = int64(snap.Totals.Events)
+		_, _ = usnap, edges
+	})
+
+	events := 0
+	collector := timeRuns(runs, func() {
+		col := &trace.Collector{}
+		obsRun(col)
+		evs := col.Events()
+		snap := metrics.FromTrace(evs).Snapshot()
+		util := col.BusyByKind(procs)
+		edges := trace.CommFromEvents(evs)
+		events = len(evs)
+		_, _, _ = snap, util, edges
+	})
+	if int64(events) != sinkEvents {
+		b.Fatalf("streaming sink saw %d events, collector %d", sinkEvents, events)
+	}
+
+	b.ReportMetric(streaming/untraced, "stream-x")
+	b.ReportMetric(collector/untraced, "collector-x")
+
+	snap := obsBenchFile{
+		Procs: procs, Iters: obsIters, Events: events,
+		UntracedSec:       untraced,
+		StreamingSec:      streaming,
+		CollectorSec:      collector,
+		StreamingOverhead: streaming / untraced,
+		CollectorOverhead: collector / untraced,
+		Makespan:          makespan,
+	}
+	f, err := os.Create("BENCH_obs.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
