@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/machine"
 	"fxpar/internal/sweep"
 )
 
@@ -18,7 +19,14 @@ func main() {
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(2)
+	}
+	sweep.SetEngineLabel(eng.Name())
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig5:", err)
@@ -34,6 +42,7 @@ func main() {
 	}
 	cfg.Workers = *j
 	cfg.CacheDir = *cache
+	cfg.Engine = eng
 	rows, err := experiments.Fig5(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig5:", err)

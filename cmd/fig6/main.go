@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/machine"
 	"fxpar/internal/sweep"
 )
 
@@ -17,7 +18,14 @@ func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig6:", err)
+		os.Exit(2)
+	}
+	sweep.SetEngineLabel(eng.Name())
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig6:", err)
@@ -32,6 +40,7 @@ func main() {
 		cfg = experiments.QuickFig6()
 	}
 	cfg.Workers = *j
+	cfg.Engine = eng
 	points := experiments.Fig6(cfg)
 	experiments.PrintFig6(os.Stdout, points)
 }

@@ -66,7 +66,14 @@ func main() {
 	skip := flag.String("skip", "", "regexp of snapshot paths to ignore in -baseline/-compare (host-time fields)")
 	compare := flag.String("compare", "", "standalone mode: compare two snapshot files 'baseline.json:current.json' and exit")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxbench:", err)
+		os.Exit(2)
+	}
+	sweep.SetEngineLabel(eng.Name())
 
 	// Standalone comparison mode: no simulations, just diff two snapshots.
 	// This is how CI checks a regenerated BENCH_sweep.json against the
@@ -105,9 +112,9 @@ func main() {
 	if *quick {
 		t1, f5, f6 = experiments.QuickTable1(), experiments.QuickFig5(), experiments.QuickFig6()
 	}
-	t1.Workers, t1.CacheDir = *j, *cache
-	f5.Workers, f5.CacheDir = *j, *cache
-	f6.Workers = *j
+	t1.Workers, t1.CacheDir, t1.Engine = *j, *cache, eng
+	f5.Workers, f5.CacheDir, f5.Engine = *j, *cache, eng
+	f6.Workers, f6.Engine = *j, eng
 
 	rows := experiments.Table1(t1)
 	experiments.PrintTable1(os.Stdout, rows, t1.Procs)
@@ -151,7 +158,9 @@ func main() {
 	}
 	var t1p float64
 	for _, p := range procCounts {
-		res := qsort.Run(machine.New(p, sim.Paragon()), n, 42)
+		qm := machine.New(p, sim.Paragon())
+		qm.SetEngine(eng)
+		res := qsort.Run(qm, n, 42)
 		if !res.Sorted {
 			fmt.Printf("  %3d procs: SORT FAILED\n", p)
 			continue
@@ -173,7 +182,9 @@ func main() {
 	}
 	for _, p := range bhProcs {
 		cfg := barneshut.Config{N: bhN, Theta: 1.0, Seed: 13, K: bhK}
-		res := barneshut.Run(machine.New(p, sim.Paragon()), cfg)
+		bm := machine.New(p, sim.Paragon())
+		bm.SetEngine(eng)
+		res := barneshut.Run(bm, cfg)
 		fmt.Printf("  %3d procs: %.4f s, max worklist %d (n=%d), max partial tree %d nodes (full %d)\n",
 			p, res.Makespan, res.MaxWorklist, bhN, res.MaxPartialNodes, 2*bhN-1)
 	}

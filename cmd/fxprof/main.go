@@ -86,7 +86,12 @@ func main() {
 	goal := flag.Float64("goal", 0, "with -auto: throughput constraint in data sets/s (0 = minimize latency only)")
 	j := flag.Int("j", 0, "with -auto: max concurrent cost-table simulations (0 = all host cores)")
 	cache := flag.String("cache", "", "with -auto: directory for the on-disk cost-table cache ('' disables)")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fail(err)
+	}
 
 	var stages []int
 	if *auto {
@@ -111,7 +116,7 @@ func main() {
 			fail(fmt.Errorf("mapping needs %d processors (modules x stages), -procs gives %d", total, *procs))
 		}
 	}
-	opt := mapping.BuildOptions{Workers: *j, CacheDir: *cache}
+	opt := mapping.BuildOptions{Workers: *j, CacheDir: *cache, Engine: eng}
 
 	// The full collector drives the post-hoc views (Gantt, critical path,
 	// Chrome export); the streaming sinks aggregate the same run online and
@@ -120,6 +125,7 @@ func main() {
 	sink := metrics.NewStreamSink(*procs)
 	comm := trace.NewCommMatrix(*procs)
 	m := machine.New(*procs, sim.Paragon())
+	m.SetEngine(eng)
 	m.SetTracer(trace.Tee(col, sink, comm))
 
 	// pick runs the optimizer against measured cost tables (the -auto path)

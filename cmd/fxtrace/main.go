@@ -42,7 +42,13 @@ func main() {
 	sets := flag.Int("sets", 6, "stream length")
 	width := flag.Int("width", 100, "gantt width in characters")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxtrace:", err)
+		os.Exit(2)
+	}
 
 	cfg := ffthist.Config{N: *n, Sets: *sets, Bins: 32}
 	procs := 6
@@ -59,6 +65,7 @@ func main() {
 		col := &trace.Collector{}
 		util := trace.NewUtilSink(procs)
 		m := machine.New(procs, sim.Paragon())
+		m.SetEngine(eng)
 		m.SetTracer(trace.Tee(col, util))
 		res := ffthist.Run(m, cfg, tc.mp)
 		fmt.Printf("=== %s: %.2f sets/s, latency %.4f s ===\n", tc.label,

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/sweep"
 )
@@ -21,7 +22,14 @@ func main() {
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(2)
+	}
+	sweep.SetEngineLabel(eng.Name())
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
@@ -43,6 +51,7 @@ func main() {
 	}
 	cfg.Workers = *j
 	cfg.CacheDir = *cache
+	cfg.Engine = eng
 	switch *model {
 	case "paragon":
 		cfg.Cost = sim.Paragon()

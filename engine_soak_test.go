@@ -1,0 +1,84 @@
+// Cross-engine golden soak: the execution engines are host-time strategies
+// only, so a full P=1024 FFT-Hist pipeline campaign must produce
+// byte-identical traces, per-processor statistics, and metrics under every
+// engine. This is the acceptance test of the engine abstraction — any
+// divergence means an engine changed virtual-time semantics, not just
+// scheduling.
+package fxpar_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/machine"
+	"fxpar/internal/metrics"
+	"fxpar/internal/sim"
+	"fxpar/internal/trace"
+)
+
+// soakOutputs is everything one engine run produces that must match across
+// engines.
+type soakOutputs struct {
+	res     ffthist.Result
+	events  []machine.Event
+	metrics []byte // metrics.FromTrace snapshot JSON
+}
+
+func runEngineSoak(t *testing.T, eng machine.Engine, cfg ffthist.Config, mp ffthist.Mapping) soakOutputs {
+	t.Helper()
+	col := &trace.Collector{}
+	m := machine.New(1024, sim.Paragon())
+	m.SetEngine(eng)
+	m.SetTracer(col)
+	res := ffthist.Run(m, cfg, mp)
+	evs := col.Events()
+	js, err := metrics.FromTrace(evs).Snapshot().JSON()
+	if err != nil {
+		t.Fatalf("%s metrics: %v", eng.Name(), err)
+	}
+	return soakOutputs{res: res, events: evs, metrics: js}
+}
+
+// TestEngineSoakP1024 runs the FFT-Hist pipeline on 1024 simulated
+// processors — 8 replicated modules of a 64/32/32 three-stage pipeline —
+// under the goroutine and the coop engine, and requires identical Events()
+// streams, RunStats, and metrics.FromTrace snapshots.
+func TestEngineSoakP1024(t *testing.T) {
+	cfg := ffthist.Config{N: 64, Sets: 16, Bins: 64}
+	if testing.Short() {
+		cfg.Sets = 8
+	}
+	mp := ffthist.Mapping{Modules: 8, Stages: []int{64, 32, 32}}
+
+	base := runEngineSoak(t, machine.Goroutine(), cfg, mp)
+	if len(base.events) == 0 {
+		t.Fatal("baseline run recorded no events")
+	}
+
+	for _, eng := range []machine.Engine{machine.Coop(1), machine.Coop(4)} {
+		got := runEngineSoak(t, eng, cfg, mp)
+
+		if !reflect.DeepEqual(got.res.Stats, base.res.Stats) {
+			t.Errorf("%s: RunStats diverge from goroutine engine", eng.Name())
+		}
+		if !reflect.DeepEqual(got.res.Stream, base.res.Stream) {
+			t.Errorf("%s: stream stats diverge: %+v vs %+v", eng.Name(), got.res.Stream, base.res.Stream)
+		}
+		if !reflect.DeepEqual(got.res.Hists, base.res.Hists) {
+			t.Errorf("%s: histogram outputs diverge", eng.Name())
+		}
+		if len(got.events) != len(base.events) {
+			t.Fatalf("%s: %d events vs %d under goroutine", eng.Name(), len(got.events), len(base.events))
+		}
+		for i := range got.events {
+			if got.events[i] != base.events[i] {
+				t.Fatalf("%s: event %d diverges:\n got %+v\nwant %+v", eng.Name(), i, got.events[i], base.events[i])
+			}
+		}
+		if !bytes.Equal(got.metrics, base.metrics) {
+			t.Errorf("%s: metrics snapshots diverge (%d vs %d bytes)", eng.Name(), len(got.metrics), len(base.metrics))
+		}
+	}
+}

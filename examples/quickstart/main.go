@@ -7,10 +7,14 @@
 // the paper's first example.
 //
 // Run with: go run ./examples/quickstart
+// (add -engine coop to run on the cooperative execution engine; the
+// simulated results are identical, only host time changes)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"fxpar/internal/dist"
 	"fxpar/internal/fx"
@@ -20,7 +24,15 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N")
+	flag.Parse()
+	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(2)
+	}
 	mach := machine.New(8, sim.Paragon())
+	mach.SetEngine(eng)
 
 	stats := fx.Run(mach, func(p *fx.Proc) {
 		// TASK_PARTITION myPart :: some(3), many(NUMBER_OF_PROCESSORS()-3)
@@ -66,8 +78,8 @@ func main() {
 		}
 	})
 
-	fmt.Printf("\nvirtual makespan: %.6f s over %d processors\n",
-		stats.MakespanTime(), len(stats.Procs))
+	fmt.Printf("\nvirtual makespan: %.6f s over %d processors (%s engine)\n",
+		stats.MakespanTime(), len(stats.Procs), mach.Engine().Name())
 	for _, ps := range stats.Procs {
 		fmt.Printf("  proc %d: finish %.6f s, busy %.6f s, sent %d msgs\n",
 			ps.ID, ps.Finish, ps.Busy, ps.MsgsSent)

@@ -166,6 +166,8 @@ type Result struct {
 	Hists map[int][]int64
 	// Makespan is the maximum processor finish time.
 	Makespan float64
+	// Stats is the raw per-processor machine statistics of the run.
+	Stats machine.RunStats
 }
 
 // sample generates element (i, j) of data set s deterministically.
@@ -209,6 +211,7 @@ func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
 	})
 	res.Stream = meter.Summarize()
 	res.Makespan = runStats.MakespanTime()
+	res.Stats = runStats
 	return res
 }
 

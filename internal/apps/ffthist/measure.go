@@ -15,11 +15,12 @@ import (
 // for one data set and returns the virtual makespan — one cell of the
 // measured cost table t(s, p). The simulation is deterministic in virtual
 // time, so the result is a pure function of (cost, cfg, s, p).
-func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
 	if p > cfg.N {
 		p = cfg.N // stages distribute over the N matrix rows
 	}
 	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
 	st := fx.Run(mach, func(px *fx.Proc) {
 		g := px.Group()
 		a := dist.New[complex128](px.Proc, dist.RowBlock2D(g, cfg.N, cfg.N))
@@ -40,13 +41,15 @@ func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
 
 // measureDP simulates the whole program data-parallel on p processors for a
 // single data set and returns the per-set latency.
-func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+func measureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) float64 {
 	if p > cfg.N {
 		p = cfg.N
 	}
 	one := cfg
 	one.Sets = 1
-	res := Run(machine.New(p, cost), one, DataParallel(p))
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	res := Run(mach, one, DataParallel(p))
 	return res.Stream.Latency
 }
 
@@ -68,8 +71,8 @@ func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOp
 		Cost:   cost,
 	}
 	tab, src, err := mapping.BuildTables(spec, opt,
-		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
-		func(p int) float64 { return measureDP(cost, cfg, p) })
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) },
+		func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) })
 	if err != nil {
 		return mapping.Model{}, src, err
 	}

@@ -13,12 +13,13 @@ import (
 
 // measureStage simulates stage s of the radar program in isolation on p
 // processors for one data set and returns the virtual makespan.
-func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
 	caps := []int{cfg.Gates, cfg.Rows, cfg.Rows, cfg.Rows}
 	if p > caps[s] {
 		p = caps[s]
 	}
 	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
 	st := fx.Run(mach, func(px *fx.Proc) {
 		g := px.Group()
 		switch s {
@@ -52,13 +53,15 @@ func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
 
 // measureDP simulates the whole radar program data-parallel on p processors
 // for a single data set and returns the per-set latency.
-func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+func measureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) float64 {
 	if p > cfg.Rows {
 		p = cfg.Rows // the data-parallel program cannot use more than Rows
 	}
 	one := cfg
 	one.Sets = 1
-	res := Run(machine.New(p, cost), one, DataParallel(p))
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	res := Run(mach, one, DataParallel(p))
 	return res.Stream.Latency
 }
 
@@ -74,8 +77,8 @@ func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOp
 		Cost:   cost,
 	}
 	tab, src, err := mapping.BuildTables(spec, opt,
-		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
-		func(p int) float64 { return measureDP(cost, cfg, p) })
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) },
+		func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) })
 	if err != nil {
 		return mapping.Model{}, src, err
 	}

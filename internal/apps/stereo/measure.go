@@ -13,11 +13,12 @@ import (
 
 // measureStage simulates stage s of the stereo program in isolation on p
 // processors for one data set and returns the virtual makespan.
-func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
+func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
 	if p > cfg.H {
 		p = cfg.H // all stages distribute over the H image rows
 	}
 	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
 	st := fx.Run(mach, func(px *fx.Proc) {
 		g := px.Group()
 		vol := newVolume(px, g, cfg)
@@ -38,13 +39,15 @@ func measureStage(cost sim.CostModel, cfg Config, s, p int) float64 {
 
 // measureDP simulates the whole stereo program data-parallel on p
 // processors for a single data set and returns the per-set latency.
-func measureDP(cost sim.CostModel, cfg Config, p int) float64 {
+func measureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) float64 {
 	if p > cfg.H {
 		p = cfg.H
 	}
 	one := cfg
 	one.Sets = 1
-	res := Run(machine.New(p, cost), one, DataParallel(p))
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	res := Run(mach, one, DataParallel(p))
 	return res.Stream.Latency
 }
 
@@ -61,8 +64,8 @@ func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOp
 		Cost:   cost,
 	}
 	tab, src, err := mapping.BuildTables(spec, opt,
-		func(s, p int) float64 { return measureStage(cost, cfg, s, p) },
-		func(p int) float64 { return measureDP(cost, cfg, p) })
+		func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) },
+		func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) })
 	if err != nil {
 		return mapping.Model{}, src, err
 	}

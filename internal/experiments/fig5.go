@@ -35,9 +35,11 @@ type Fig5Config struct {
 	N     int
 	Sets  int
 	// Workers bounds host parallelism (0 = GOMAXPROCS); CacheDir persists
-	// the measured cost tables. Neither changes any simulated number.
+	// the measured cost tables; Engine selects the machine execution engine
+	// (nil: package default). None of them changes any simulated number.
 	Workers  int
 	CacheDir string
+	Engine   machine.Engine
 }
 
 // DefaultFig5 matches the paper: 512x512 FFT-Hist on 64 processors.
@@ -57,7 +59,7 @@ func QuickFig5() Fig5Config { return Fig5Config{Procs: 16, N: 64, Sets: 6} }
 func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	cost := sim.Paragon()
 	appCfg := ffthist.Config{N: cfg.N, Sets: cfg.Sets, Bins: 64}
-	opt := mapping.BuildOptions{Workers: cfg.Workers, CacheDir: cfg.CacheDir}
+	opt := mapping.BuildOptions{Workers: cfg.Workers, CacheDir: cfg.CacheDir, Engine: cfg.Engine}
 	model, _, err := ffthist.MeasuredModel(cost, appCfg, cfg.Procs, opt)
 	if err != nil {
 		return nil, err
@@ -82,12 +84,12 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 		}
 		row.Choice = choice
 		row.Mapping = ffthist.ChoiceToMapping(choice)
-		r := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, row.Mapping)
+		r := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, row.Mapping)
 		row.Throughput = r.Stream.Throughput
 		row.Latency = r.Stream.Latency
 		if pc, err := mapping.OptimizePipeline(model, c.goal); err == nil {
 			row.Pipeline = pc
-			pres := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.ChoiceToMapping(pc))
+			pres := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.ChoiceToMapping(pc))
 			row.PipelineThroughput = pres.Stream.Throughput
 			row.PipelineLatency = pres.Stream.Latency
 		}

@@ -27,6 +27,9 @@ type Fig6Config struct {
 	App        airshed.Config
 	// Workers bounds host parallelism for the sweep (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the machine execution engine (nil: package default);
+	// it changes only host wall-clock, never a simulated number.
+	Engine machine.Engine
 }
 
 // DefaultFig6 matches the paper's sweep up to 64 processors.
@@ -61,13 +64,13 @@ func Fig6(cfg Fig6Config) []Fig6Point {
 	res := sweep.MapNamed("fig6", cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
 		if i == 0 {
 			return Fig6Point{Procs: 1,
-				DPMakespan: airshed.Run(machine.New(1, cost), cfg.App, airshed.DataParallel).Makespan}, nil
+				DPMakespan: airshed.Run(newMachine(1, cost, cfg.Engine), cfg.App, airshed.DataParallel).Makespan}, nil
 		}
 		p := cfg.ProcCounts[i-1]
 		pt := Fig6Point{Procs: p}
-		pt.DPMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.DataParallel).Makespan
+		pt.DPMakespan = airshed.Run(newMachine(p, cost, cfg.Engine), cfg.App, airshed.DataParallel).Makespan
 		if p >= 4 {
-			pt.TaskMakespan = airshed.Run(machine.New(p, cost), cfg.App, airshed.TaskIO).Makespan
+			pt.TaskMakespan = airshed.Run(newMachine(p, cost, cfg.Engine), cfg.App, airshed.TaskIO).Makespan
 		}
 		return pt, nil
 	})

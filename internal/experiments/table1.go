@@ -58,6 +58,10 @@ type Table1Config struct {
 	// CacheDir, when non-empty, persists the measured cost tables to disk
 	// so later runs skip the cost-table simulations entirely.
 	CacheDir string
+	// Engine selects the machine execution engine for every simulation of
+	// the campaign (nil: the machine package default). Engines change only
+	// host wall-clock, never a simulated number.
+	Engine machine.Engine
 }
 
 // DefaultTable1 runs at the paper's scale: 64 processors.
@@ -74,7 +78,15 @@ func (c Table1Config) cost() sim.CostModel {
 }
 
 func (c Table1Config) buildOptions() mapping.BuildOptions {
-	return mapping.BuildOptions{Workers: c.Workers, CacheDir: c.CacheDir}
+	return mapping.BuildOptions{Workers: c.Workers, CacheDir: c.CacheDir, Engine: c.Engine}
+}
+
+// newMachine builds a machine running on the configured engine (the package
+// default when eng is nil).
+func newMachine(n int, cost sim.CostModel, eng machine.Engine) *machine.Machine {
+	m := machine.New(n, cost)
+	m.SetEngine(eng)
+	return m
 }
 
 // Table1 regenerates Table 1: for each sensor program, the data-parallel
@@ -132,7 +144,7 @@ func ffthistRow(name string, n int, cfg Table1Config,
 	if dpCap > n {
 		dpCap = n
 	}
-	dp := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.DataParallel(dpCap))
+	dp := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -141,7 +153,7 @@ func ffthistRow(name string, n int, cfg Table1Config,
 		return row
 	}
 	row.Best = choice.String()
-	task := ffthist.Run(machine.New(cfg.Procs, cost), appCfg, ffthist.ChoiceToMapping(choice))
+	task := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }
@@ -168,7 +180,7 @@ func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if dpCap > appCfg.Rows {
 		dpCap = appCfg.Rows
 	}
-	dp := radar.Run(machine.New(cfg.Procs, cost), appCfg, radar.DataParallel(dpCap))
+	dp := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, radar.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -177,7 +189,7 @@ func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 		return row
 	}
 	row.Best = choice.String()
-	task := radar.Run(machine.New(cfg.Procs, cost), appCfg, radar.ChoiceToMapping(choice))
+	task := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, radar.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }
@@ -204,7 +216,7 @@ func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if dpCap > appCfg.H {
 		dpCap = appCfg.H
 	}
-	dp := stereo.Run(machine.New(cfg.Procs, cost), appCfg, stereo.DataParallel(dpCap))
+	dp := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, stereo.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -213,7 +225,7 @@ func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 		return row
 	}
 	row.Best = choice.String()
-	task := stereo.Run(machine.New(cfg.Procs, cost), appCfg, stereo.ChoiceToMapping(choice))
+	task := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, stereo.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }

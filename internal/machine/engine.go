@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Engine is a pluggable execution core: the strategy that runs the simulated
+// processors of a Machine on the host. The virtual-time semantics — clock
+// advancement, the timestamp max-rule, per-pair FIFO delivery — live in the
+// Machine/Proc layer and are identical under every engine, so two engines
+// running the same program produce byte-identical traces, metrics, and
+// RunStats; an engine only decides *how* the host executes the processors
+// (one goroutine each vs a cooperative run queue) and therefore only changes
+// host wall-clock.
+//
+// Engines are implemented inside this package (the interface has unexported
+// methods); select one with Goroutine, Coop, or EngineByName and install it
+// with Machine.SetEngine before Run.
+type Engine interface {
+	// Name returns the selector name of the engine ("goroutine", "coop",
+	// "coop:4"), as accepted by EngineByName.
+	Name() string
+
+	// run executes body on every processor to completion. Each processor's
+	// panic (if any) is captured into panics[proc.id]; run returns only
+	// after every processor has finished or panicked.
+	run(m *Machine, procs []*Proc, body func(*Proc), panics []any)
+
+	// newMailbox allocates a mailbox with the blocking machinery this
+	// engine needs (the goroutine engine attaches a condvar; the coop
+	// engine parks receivers centrally and needs none).
+	newMailbox() *mailbox
+
+	// put deposits msg into mb and wakes a blocked receiver if there is
+	// one. p is the sending processor.
+	put(p *Proc, mb *mailbox, msg Message)
+
+	// get returns the next message from mb, blocking the calling processor
+	// until one is deposited. src is the sending processor id (used for
+	// diagnostics).
+	get(p *Proc, mb *mailbox, src int) Message
+
+	// tryGet returns the next message from mb if one is already deposited.
+	tryGet(p *Proc, mb *mailbox) (Message, bool)
+}
+
+// EngineNames lists the accepted -engine selector values.
+func EngineNames() []string { return []string{"goroutine", "coop"} }
+
+// EngineByName resolves an -engine flag value: "goroutine" (or "") is the
+// preemptive goroutine-per-processor engine, "coop" the cooperative
+// run-queue engine on one host worker, and "coop:N" the cooperative engine
+// on N host workers.
+func EngineByName(name string) (Engine, error) {
+	switch {
+	case name == "" || name == "goroutine":
+		return Goroutine(), nil
+	case name == "coop":
+		return Coop(1), nil
+	case strings.HasPrefix(name, "coop:"):
+		w, err := strconv.Atoi(name[len("coop:"):])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("machine: bad coop worker count in engine %q", name)
+		}
+		return Coop(w), nil
+	}
+	return nil, fmt.Errorf("machine: unknown engine %q (have: %s)", name, strings.Join(EngineNames(), ", "))
+}
+
+// defaultEngine is the engine New installs. It honors the FXPAR_ENGINE
+// environment variable so a whole test binary (or CI matrix leg) can be run
+// under a different execution core without touching any call site.
+var defaultEngine = engineFromEnv()
+
+func engineFromEnv() Engine {
+	name := os.Getenv("FXPAR_ENGINE")
+	e, err := EngineByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DefaultEngineName returns the selector name of the engine New installs:
+// "goroutine" unless overridden by the FXPAR_ENGINE environment variable.
+// Command-line tools use it as their -engine flag default.
+func DefaultEngineName() string { return defaultEngine.Name() }

@@ -1,0 +1,412 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// coopEngine is the cooperative, dependency-driven execution core. All
+// simulated processors are multiplexed onto a bounded set of host worker
+// slots (default one): a processor runs uninterrupted until it blocks on an
+// empty mailbox or finishes, then hands its slot directly to the ready
+// processor with the lowest virtual clock — the cooperative analogue of a
+// discrete-event scheduler. Blocked receivers are parked in a central
+// ready/waiting structure instead of per-mailbox condition variables, and a
+// deposit into a mailbox with a parked receiver moves that receiver to the
+// ready heap; there is no per-message Signal and no host wakeup for
+// messages whose receiver is still running.
+//
+// With one worker slot (the default), at most one processor executes at any
+// host instant and every transfer of control flows through a channel
+// handoff, so mailbox operations need no locks at all: a deposit is a plain
+// slice append. Host execution order is then fully deterministic —
+// lowest-virtual-clock-first — which also makes BlockTracer callbacks
+// reproducible. With more slots, mailboxes fall back to mutex protection
+// (still condvar-free).
+//
+// Virtual time is computed by the same max-rule as every engine, so all
+// traced events, metrics, and RunStats are byte-identical to the goroutine
+// engine's. Unlike the goroutine engine — where a cyclic wait hangs the run
+// forever — the coop scheduler detects the all-blocked state and fails the
+// run with a panic naming the blocked (receiver, sender) pairs.
+type coopEngine struct {
+	workers int
+}
+
+// Coop returns the cooperative run-queue engine with the given number of
+// host worker slots; workers < 1 means one. One slot is the sweet spot for
+// simulation campaigns: host parallelism comes from running independent
+// simulations concurrently (internal/sweep), and a single-slot machine pays
+// no synchronization on its message hot path.
+func Coop(workers int) Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &coopEngine{workers: workers}
+}
+
+func (e *coopEngine) Name() string {
+	if e.workers == 1 {
+		return "coop"
+	}
+	return fmt.Sprintf("coop:%d", e.workers)
+}
+
+// coop mailboxes have no condvar: receivers park in the scheduler.
+func (e *coopEngine) newMailbox() *mailbox { return &mailbox{} }
+
+// coopProc is the scheduler's per-processor state.
+type coopProc struct {
+	p   *Proc
+	run *coopRun
+	// wake is the processor's parking spot: buffered so a slot grant can
+	// never be lost even if it arrives before the processor parks.
+	wake chan struct{}
+	// readyKey orders the ready heap: the virtual clock the processor will
+	// resume at. Written by the owner before registering as a waiter, or by
+	// the depositor that readied it (ordered by the mailbox handoff).
+	readyKey float64
+	// heapIdx is the position in the ready heap (-1 when not enqueued).
+	heapIdx int
+	// blockedSrc is the peer a blocked receive waits on (-1 when running).
+	blockedSrc int
+	// done marks a finished processor (written under run.mu).
+	done bool
+	// poison tells a parked processor to abort: the scheduler found the
+	// machine deadlocked.
+	poison bool
+}
+
+// coopRun is the shared scheduler state of one Machine.Run.
+type coopRun struct {
+	workers  int
+	lockMail bool // workers > 1: mailboxes need their mutex
+	// lockSched mirrors lockMail for the scheduler state below: with one
+	// worker only one processor goroutine is ever between wake and park, and
+	// every control transfer goes through a wake channel, so the channel
+	// handoffs already order all scheduler accesses.
+	lockSched bool
+
+	mu      sync.Mutex
+	ready   []*coopProc // min-heap by (readyKey, id)
+	running int         // processors currently holding a worker slot
+	live    int         // processors not yet finished
+	cps     []coopProc
+}
+
+// lock/unlock guard the scheduler state; with a single worker the wake
+// channel handoffs already serialize every access, so the mutex is skipped.
+func (r *coopRun) lock() {
+	if r.lockSched {
+		r.mu.Lock()
+	}
+}
+
+func (r *coopRun) unlock() {
+	if r.lockSched {
+		r.mu.Unlock()
+	}
+}
+
+func (e *coopEngine) run(m *Machine, procs []*Proc, body func(*Proc), panics []any) {
+	n := len(procs)
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	r := &coopRun{
+		workers:   w,
+		lockMail:  w > 1,
+		lockSched: w > 1,
+		ready:     make([]*coopProc, 0, n),
+		live:      n,
+		cps:       make([]coopProc, n),
+	}
+	for i := range r.cps {
+		cp := &r.cps[i]
+		cp.p = procs[i]
+		cp.run = r
+		cp.wake = make(chan struct{}, 1)
+		cp.heapIdx = -1
+		cp.blockedSrc = -1
+		procs[i].cp = cp
+	}
+	var wg sync.WaitGroup
+	for i := range r.cps {
+		wg.Add(1)
+		go func(cp *coopProc) {
+			defer wg.Done()
+			<-cp.wake
+			// finish runs after the recover below (LIFO), so the slot
+			// handoff happens even when the body panics.
+			defer r.finish(cp)
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics[cp.p.id] = rec
+				}
+			}()
+			if cp.poison {
+				panic(r.deadlockMessage(cp))
+			}
+			body(cp.p)
+		}(&r.cps[i])
+	}
+	// Seed: every processor is ready at clock 0; grant the first w slots in
+	// heap order (ties broken by id, so processor 0 runs first).
+	r.lock()
+	for i := range r.cps {
+		r.push(&r.cps[i])
+	}
+	first := make([]*coopProc, 0, w)
+	for len(first) < w {
+		cp := r.pop()
+		if cp == nil {
+			break
+		}
+		r.running++
+		first = append(first, cp)
+	}
+	r.unlock()
+	for _, cp := range first {
+		cp.wake <- struct{}{}
+	}
+	wg.Wait()
+}
+
+func (e *coopEngine) put(p *Proc, mb *mailbox, msg Message) {
+	cp := p.cp
+	if cp == nil {
+		// Proc driven outside Run (tests): single goroutine, no scheduler.
+		mb.queue = append(mb.queue, msg)
+		return
+	}
+	r := cp.run
+	if r.lockMail {
+		mb.mu.Lock()
+	}
+	mb.queue = append(mb.queue, msg)
+	waiter := mb.waiter
+	mb.waiter = nil
+	if waiter != nil {
+		// The parked receiver resumes at max(its clock, arrival) — order
+		// the ready heap by that resume time. Reading the waiter's clock is
+		// ordered by its waiter registration (it parked before we saw it).
+		key := waiter.p.clock
+		if msg.ArriveAt > key {
+			key = msg.ArriveAt
+		}
+		waiter.readyKey = key
+	}
+	if r.lockMail {
+		mb.mu.Unlock()
+	}
+	if waiter != nil {
+		r.readyProc(waiter)
+	}
+}
+
+func (e *coopEngine) get(p *Proc, mb *mailbox, src int) Message {
+	cp := p.cp
+	if cp == nil {
+		// Proc driven outside Run (tests): only the already-deposited case
+		// can succeed, there is no scheduler to yield to.
+		if mb.head < len(mb.queue) {
+			return mb.take()
+		}
+		panic(fmt.Sprintf("machine: processor %d blocking Recv from %d outside Run under the coop engine", p.id, src))
+	}
+	r := cp.run
+	for {
+		if r.lockMail {
+			mb.mu.Lock()
+		}
+		if mb.head < len(mb.queue) {
+			msg := mb.take()
+			if r.lockMail {
+				mb.mu.Unlock()
+			}
+			return msg
+		}
+		cp.blockedSrc = src
+		cp.readyKey = p.clock
+		mb.waiter = cp
+		if r.lockMail {
+			mb.mu.Unlock()
+		}
+		r.yield(cp)
+		<-cp.wake
+		if cp.poison {
+			panic(r.deadlockMessage(cp))
+		}
+		cp.blockedSrc = -1
+		// A wakeup means a deposit readied us, so the retry takes the
+		// message; the loop guards the (workers > 1) race where another
+		// code path could observe the queue first.
+	}
+}
+
+func (e *coopEngine) tryGet(p *Proc, mb *mailbox) (Message, bool) {
+	lock := p.cp != nil && p.cp.run.lockMail
+	if lock {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+	}
+	if mb.head == len(mb.queue) {
+		return Message{}, false
+	}
+	return mb.take(), true
+}
+
+// yield releases the caller's worker slot: hand it to the lowest-clock ready
+// processor, or park it free. Called by a processor about to block; the
+// caller parks on its wake channel immediately after.
+func (r *coopRun) yield(cp *coopProc) {
+	r.lock()
+	if next := r.pop(); next != nil {
+		r.unlock()
+		next.wake <- struct{}{}
+		return
+	}
+	r.running--
+	if r.running == 0 {
+		// Every live processor, caller included, is blocked on a receive
+		// with no runnable sender: deadlock. Poison and reschedule all of
+		// them so each aborts with a diagnostic instead of hanging forever.
+		next := r.poisonAllLocked()
+		r.unlock()
+		if next != nil {
+			next.wake <- struct{}{}
+		}
+		return
+	}
+	r.unlock()
+}
+
+// finish retires a completed processor and hands its slot on.
+func (r *coopRun) finish(cp *coopProc) {
+	r.lock()
+	cp.done = true
+	r.live--
+	if next := r.pop(); next != nil {
+		r.unlock()
+		next.wake <- struct{}{}
+		return
+	}
+	r.running--
+	if r.running == 0 && r.live > 0 {
+		next := r.poisonAllLocked()
+		r.unlock()
+		if next != nil {
+			next.wake <- struct{}{}
+		}
+		return
+	}
+	r.unlock()
+}
+
+// readyProc moves a parked receiver to the ready set: grant it a free worker
+// slot immediately, or enqueue it on the ready heap.
+func (r *coopRun) readyProc(cp *coopProc) {
+	r.lock()
+	if r.running < r.workers {
+		r.running++
+		r.unlock()
+		cp.wake <- struct{}{}
+		return
+	}
+	r.push(cp)
+	r.unlock()
+}
+
+// poisonAllLocked marks every unfinished processor as deadlocked and
+// requeues it, then grants one slot so the poisoned processors unwind
+// sequentially (each panic is captured per-processor and reported by Run).
+// Returns the processor to wake, if any. Caller holds the scheduler lock.
+func (r *coopRun) poisonAllLocked() *coopProc {
+	for i := range r.cps {
+		cp := &r.cps[i]
+		if !cp.done && cp.heapIdx < 0 {
+			cp.poison = true
+			r.push(cp)
+		}
+	}
+	next := r.pop()
+	if next != nil {
+		r.running++
+	}
+	return next
+}
+
+// deadlockMessage describes the all-blocked state from cp's point of view.
+func (r *coopRun) deadlockMessage(cp *coopProc) string {
+	r.lock()
+	blocked := 0
+	for i := range r.cps {
+		if !r.cps[i].done {
+			blocked++
+		}
+	}
+	r.unlock()
+	return fmt.Sprintf("machine: deadlock: processor %d blocked on receive from %d with no runnable sender (%d processor(s) blocked)",
+		cp.p.id, cp.blockedSrc, blocked)
+}
+
+// --- ready heap: min-heap by (readyKey, id) -------------------------------
+
+func coopLess(a, b *coopProc) bool {
+	if a.readyKey != b.readyKey {
+		return a.readyKey < b.readyKey
+	}
+	return a.p.id < b.p.id
+}
+
+func (r *coopRun) push(cp *coopProc) {
+	r.ready = append(r.ready, cp)
+	i := len(r.ready) - 1
+	cp.heapIdx = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !coopLess(r.ready[i], r.ready[parent]) {
+			break
+		}
+		r.ready[i], r.ready[parent] = r.ready[parent], r.ready[i]
+		r.ready[i].heapIdx = i
+		r.ready[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+func (r *coopRun) pop() *coopProc {
+	n := len(r.ready)
+	if n == 0 {
+		return nil
+	}
+	top := r.ready[0]
+	last := r.ready[n-1]
+	r.ready[n-1] = nil
+	r.ready = r.ready[:n-1]
+	top.heapIdx = -1
+	if n > 1 {
+		r.ready[0] = last
+		last.heapIdx = 0
+		i := 0
+		for {
+			l, rt := 2*i+1, 2*i+2
+			small := i
+			if l < n-1 && coopLess(r.ready[l], r.ready[small]) {
+				small = l
+			}
+			if rt < n-1 && coopLess(r.ready[rt], r.ready[small]) {
+				small = rt
+			}
+			if small == i {
+				break
+			}
+			r.ready[i], r.ready[small] = r.ready[small], r.ready[i]
+			r.ready[i].heapIdx = i
+			r.ready[small].heapIdx = small
+			i = small
+		}
+	}
+	return top
+}

@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"sync"
+)
+
+// goroutineEngine is the preemptive execution core: one host goroutine per
+// simulated processor, with blocked receivers parked on a per-mailbox
+// condition variable and woken by the sender's Signal. The Go runtime
+// schedules the processors; host execution order is arbitrary (virtual-time
+// results are deterministic regardless). This is the original machine
+// semantics and the default engine.
+type goroutineEngine struct{}
+
+var goroutineSingleton Engine = goroutineEngine{}
+
+// Goroutine returns the preemptive goroutine-per-processor engine.
+func Goroutine() Engine { return goroutineSingleton }
+
+func (goroutineEngine) Name() string { return "goroutine" }
+
+func (goroutineEngine) newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (goroutineEngine) put(_ *Proc, mb *mailbox, msg Message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, msg)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (goroutineEngine) get(_ *Proc, mb *mailbox, _ int) Message {
+	mb.mu.Lock()
+	for mb.head == len(mb.queue) {
+		mb.cond.Wait()
+	}
+	m := mb.take()
+	mb.mu.Unlock()
+	return m
+}
+
+func (goroutineEngine) tryGet(_ *Proc, mb *mailbox) (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.head == len(mb.queue) {
+		return Message{}, false
+	}
+	return mb.take(), true
+}
+
+func (goroutineEngine) run(_ *Machine, procs []*Proc, body func(*Proc), panics []any) {
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[p.id] = r
+				}
+			}()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}

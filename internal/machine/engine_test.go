@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEngineByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"", "goroutine", false},
+		{"goroutine", "goroutine", false},
+		{"coop", "coop", false},
+		{"coop:1", "coop", false},
+		{"coop:4", "coop:4", false},
+		{"coop:0", "", true},
+		{"coop:x", "", true},
+		{"fiber", "", true},
+	}
+	for _, c := range cases {
+		e, err := EngineByName(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("EngineByName(%q): want error, got %v", c.in, e.Name())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("EngineByName(%q): %v", c.in, err)
+			continue
+		}
+		if e.Name() != c.want {
+			t.Errorf("EngineByName(%q).Name() = %q, want %q", c.in, e.Name(), c.want)
+		}
+	}
+}
+
+func TestSetEngineNilKeepsDefault(t *testing.T) {
+	m := New(2, testCost())
+	def := m.Engine()
+	m.SetEngine(nil)
+	if m.Engine() != def {
+		t.Fatal("SetEngine(nil) replaced the engine")
+	}
+	m.SetEngine(Coop(1))
+	if m.Engine().Name() != "coop" {
+		t.Fatalf("engine = %q after SetEngine(Coop(1))", m.Engine().Name())
+	}
+}
+
+// engines lists every engine variant a cross-engine test should cover:
+// the default goroutine core, the single-slot coop core (lock-free
+// mailboxes), and a multi-slot coop core (locked mailboxes).
+func engines() []Engine {
+	return []Engine{Goroutine(), Coop(1), Coop(3)}
+}
+
+// TestEnginesProduceIdenticalResults runs the same message-heavy program
+// under every engine and requires identical RunStats — virtual time is a
+// property of the program and the cost model, never of the execution core.
+func TestEnginesProduceIdenticalResults(t *testing.T) {
+	run := func(e Engine) RunStats {
+		m := New(8, testCost())
+		m.SetEngine(e)
+		return m.Run(func(p *Proc) {
+			n := p.Machine().N()
+			for round := 0; round < 5; round++ {
+				p.Compute(float64(100 * (p.ID() + 1)))
+				next, prev := (p.ID()+1)%n, (p.ID()+n-1)%n
+				p.Send(next, p.ID(), 64)
+				p.Recv(prev)
+			}
+		})
+	}
+	want := run(Goroutine())
+	for _, e := range engines()[1:] {
+		if got := run(e); !reflect.DeepEqual(got, want) {
+			t.Errorf("engine %q RunStats diverge:\n got %+v\nwant %+v", e.Name(), got, want)
+		}
+	}
+}
+
+// TestEnginesProduceIdenticalTraces compares full event streams, per
+// processor and in per-processor Seq order, across engines.
+func TestEnginesProduceIdenticalTraces(t *testing.T) {
+	run := func(e Engine) map[int][]Event {
+		var tr sliceTracer
+		m := New(4, testCost())
+		m.SetEngine(e)
+		m.SetTracer(&tr)
+		m.Run(func(p *Proc) {
+			p.BeginSpan("stage")
+			p.Compute(float64(10 * (p.ID() + 1)))
+			if p.ID() != 0 {
+				p.Send(0, p.ID(), 32)
+			} else {
+				for src := 1; src < 4; src++ {
+					p.Recv(src)
+				}
+			}
+			p.EndSpan()
+		})
+		byProc := make(map[int][]Event)
+		for _, ev := range tr.evs {
+			byProc[ev.Proc] = append(byProc[ev.Proc], ev)
+		}
+		for _, evs := range byProc {
+			sortEventsBySeq(evs)
+		}
+		return byProc
+	}
+	want := run(Goroutine())
+	for _, e := range engines()[1:] {
+		got := run(e)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("engine %q traces diverge", e.Name())
+		}
+	}
+}
+
+func sortEventsBySeq(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Seq < evs[j-1].Seq; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// TestCoopDetectsDeadlock: under the coop engine a cyclic wait is detected
+// and reported instead of hanging the process like the goroutine engine
+// would.
+func TestCoopDetectsDeadlock(t *testing.T) {
+	for _, e := range []Engine{Coop(1), Coop(2)} {
+		t.Run(e.Name(), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("deadlocked run returned without panicking")
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "blocked on receive") {
+					t.Fatalf("panic = %q, want deadlock diagnostic", msg)
+				}
+			}()
+			m := New(2, testCost())
+			m.SetEngine(e)
+			m.Run(func(p *Proc) {
+				// Both processors wait on the other; neither ever sends.
+				p.Recv(1 - p.ID())
+			})
+		})
+	}
+}
+
+// TestCoopPartialDeadlock: the deadlock is reported even when some
+// processors finish normally first.
+func TestCoopPartialDeadlock(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlocked run returned without panicking")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "deadlock") {
+			t.Fatalf("panic = %q, want deadlock diagnostic", msg)
+		}
+	}()
+	m := New(4, testCost())
+	m.SetEngine(Coop(1))
+	m.Run(func(p *Proc) {
+		if p.ID() < 2 {
+			return // finish immediately
+		}
+		p.Recv(0) // 0 has already exited: wait can never be satisfied
+	})
+}
+
+// TestCoopBlockedRecvOutsideRunPanics: a standalone Proc (constructed by
+// tests without Run) has no scheduler to park on; a Recv that would block
+// must fail loudly rather than spin.
+func TestCoopBlockedRecvOutsideRunPanics(t *testing.T) {
+	m := New(2, testCost())
+	m.SetEngine(Coop(1))
+	p := &Proc{m: m, id: 0}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("blocking Recv outside Run did not panic under coop")
+		}
+		if !strings.Contains(fmt.Sprint(r), "outside Run") {
+			t.Fatalf("panic = %q", r)
+		}
+	}()
+	p.Recv(1)
+}
+
+// TestUnconsumedMessageNamesPairs: the drain failure names each offending
+// (src, dst) pair with its leftover count.
+func TestUnconsumedMessageNamesPairs(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("undrained run returned without panicking")
+				}
+				msg := fmt.Sprint(r)
+				for _, want := range []string{
+					"3 unconsumed message(s)",
+					"2 from 0 to 1",
+					"1 from 2 to 3",
+				} {
+					if !strings.Contains(msg, want) {
+						t.Errorf("drain panic %q missing %q", msg, want)
+					}
+				}
+			}()
+			m := New(4, testCost())
+			m.SetEngine(e)
+			m.Run(func(p *Proc) {
+				switch p.ID() {
+				case 0:
+					p.Send(1, 1, 4) // never received
+					p.Send(1, 2, 4) // never received
+				case 2:
+					p.Send(3, 3, 4) // never received
+				}
+			})
+		})
+	}
+}
+
+// TestUnconsumedMessagePairListIsCapped: a protocol bug touching many pairs
+// reports a bounded list plus a remainder count.
+func TestUnconsumedMessagePairListIsCapped(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("undrained run returned without panicking")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "12 unconsumed message(s)") {
+			t.Errorf("drain panic %q missing total", msg)
+		}
+		if !strings.Contains(msg, "4 more pair(s)") {
+			t.Errorf("drain panic %q missing the capped remainder", msg)
+		}
+	}()
+	m := New(13, testCost())
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for dst := 1; dst < 13; dst++ {
+				p.Send(dst, dst, 4)
+			}
+		}
+	})
+}
+
+// TestDefaultEngineName: the flag default reflects the package default.
+func TestDefaultEngineName(t *testing.T) {
+	if got := DefaultEngineName(); got != defaultEngine.Name() {
+		t.Fatalf("DefaultEngineName() = %q, engine is %q", got, defaultEngine.Name())
+	}
+	if _, err := EngineByName(DefaultEngineName()); err != nil {
+		t.Fatalf("DefaultEngineName() %q is not a valid selector: %v", DefaultEngineName(), err)
+	}
+}
+
+// TestCoopManyProcsFewWorkers: hundreds of processors multiplexed on two
+// host slots still complete a full ring pipeline.
+func TestCoopManyProcsFewWorkers(t *testing.T) {
+	m := New(300, testCost())
+	m.SetEngine(Coop(2))
+	stats := m.Run(func(p *Proc) {
+		n := p.Machine().N()
+		if p.ID() == 0 {
+			p.Send(1, 0, 8)
+			p.Recv(n - 1)
+		} else {
+			p.Recv(p.ID() - 1)
+			p.Send((p.ID()+1)%n, p.ID(), 8)
+		}
+	})
+	if len(stats.Procs) != 300 {
+		t.Fatalf("stats for %d procs", len(stats.Procs))
+	}
+	if stats.MakespanTime() <= 0 {
+		t.Fatal("ring pipeline produced zero makespan")
+	}
+}

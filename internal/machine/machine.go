@@ -17,6 +17,7 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -40,29 +41,21 @@ type Message struct {
 // mailbox is an unbounded FIFO queue for one ordered (src,dst) pair. The
 // consumed prefix is tracked with a head index (rather than re-slicing), so
 // the backing array is reused once drained and a steady-state send/receive
-// cycle allocates nothing.
+// cycle allocates nothing. Blocking machinery is engine-specific: the
+// goroutine engine parks receivers on cond, the coop engine parks them in
+// its central scheduler and records them in waiter (and skips the mutex
+// entirely when it runs on a single worker slot).
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []Message
-	head  int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	head   int
+	waiter *coopProc
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) put(m Message) {
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
-	mb.mu.Unlock()
-	mb.cond.Signal()
-}
-
-// take removes and returns the head message. Callers hold mb.mu and have
-// checked that the queue is non-empty.
+// take removes and returns the head message. Callers have exclusive access
+// (engine-dependent: mb.mu or single-slot scheduling) and have checked that
+// the queue is non-empty.
 func (mb *mailbox) take() Message {
 	m := mb.queue[mb.head]
 	mb.queue[mb.head] = Message{} // release the payload for GC
@@ -72,25 +65,6 @@ func (mb *mailbox) take() Message {
 		mb.head = 0
 	}
 	return m
-}
-
-func (mb *mailbox) get() Message {
-	mb.mu.Lock()
-	for mb.head == len(mb.queue) {
-		mb.cond.Wait()
-	}
-	m := mb.take()
-	mb.mu.Unlock()
-	return m
-}
-
-func (mb *mailbox) tryGet() (Message, bool) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	if mb.head == len(mb.queue) {
-		return Message{}, false
-	}
-	return mb.take(), true
 }
 
 // pending returns the number of unconsumed messages. Only valid when no
@@ -193,6 +167,7 @@ type Machine struct {
 	n      int
 	cost   sim.CostModel
 	tracer Tracer
+	eng    Engine
 	// hops returns the network distance between two physical processors;
 	// nil models a flat (distance-free) network.
 	hops func(a, b int) int
@@ -213,7 +188,7 @@ func (m *Machine) mailboxFor(dst, src int) *mailbox {
 	if mb := slot.Load(); mb != nil {
 		return mb
 	}
-	mb := newMailbox()
+	mb := m.eng.newMailbox()
 	if slot.CompareAndSwap(nil, mb) {
 		return mb
 	}
@@ -233,6 +208,20 @@ func (m *Machine) Hops(a, b int) int {
 // (the default) disables tracing.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
+// SetEngine installs the execution engine Run will use; it must be called
+// before the first Send, Recv, or Run (mailboxes are engine-specific). A nil
+// engine is a no-op, so call sites can thread an optional engine without
+// checking: m.SetEngine(cfg.Engine) leaves the default in place when no
+// override was configured.
+func (m *Machine) SetEngine(e Engine) {
+	if e != nil {
+		m.eng = e
+	}
+}
+
+// Engine returns the machine's execution engine.
+func (m *Machine) Engine() Engine { return m.eng }
+
 // New creates a machine with n processors and the given cost model.
 // It panics if n < 1 or the cost model is invalid, since a machine is
 // construction-time configuration, not runtime input.
@@ -243,7 +232,7 @@ func New(n int, cost sim.CostModel) *Machine {
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{n: n, cost: cost, mail: make([]atomic.Pointer[mailbox], n*n)}
+	return &Machine{n: n, cost: cost, eng: defaultEngine, mail: make([]atomic.Pointer[mailbox], n*n)}
 }
 
 // NewMesh creates a machine whose cols*rows processors are arranged in a 2D
@@ -290,6 +279,9 @@ type Proc struct {
 	sent  int64
 	recvd int64
 	bytes int64
+	// cp is the coop engine's scheduling state for this processor; nil under
+	// other engines and for Procs driven outside Run (some tests).
+	cp *coopProc
 	// seq numbers every recorded event; spans is the stack of open span
 	// labels. Both are touched only while a tracer is installed, so the
 	// untraced hot path stays allocation-free.
@@ -434,7 +426,7 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 		Bytes:    bytes,
 		ArriveAt: p.clock + wire,
 	}
-	p.m.mailboxFor(dst, p.id).put(msg)
+	p.m.eng.put(p, p.m.mailboxFor(dst, p.id), msg)
 	p.sent++
 	p.bytes += int64(bytes)
 }
@@ -452,12 +444,12 @@ func (p *Proc) Recv(src int) Message {
 		// receive that never completes still leaves a trace of what the
 		// processor was waiting for.
 		var have bool
-		if msg, have = mb.tryGet(); !have {
+		if msg, have = p.m.eng.tryGet(p, mb); !have {
 			bt.RecordBlocked(p.id, src, p.clock)
-			msg = mb.get()
+			msg = p.m.eng.get(p, mb, src)
 		}
 	} else {
-		msg = mb.get()
+		msg = p.m.eng.get(p, mb, src)
 	}
 	p.finishRecv(src, msg)
 	return msg
@@ -468,7 +460,7 @@ func (p *Proc) Recv(src int) Message {
 // bookkeeping as Recv, so traced programs using it still emit the
 // EvWait/EvRecv markers trace analysis matches against EvSend events.
 func (p *Proc) TryRecv(src int) (Message, bool) {
-	msg, ok := p.m.mailboxFor(p.id, src).tryGet()
+	msg, ok := p.m.eng.tryGet(p, p.m.mailboxFor(p.id, src))
 	if !ok {
 		return Message{}, false
 	}
@@ -532,43 +524,32 @@ func (s RunStats) TotalBusy() float64 {
 	return sum
 }
 
-// Run executes fn as an SPMD program: one goroutine per processor, each
+// Run executes fn as an SPMD program on the machine's execution engine
+// (goroutine-per-processor by default; see SetEngine), each invocation
 // receiving its own Proc. It returns per-processor statistics after all
 // processors finish. A Machine may be Run only once; mailboxes must be empty
-// at exit (leftover messages indicate a protocol bug and cause a panic).
+// at exit (leftover messages indicate a protocol bug and cause a panic
+// naming every undrained sender→receiver pair).
 func (m *Machine) Run(fn func(*Proc)) RunStats {
 	procs := make([]*Proc, m.n)
-	var wg sync.WaitGroup
 	panics := make([]any, m.n)
 	for i := 0; i < m.n; i++ {
 		procs[i] = &Proc{m: m, id: i}
-		wg.Add(1)
-		go func(p *Proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[p.id] = r
-				}
-			}()
-			fn(p)
-			if len(p.spans) != 0 {
-				panic(fmt.Sprintf("machine: processor %d finished with %d unclosed span(s), innermost %q",
-					p.id, len(p.spans), p.spans[len(p.spans)-1]))
-			}
-		}(procs[i])
 	}
-	wg.Wait()
+	m.eng.run(m, procs, func(p *Proc) {
+		fn(p)
+		if len(p.spans) != 0 {
+			panic(fmt.Sprintf("machine: processor %d finished with %d unclosed span(s), innermost %q",
+				p.id, len(p.spans), p.spans[len(p.spans)-1]))
+		}
+	}, panics)
 	for id, r := range panics {
 		if r != nil {
 			panic(fmt.Sprintf("machine: processor %d panicked: %v", id, r))
 		}
 	}
-	for dst := 0; dst < m.n; dst++ {
-		for src := 0; src < m.n; src++ {
-			if q := m.mail[dst*m.n+src].Load(); q != nil && q.pending() != 0 {
-				panic(fmt.Sprintf("machine: %d unconsumed message(s) from %d to %d at program exit", q.pending(), src, dst))
-			}
-		}
+	if msg := m.drainReport(); msg != "" {
+		panic(msg)
 	}
 	stats := RunStats{Procs: make([]ProcStats, m.n)}
 	for i, p := range procs {
@@ -578,4 +559,36 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 		}
 	}
 	return stats
+}
+
+// drainReport scans every mailbox after a run and, if any message was left
+// unconsumed, formats a diagnostic naming each offending src->dst pair with
+// its leftover count (capped at eight pairs so an all-to-all protocol bug
+// stays readable). Returns "" when the machine drained cleanly.
+func (m *Machine) drainReport() string {
+	const maxPairs = 8
+	total, pairs := 0, 0
+	var list []string
+	for dst := 0; dst < m.n; dst++ {
+		for src := 0; src < m.n; src++ {
+			q := m.mail[dst*m.n+src].Load()
+			if q == nil || q.pending() == 0 {
+				continue
+			}
+			total += q.pending()
+			pairs++
+			if len(list) < maxPairs {
+				list = append(list, fmt.Sprintf("%d from %d to %d", q.pending(), src, dst))
+			}
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	msg := fmt.Sprintf("machine: %d unconsumed message(s) at program exit: %s",
+		total, strings.Join(list, ", "))
+	if pairs > maxPairs {
+		msg += fmt.Sprintf(", ... (%d more pair(s))", pairs-maxPairs)
+	}
+	return msg
 }

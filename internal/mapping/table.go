@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/sweep"
 )
@@ -82,6 +83,12 @@ type BuildOptions struct {
 	// CacheDir, when non-empty, enables the on-disk JSON cache: tables are
 	// read from and written to CacheDir keyed by a hash of the spec key.
 	CacheDir string
+	// Engine selects the execution engine for the measurement simulations
+	// (nil: the machine package default). Engines are host-time strategy
+	// only — every virtual-time measurement is engine-independent — so the
+	// engine is deliberately NOT part of the memo key: tables computed under
+	// one engine are valid for all.
+	Engine machine.Engine
 }
 
 // tableMemo is the in-process cache, shared by every build in the process.

@@ -128,7 +128,11 @@ func MonitorFromFlag(value string) (url string, stop func(), err error) {
 // RenderText renders a snapshot as the fxtop terminal view: one line per
 // campaign with a progress bar, throughput and ETA.
 func RenderText(w io.Writer, s MonitorSnapshot) {
-	fmt.Fprintf(w, "campaign monitor  up %s\n", fmtDur(s.UptimeSec))
+	fmt.Fprintf(w, "campaign monitor  up %s", fmtDur(s.UptimeSec))
+	if s.Engine != "" {
+		fmt.Fprintf(w, "  engine %s", s.Engine)
+	}
+	fmt.Fprintln(w)
 	if len(s.Campaigns) == 0 {
 		fmt.Fprintln(w, "(no campaigns yet)")
 		return

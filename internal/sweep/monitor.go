@@ -104,9 +104,22 @@ func (c *Campaign) snapshot(now time.Time) CampaignSnapshot {
 // MonitorSnapshot is a point-in-time view of every campaign the process has
 // run while the monitor was active.
 type MonitorSnapshot struct {
-	UptimeSec float64            `json:"uptimeSec"`
+	UptimeSec float64 `json:"uptimeSec"`
+	// Engine is the machine execution engine the process runs its
+	// simulations under ("" when the driver never declared one); see
+	// SetEngineLabel.
+	Engine    string             `json:"engine,omitempty"`
 	Campaigns []CampaignSnapshot `json:"campaigns"`
 }
+
+// engineLabel is the process-global engine name surfaced in snapshots.
+var engineLabel atomic.Pointer[string]
+
+// SetEngineLabel records which machine execution engine this process runs
+// its simulation campaigns under, so monitor consumers (fxtop, the HTTP
+// endpoints) can tell a goroutine campaign from a coop one. Drivers call it
+// once after flag parsing; it is an observer-facing label only.
+func SetEngineLabel(name string) { engineLabel.Store(&name) }
 
 // Monitor aggregates campaign progress for one process. Create with
 // NewMonitor (or StartMonitor, which also serves it over HTTP) and install
@@ -147,6 +160,9 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	cs := append([]*Campaign(nil), m.campaigns...)
 	m.mu.Unlock()
 	out := MonitorSnapshot{UptimeSec: now.Sub(m.start).Seconds()}
+	if lbl := engineLabel.Load(); lbl != nil {
+		out.Engine = *lbl
+	}
 	for _, c := range cs {
 		out.Campaigns = append(out.Campaigns, c.snapshot(now))
 	}

@@ -19,17 +19,24 @@ func TestFlightRecorderStalledRun(t *testing.T) {
 	m.SetTracer(fr)
 	// p1 receives from p0, but p0 never sends: the run deadlocks by
 	// construction. Run it on a leaked goroutine and observe the stall from
-	// outside — exactly how a campaign monitor would.
-	go m.Run(func(p *machine.Proc) {
-		if p.ID() == 0 {
-			p.Compute(1)
-			return
-		}
-		p.BeginSpan("on:cons:group[1]")
-		p.Compute(2)
-		p.Recv(0) // blocks forever
-		p.EndSpan()
-	})
+	// outside — exactly how a campaign monitor would. The open-wait marker is
+	// recorded before the processor suspends, so it is visible regardless of
+	// what the engine then does with the stuck run (the goroutine engine
+	// hangs forever; the coop engine detects the deadlock and panics — which
+	// we swallow, since this test is about the recorder, not the verdict).
+	go func() {
+		defer func() { _ = recover() }()
+		m.Run(func(p *machine.Proc) {
+			if p.ID() == 0 {
+				p.Compute(1)
+				return
+			}
+			p.BeginSpan("on:cons:group[1]")
+			p.Compute(2)
+			p.Recv(0) // blocks forever
+			p.EndSpan()
+		})
+	}()
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
