@@ -8,8 +8,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/sweep"
 )
@@ -19,8 +21,14 @@ func main() {
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
+	chaos := flag.String("chaos", "", "inject deterministic faults into every point's runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig6:", err)
+		os.Exit(2)
+	}
+	plan, err := fault.Parse(*chaos)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig6:", err)
 		os.Exit(2)
@@ -41,6 +49,10 @@ func main() {
 	}
 	cfg.Workers = *j
 	cfg.Engine = eng
+	cfg.Faults = plan.Machine()
+	if plan != nil {
+		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
+	}
 	points := experiments.Fig6(cfg)
 	experiments.PrintFig6(os.Stdout, points)
 }

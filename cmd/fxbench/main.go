@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -15,6 +16,7 @@ import (
 	"fxpar/internal/apps/qsort"
 	"fxpar/internal/benchcmp"
 	"fxpar/internal/experiments"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/sweep"
@@ -46,14 +48,42 @@ func writeJSON(path string, cfg experiments.Table1Config, rows []experiments.Tab
 
 // reportDiffs prints a benchmark comparison verdict to stderr/stdout.
 func reportDiffs(basePath, curName string, diffs []benchcmp.Diff, tolerancePct float64) {
+	reportDiffsTo(os.Stdout, os.Stderr, basePath, curName, diffs, tolerancePct)
+}
+
+func reportDiffsTo(stdout, stderr io.Writer, basePath, curName string, diffs []benchcmp.Diff, tolerancePct float64) {
 	if len(diffs) == 0 {
-		fmt.Printf("baseline check: %s vs %s OK (tolerance %g%%)\n", basePath, curName, tolerancePct)
+		fmt.Fprintf(stdout, "baseline check: %s vs %s OK (tolerance %g%%)\n", basePath, curName, tolerancePct)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "fxbench: %d regression(s) vs %s (tolerance %g%%):\n", len(diffs), basePath, tolerancePct)
+	fmt.Fprintf(stderr, "fxbench: %d regression(s) vs %s (tolerance %g%%):\n", len(diffs), basePath, tolerancePct)
 	for _, d := range diffs {
-		fmt.Fprintf(os.Stderr, "  %s\n", d)
+		fmt.Fprintf(stderr, "  %s\n", d)
 	}
+}
+
+// compareMain implements the standalone -compare mode and returns the
+// process exit code: 0 when the snapshots match, 1 on regressions, 2 when
+// the comparison itself cannot run — a malformed spec, or a baseline or
+// current file that is missing or not valid JSON. The distinct exit code
+// and a message naming the offending file keep CI failures diagnosable:
+// "baseline missing" must never be conflated with "numbers regressed".
+func compareMain(spec string, tolerance float64, skip string, stdout, stderr io.Writer) int {
+	basePath, curPath, ok := strings.Cut(spec, ":")
+	if !ok {
+		fmt.Fprintln(stderr, "fxbench: -compare wants 'baseline.json:current.json'")
+		return 2
+	}
+	diffs, err := benchcmp.CompareFiles(basePath, curPath, tolerance, skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "fxbench:", err)
+		return 2
+	}
+	reportDiffsTo(stdout, stderr, basePath, curPath, diffs, tolerance)
+	if len(diffs) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func main() {
@@ -64,9 +94,12 @@ func main() {
 	baseline := flag.String("baseline", "", "compare the Table 1 snapshot against this committed BENCH_*.json and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0, "relative tolerance in percent for -baseline/-compare (virtual times are deterministic: 0 is exact)")
 	skip := flag.String("skip", "", "regexp of snapshot paths to ignore in -baseline/-compare (host-time fields)")
-	compare := flag.String("compare", "", "standalone mode: compare two snapshot files 'baseline.json:current.json' and exit")
+	compare := flag.String("compare", "", "standalone mode: compare two snapshot files 'baseline.json:current.json' and exit (0 ok, 1 regressions, 2 missing/malformed input)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
+	chaos := flag.String("chaos", "", "inject deterministic faults into the benchmark runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
+	chaosSweep := flag.Int("chaossweep", 0, "standalone mode: fan an FFT-Hist chaos scenario across N seeds (derived from the -chaos seed; profile from -chaos, default havoc) and report survival and latency degradation")
+	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "with -chaossweep: write the chaos report as machine-readable JSON to this file ('' disables)")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
@@ -76,22 +109,50 @@ func main() {
 	sweep.SetEngineLabel(eng.Name())
 
 	// Standalone comparison mode: no simulations, just diff two snapshots.
-	// This is how CI checks a regenerated BENCH_sweep.json against the
-	// committed one.
+	// This is how CI checks a regenerated BENCH_sweep.json or
+	// BENCH_chaos.json against the committed one.
 	if *compare != "" {
-		basePath, curPath, ok := strings.Cut(*compare, ":")
-		if !ok {
-			fmt.Fprintln(os.Stderr, "fxbench: -compare wants 'baseline.json:current.json'")
-			os.Exit(2)
+		os.Exit(compareMain(*compare, *tolerance, *skip, os.Stdout, os.Stderr))
+	}
+
+	plan, err := fault.Parse(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxbench:", err)
+		os.Exit(2)
+	}
+
+	// Standalone chaos-campaign mode: one scenario, N derived seeds, a
+	// deterministic survival/degradation report (identical for every -j and
+	// engine, hence committable as a benchmark artifact).
+	if *chaosSweep > 0 {
+		ccfg := experiments.DefaultChaos()
+		if *quick {
+			ccfg = experiments.QuickChaos()
 		}
-		diffs, err := benchcmp.CompareFiles(basePath, curPath, *tolerance, *skip)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fxbench:", err)
-			os.Exit(2)
+		ccfg.Seeds, ccfg.Workers, ccfg.Engine = *chaosSweep, *j, eng
+		if plan != nil {
+			ccfg.Base, ccfg.Prof = plan.Seed, plan.Prof
 		}
-		reportDiffs(basePath, curPath, diffs, *tolerance)
-		if len(diffs) > 0 {
-			os.Exit(1)
+		rep := experiments.Chaos(ccfg)
+		rep.WriteText(os.Stdout)
+		if *chaosJSON != "" {
+			f, err := os.Create(*chaosJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *chaosJSON)
 		}
 		return
 	}
@@ -115,6 +176,10 @@ func main() {
 	t1.Workers, t1.CacheDir, t1.Engine = *j, *cache, eng
 	f5.Workers, f5.CacheDir, f5.Engine = *j, *cache, eng
 	f6.Workers, f6.Engine = *j, eng
+	t1.Faults, f5.Faults, f6.Faults = plan.Machine(), plan.Machine(), plan.Machine()
+	if plan != nil {
+		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
+	}
 
 	rows := experiments.Table1(t1)
 	experiments.PrintTable1(os.Stdout, rows, t1.Procs)
@@ -160,6 +225,7 @@ func main() {
 	for _, p := range procCounts {
 		qm := machine.New(p, sim.Paragon())
 		qm.SetEngine(eng)
+		qm.SetFaults(plan.Machine())
 		res := qsort.Run(qm, n, 42)
 		if !res.Sorted {
 			fmt.Printf("  %3d procs: SORT FAILED\n", p)
@@ -184,6 +250,7 @@ func main() {
 		cfg := barneshut.Config{N: bhN, Theta: 1.0, Seed: 13, K: bhK}
 		bm := machine.New(p, sim.Paragon())
 		bm.SetEngine(eng)
+		bm.SetFaults(plan.Machine())
 		res := barneshut.Run(bm, cfg)
 		fmt.Printf("  %3d procs: %.4f s, max worklist %d (n=%d), max partial tree %d nodes (full %d)\n",
 			p, res.Makespan, res.MaxWorklist, bhN, res.MaxPartialNodes, 2*bhN-1)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a snapshot file for the compare-mode tests.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMainExitCodes pins the -compare contract: 0 on match, 1 on
+// regression, 2 with a message naming the offending file when the baseline
+// (or current) snapshot is missing or malformed — CI must be able to tell
+// "setup broke" from "numbers regressed" by exit code alone.
+func TestCompareMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", `{"Rows":[{"Makespan":1.5}]}`)
+	drift := write(t, dir, "drift.json", `{"Rows":[{"Makespan":2.5}]}`)
+	bad := write(t, dir, "bad.json", `{"Rows": [{"Makespan": `)
+	missing := filepath.Join(dir, "nope.json")
+
+	cases := []struct {
+		name     string
+		spec     string
+		wantCode int
+		wantMsg  string // substring of stderr ("" = stderr must be empty)
+	}{
+		{"match", good + ":" + good, 0, ""},
+		{"regression", good + ":" + drift, 1, "regression"},
+		{"missing baseline", missing + ":" + good, 2, "nope.json"},
+		{"missing current", good + ":" + missing, 2, "nope.json"},
+		{"malformed baseline", bad + ":" + good, 2, "malformed JSON"},
+		{"malformed current", good + ":" + bad, 2, "malformed JSON"},
+		{"bad spec", good, 2, "-compare wants"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := compareMain(tc.spec, 0, "", &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantMsg == "" {
+				if stderr.Len() != 0 {
+					t.Errorf("unexpected stderr: %s", stderr.String())
+				}
+			} else if !strings.Contains(stderr.String(), tc.wantMsg) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCompareMainRoleInMessage: the error says which side (baseline vs
+// current) is broken, not just which path.
+func TestCompareMainRoleInMessage(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", `{"A":1}`)
+	missing := filepath.Join(dir, "gone.json")
+
+	var stdout, stderr strings.Builder
+	if code := compareMain(missing+":"+good, 0, "", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "baseline snapshot") {
+		t.Errorf("stderr %q does not name the baseline role", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := compareMain(good+":"+missing, 0, "", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "current snapshot") {
+		t.Errorf("stderr %q does not name the current role", stderr.String())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fxpar/internal/apps/ffthist"
 	"fxpar/internal/apps/radar"
 	"fxpar/internal/apps/stereo"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/mapping"
 	"fxpar/internal/metrics"
@@ -87,8 +88,13 @@ func main() {
 	j := flag.Int("j", 0, "with -auto: max concurrent cost-table simulations (0 = all host cores)")
 	cache := flag.String("cache", "", "with -auto: directory for the on-disk cost-table cache ('' disables)")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
+	chaos := flag.String("chaos", "", "inject deterministic faults into the profiled run: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+"); fault/timeout/retry events land in every view")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fail(err)
+	}
+	plan, err := fault.Parse(*chaos)
 	if err != nil {
 		fail(err)
 	}
@@ -127,6 +133,10 @@ func main() {
 	m := machine.New(*procs, sim.Paragon())
 	m.SetEngine(eng)
 	m.SetTracer(trace.Tee(col, sink, comm))
+	m.SetFaults(plan.Machine())
+	if plan != nil {
+		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
+	}
 
 	// pick runs the optimizer against measured cost tables (the -auto path)
 	// and reports the winning mapping and where its tables came from.

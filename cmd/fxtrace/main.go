@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/trace"
@@ -43,8 +44,14 @@ func main() {
 	width := flag.Int("width", 100, "gantt width in characters")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
+	chaos := flag.String("chaos", "", "inject deterministic faults into both runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+"); faults render as F/t/R glyphs")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxtrace:", err)
+		os.Exit(2)
+	}
+	plan, err := fault.Parse(*chaos)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fxtrace:", err)
 		os.Exit(2)
@@ -67,6 +74,7 @@ func main() {
 		m := machine.New(procs, sim.Paragon())
 		m.SetEngine(eng)
 		m.SetTracer(trace.Tee(col, util))
+		m.SetFaults(plan.Machine())
 		res := ffthist.Run(m, cfg, tc.mp)
 		fmt.Printf("=== %s: %.2f sets/s, latency %.4f s ===\n", tc.label,
 			res.Stream.Throughput, res.Stream.Latency)

@@ -7,8 +7,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fxpar/internal/experiments"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 	"fxpar/internal/sweep"
@@ -23,8 +25,14 @@ func main() {
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
+	chaos := flag.String("chaos", "", "inject deterministic faults into the measured runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(2)
+	}
+	plan, err := fault.Parse(*chaos)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(2)
@@ -52,6 +60,10 @@ func main() {
 	cfg.Workers = *j
 	cfg.CacheDir = *cache
 	cfg.Engine = eng
+	cfg.Faults = plan.Machine()
+	if plan != nil {
+		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
+	}
 	switch *model {
 	case "paragon":
 		cfg.Cost = sim.Paragon()

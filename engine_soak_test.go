@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/metrics"
 	"fxpar/internal/sim"
@@ -27,11 +28,17 @@ type soakOutputs struct {
 }
 
 func runEngineSoak(t *testing.T, eng machine.Engine, cfg ffthist.Config, mp ffthist.Mapping) soakOutputs {
+	return runEngineSoakFaults(t, eng, cfg, mp, 1024, nil)
+}
+
+func runEngineSoakFaults(t *testing.T, eng machine.Engine, cfg ffthist.Config, mp ffthist.Mapping,
+	procs int, fp machine.FaultPlan) soakOutputs {
 	t.Helper()
 	col := &trace.Collector{}
-	m := machine.New(1024, sim.Paragon())
+	m := machine.New(procs, sim.Paragon())
 	m.SetEngine(eng)
 	m.SetTracer(col)
+	m.SetFaults(fp)
 	res := ffthist.Run(m, cfg, mp)
 	evs := col.Events()
 	js, err := metrics.FromTrace(evs).Snapshot().JSON()
@@ -79,6 +86,56 @@ func TestEngineSoakP1024(t *testing.T) {
 		}
 		if !bytes.Equal(got.metrics, base.metrics) {
 			t.Errorf("%s: metrics snapshots diverge (%d vs %d bytes)", eng.Name(), len(got.metrics), len(base.metrics))
+		}
+	}
+}
+
+// TestEngineSoakChaosP256: fault injection is part of the virtual-time
+// semantics, so the same (seed, profile, scenario) must produce
+// byte-identical traces — chaos markers included — RunStats, outputs, and
+// metrics under every engine, including the shuffled schedule perturbation.
+// The profile exercises every non-lethal fault class (delays, forced
+// retransmissions, duplicates, slowdowns), whose decisions would diverge
+// instantly if any engine consulted the plan in host order rather than by
+// the per-pair message sequence.
+func TestEngineSoakChaosP256(t *testing.T) {
+	cfg := ffthist.Config{N: 64, Sets: 8, Bins: 64}
+	mp := ffthist.Mapping{Modules: 2, Stages: []int{64, 32, 32}}
+	prof, err := fault.ProfileByName("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.New(42, prof)
+
+	base := runEngineSoakFaults(t, machine.Goroutine(), cfg, mp, 256, plan)
+	faults := 0
+	for _, e := range base.events {
+		if e.Kind == machine.EvFault {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("chaos soak injected no faults — the scenario exercises nothing")
+	}
+
+	for _, eng := range []machine.Engine{machine.Coop(1), machine.Coop(4), machine.CoopShuffled(4, 9)} {
+		got := runEngineSoakFaults(t, eng, cfg, mp, 256, plan)
+		if !reflect.DeepEqual(got.res.Stats, base.res.Stats) {
+			t.Errorf("%s: chaotic RunStats diverge from goroutine engine", eng.Name())
+		}
+		if !reflect.DeepEqual(got.res.Hists, base.res.Hists) {
+			t.Errorf("%s: chaotic histogram outputs diverge", eng.Name())
+		}
+		if len(got.events) != len(base.events) {
+			t.Fatalf("%s: %d events vs %d under goroutine", eng.Name(), len(got.events), len(base.events))
+		}
+		for i := range got.events {
+			if got.events[i] != base.events[i] {
+				t.Fatalf("%s: chaotic event %d diverges:\n got %+v\nwant %+v", eng.Name(), i, got.events[i], base.events[i])
+			}
+		}
+		if !bytes.Equal(got.metrics, base.metrics) {
+			t.Errorf("%s: chaotic metrics snapshots diverge (%d vs %d bytes)", eng.Name(), len(got.metrics), len(base.metrics))
 		}
 	}
 }

@@ -128,11 +128,11 @@ func CompareFiles(basePath, curPath string, tolerancePct float64, skipPattern st
 			return nil, fmt.Errorf("benchcmp: bad skip pattern: %w", err)
 		}
 	}
-	base, err := loadFlat(basePath)
+	base, err := loadFlat("baseline", basePath)
 	if err != nil {
 		return nil, err
 	}
-	cur, err := loadFlat(curPath)
+	cur, err := loadFlat("current", curPath)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +149,7 @@ func CompareToBaseline(basePath string, current any, tolerancePct float64, skipP
 			return nil, fmt.Errorf("benchcmp: bad skip pattern: %w", err)
 		}
 	}
-	base, err := loadFlat(basePath)
+	base, err := loadFlat("baseline", basePath)
 	if err != nil {
 		return nil, err
 	}
@@ -164,14 +164,16 @@ func CompareToBaseline(basePath string, current any, tolerancePct float64, skipP
 	return Compare(base, cur, tolerancePct, skip), nil
 }
 
-func loadFlat(path string) (map[string]float64, error) {
+// loadFlat reads and flattens one snapshot; role ("baseline"/"current")
+// qualifies the error so a CI log says which side was missing or malformed.
+func loadFlat(role, path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("benchcmp: %w", err)
+		return nil, fmt.Errorf("benchcmp: %s snapshot: %w", role, err)
 	}
 	flat, err := Flatten(data)
 	if err != nil {
-		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+		return nil, fmt.Errorf("benchcmp: %s snapshot %s: malformed JSON: %w", role, path, err)
 	}
 	return flat, nil
 }

@@ -1,0 +1,64 @@
+package comm
+
+import (
+	"testing"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// These guards pin the copy early-outs in Send and Bcast (the comm-layer
+// companions of the machine layer's nil-tracer allocation guard): a
+// zero-length payload and a single-member broadcast must not copy.
+
+// TestSendZeroLengthAllocFree: sending an empty payload skips the defensive
+// copy, and a steady-state send/receive cycle on a warmed mailbox allocates
+// nothing at all (the nil payload boxes without a heap allocation).
+func TestSendZeroLengthAllocFree(t *testing.T) {
+	m := testMachine(1)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(1)
+		// Warm the self-mailbox so its backing array reaches steady state.
+		for i := 0; i < 3; i++ {
+			Send(p, g, 0, []int(nil))
+			if _, ok := p.TryRecv(0); !ok {
+				t.Fatal("warmup receive found no message")
+			}
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			Send(p, g, 0, []int{})
+			p.TryRecv(0)
+		})
+		if allocs != 0 {
+			t.Errorf("zero-length Send/TryRecv cycle allocates %v per op, want 0", allocs)
+		}
+	})
+}
+
+// TestSingletonCollectivesAllocFree: on a single-member group, Bcast
+// returns the input without copying (pinned by pointer identity), and
+// Barrier and Reduce are complete no-ops — all allocation-free.
+func TestSingletonCollectivesAllocFree(t *testing.T) {
+	m := testMachine(1)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(1)
+		buf := []int{1, 2, 3}
+		var out []int
+		allocs := testing.AllocsPerRun(200, func() {
+			out = Bcast(p, g, 0, buf)
+		})
+		if allocs != 0 {
+			t.Errorf("singleton Bcast allocates %v per op, want 0", allocs)
+		}
+		if len(out) != 3 || &out[0] != &buf[0] {
+			t.Errorf("singleton Bcast copied: out %v (aliases input: %v)", out, len(out) == 3 && &out[0] == &buf[0])
+		}
+		if allocs := testing.AllocsPerRun(200, func() { Barrier(p, g) }); allocs != 0 {
+			t.Errorf("singleton Barrier allocates %v per op, want 0", allocs)
+		}
+		add := func(a, b int) int { return a + b }
+		if allocs := testing.AllocsPerRun(200, func() { Reduce(p, g, 0, 4, add) }); allocs != 0 {
+			t.Errorf("singleton Reduce allocates %v per op, want 0", allocs)
+		}
+	})
+}

@@ -49,10 +49,14 @@ func span(p *machine.Proc, op string, g *group.Group) bool {
 }
 
 // Send transmits a copy of data to the processor with virtual id dstRank in
-// g. The copy makes it safe for the caller to reuse data immediately.
+// g. The copy makes it safe for the caller to reuse data immediately; an
+// empty payload skips the copy entirely and sends a nil slice.
 func Send[T any](p *machine.Proc, g *group.Group, dstRank int, data []T) {
-	buf := append([]T(nil), data...)
-	p.Send(g.Phys(dstRank), buf, len(buf)*ElemBytes[T]())
+	var buf []T
+	if len(data) > 0 {
+		buf = append([]T(nil), data...)
+	}
+	p.Send(g.Phys(dstRank), buf, len(data)*ElemBytes[T]())
 }
 
 // Recv receives a []T from the processor with virtual id srcRank in g.
@@ -109,12 +113,15 @@ func Barrier(p *machine.Proc, g *group.Group) {
 
 // Bcast distributes root's data to every member of g using a binomial tree
 // and returns each member's copy. rootRank is a virtual id in g. Non-root
-// callers may pass nil.
+// callers may pass nil. On a single-member group the input slice is
+// returned as-is — no message, no copy — so callers must treat the result
+// as read-only or potentially aliasing their input (they already must: the
+// root's own return may share memory with what it sent).
 func Bcast[T any](p *machine.Proc, g *group.Group, rootRank int, data []T) []T {
 	n := g.Size()
 	r := rankIn(p, g)
 	if n == 1 {
-		return append([]T(nil), data...)
+		return data
 	}
 	if span(p, "bcast", g) {
 		defer p.EndSpan()

@@ -1,0 +1,302 @@
+package comm
+
+// Timeout-aware and retrying collectives for chaotic runs. The plain
+// collectives in comm.go block forever on a receive; on a machine with a
+// fault plan that kills processors, that would strand every member waiting
+// on a dead one. The variants here bound each receive with a virtual-time
+// timeout and bounded exponential backoff, and convert "the sender is gone"
+// into a typed *DeadMemberError naming the member that failed — so a
+// collective on a group with a dead member degrades into an error every
+// surviving member can observe, never a hang.
+//
+// All timeouts and backoffs are in virtual time, so retry behavior is as
+// deterministic as the underlying simulation: the same (plan, program)
+// yields the same attempts, the same EvRetry markers, and the same errors
+// under every engine. A timeout bounds *virtual* waiting only; the machine
+// layer guarantees host-level progress separately (a receive from a
+// terminated processor always returns).
+
+import (
+	"fmt"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+)
+
+// RetryPolicy bounds a retrying collective: the first receive attempt waits
+// BaseTimeout virtual seconds, each subsequent attempt doubles the wait up
+// to MaxTimeout, and after Attempts attempts the operation fails with a
+// *TimeoutError. The zero value means DefaultRetry().
+type RetryPolicy struct {
+	// BaseTimeout is the first attempt's virtual-time window, in seconds.
+	BaseTimeout float64
+	// MaxTimeout caps the doubling backoff, in virtual seconds.
+	MaxTimeout float64
+	// Attempts is the total number of receive attempts (>= 1).
+	Attempts int
+}
+
+// DefaultRetry returns the policy used when the zero RetryPolicy is passed:
+// sized for the Paragon-like cost models of the experiments (alpha ~120us,
+// fault profiles injecting up to tens of milliseconds of latency), with a
+// total virtual wait budget of a couple of seconds.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{BaseTimeout: 10e-3, MaxTimeout: 1.0, Attempts: 8}
+}
+
+// normalized maps the zero value to DefaultRetry and repairs nonsensical
+// fields so callers can pass partially-filled policies.
+func (rp RetryPolicy) normalized() RetryPolicy {
+	if rp == (RetryPolicy{}) {
+		return DefaultRetry()
+	}
+	if rp.BaseTimeout <= 0 {
+		rp.BaseTimeout = DefaultRetry().BaseTimeout
+	}
+	if rp.MaxTimeout < rp.BaseTimeout {
+		rp.MaxTimeout = rp.BaseTimeout
+	}
+	if rp.Attempts < 1 {
+		rp.Attempts = 1
+	}
+	return rp
+}
+
+// DeadMemberError reports that a collective could not complete because a
+// member of the group terminated without fulfilling its part of the
+// protocol. Rank/Phys name the failed member; when several members of a
+// failure cascade have terminated, attribution prefers a member that
+// panicked (injected death or program error) over one that merely gave up.
+type DeadMemberError struct {
+	// Op is the collective that failed ("bcast", "reduce", "barrier", ...).
+	Op string
+	// Group renders the group the collective ran on.
+	Group string
+	// Rank is the failed member's virtual id in the group; Phys its
+	// processor id.
+	Rank, Phys int
+	// Panicked reports whether the failed member terminated by panic.
+	Panicked bool
+	// At is the failed member's virtual clock at termination.
+	At float64
+}
+
+func (e *DeadMemberError) Error() string {
+	how := "exited early"
+	if e.Panicked {
+		how = "died"
+	}
+	return fmt.Sprintf("comm: %s on %s: member rank %d (processor %d) %s at virtual time %g",
+		e.Op, e.Group, e.Rank, e.Phys, how, e.At)
+}
+
+// TimeoutError reports that a collective exhausted its retry budget waiting
+// for a member that is still running — distinguishing "slow or stuck" from
+// the definitive *DeadMemberError.
+type TimeoutError struct {
+	// Op is the collective that failed; Group the group it ran on.
+	Op    string
+	Group string
+	// Proc is the processor that gave up, waiting on member Rank
+	// (processor Phys).
+	Proc, Rank, Phys int
+	// Attempts is how many receive attempts were made, and Waited the total
+	// virtual time spent waiting across them.
+	Attempts int
+	Waited   float64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("comm: %s on %s: processor %d timed out waiting for rank %d (processor %d) after %d attempt(s), %g virtual seconds",
+		e.Op, e.Group, e.Proc, e.Rank, e.Phys, e.Attempts, e.Waited)
+}
+
+// deadMember builds the error for a receive that failed because the sender
+// terminated. The direct peer may itself be a casualty of an earlier
+// failure (it saw a death and returned an error), so attribution scans the
+// group for a member that panicked — the root of the cascade is causally
+// ordered before every observer, so its termination flag is visible here —
+// and falls back to the direct peer.
+func deadMember(p *machine.Proc, g *group.Group, op string, peerRank int) *DeadMemberError {
+	m := p.Machine()
+	for r := 0; r < g.Size(); r++ {
+		phys := g.Phys(r)
+		if phys == p.ID() {
+			continue
+		}
+		if done, panicked, at := m.ProcTerminated(phys); done && panicked {
+			return &DeadMemberError{Op: op, Group: g.String(), Rank: r, Phys: phys, Panicked: true, At: at}
+		}
+	}
+	phys := g.Phys(peerRank)
+	_, panicked, at := m.ProcTerminated(phys)
+	return &DeadMemberError{Op: op, Group: g.String(), Rank: peerRank, Phys: phys, Panicked: panicked, At: at}
+}
+
+// recvMsgRetry is the shared receive loop: attempt a timed receive from
+// srcRank, doubling the timeout between attempts (with an EvRetry marker),
+// until the message arrives, the sender is known dead, or the policy is
+// exhausted.
+func recvMsgRetry(p *machine.Proc, g *group.Group, srcRank int, op string, pol RetryPolicy) (machine.Message, error) {
+	pol = pol.normalized()
+	src := g.Phys(srcRank)
+	timeout := pol.BaseTimeout
+	waited := 0.0
+	for attempt := 1; ; attempt++ {
+		msg, out := p.RecvTimeout(src, timeout)
+		switch out {
+		case machine.RecvOK:
+			return msg, nil
+		case machine.RecvSenderDead:
+			return machine.Message{}, deadMember(p, g, op, srcRank)
+		}
+		waited += timeout
+		if attempt >= pol.Attempts {
+			return machine.Message{}, &TimeoutError{
+				Op: op, Group: g.String(),
+				Proc: p.ID(), Rank: srcRank, Phys: src,
+				Attempts: attempt, Waited: waited,
+			}
+		}
+		p.MarkRetry(src, 0)
+		timeout *= 2
+		if timeout > pol.MaxTimeout {
+			timeout = pol.MaxTimeout
+		}
+	}
+}
+
+// recvRetry is recvMsgRetry plus the payload type assertion of Recv.
+func recvRetry[T any](p *machine.Proc, g *group.Group, srcRank int, op string, pol RetryPolicy) ([]T, error) {
+	msg, err := recvMsgRetry(p, g, srcRank, op, pol)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := msg.Data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("comm: processor %d expected []%T from rank %d, got %T",
+			p.ID(), *new(T), srcRank, msg.Data))
+	}
+	return data, nil
+}
+
+// RecvTimeout receives a []T from the processor with virtual id srcRank in
+// g, waiting at most timeout virtual seconds past the current clock. The
+// data is non-nil only for machine.RecvOK.
+func RecvTimeout[T any](p *machine.Proc, g *group.Group, srcRank int, timeout float64) ([]T, machine.RecvOutcome) {
+	msg, out := p.RecvTimeout(g.Phys(srcRank), timeout)
+	if out != machine.RecvOK {
+		return nil, out
+	}
+	data, ok := msg.Data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("comm: processor %d expected []%T from rank %d, got %T",
+			p.ID(), *new(T), srcRank, msg.Data))
+	}
+	return data, out
+}
+
+// BcastRetry is Bcast with every receive bounded by pol. On failure it
+// returns a *DeadMemberError or *TimeoutError; the caller should treat the
+// group as poisoned (stop using it and propagate the error) — members
+// downstream of a failed one will fail their own receive in turn, so every
+// survivor gets a typed error rather than a hang.
+func BcastRetry[T any](p *machine.Proc, g *group.Group, rootRank int, data []T, pol RetryPolicy) ([]T, error) {
+	n := g.Size()
+	r := rankIn(p, g)
+	if n == 1 {
+		return data, nil
+	}
+	if span(p, "bcast", g) {
+		defer p.EndSpan()
+	}
+	rel := (r - rootRank + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + rootRank) % n
+			got, err := recvRetry[T](p, g, src, "bcast", pol)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	if rel == 0 {
+		data = append([]T(nil), data...)
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + rootRank) % n
+			Send(p, g, dst, data)
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// ReduceRetry is Reduce with every receive bounded by pol. The combined
+// value is significant at rootRank only; on failure every member that
+// observed it gets a typed error (see BcastRetry for degradation
+// semantics).
+func ReduceRetry[T any](p *machine.Proc, g *group.Group, rootRank int, x T, op func(a, b T) T, pol RetryPolicy) (T, error) {
+	n := g.Size()
+	r := rankIn(p, g)
+	var zero T
+	if n > 1 && span(p, "reduce", g) {
+		defer p.EndSpan()
+	}
+	rel := (r - rootRank + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < n {
+				got, err := recvRetry[T](p, g, (src+rootRank)%n, "reduce", pol)
+				if err != nil {
+					return zero, err
+				}
+				if len(got) != 1 {
+					panic(fmt.Sprintf("comm: ReduceRetry got %d values", len(got)))
+				}
+				x = op(x, got[0])
+			}
+		} else {
+			dst := (rel - mask + rootRank) % n
+			SendVal(p, g, dst, x)
+			return zero, nil
+		}
+		mask <<= 1
+	}
+	return x, nil
+}
+
+// BarrierRetry is Barrier with every dissemination round's receive bounded
+// by pol, so a barrier containing a dead member unwinds with typed errors
+// on every survivor instead of hanging all of them.
+func BarrierRetry(p *machine.Proc, g *group.Group, pol RetryPolicy) error {
+	n := g.Size()
+	if n == 1 {
+		return nil
+	}
+	r := rankIn(p, g)
+	if span(p, "barrier", g) {
+		defer p.EndSpan()
+	}
+	for k := 1; k < n; k <<= 1 {
+		dst := (r + k) % n
+		src := (r - k + n) % n
+		p.Send(g.Phys(dst), barrierToken{}, 4)
+		msg, err := recvMsgRetry(p, g, src, "barrier", pol)
+		if err != nil {
+			return err
+		}
+		if _, ok := msg.Data.(barrierToken); !ok {
+			panic(fmt.Sprintf("comm: processor %d barrier round received %T", p.ID(), msg.Data))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"fxpar/internal/group"
+	"fxpar/internal/machine"
+	"fxpar/internal/trace"
+)
+
+// stubPlan is a hand-scripted machine.FaultPlan that kills exactly the
+// processors named in death; it injects no message faults, so tests can
+// target a specific victim deterministically.
+type stubPlan struct{ death map[int]float64 }
+
+func (s *stubPlan) MessageFault(src, dst int, seq int64) machine.MessageFault {
+	return machine.MessageFault{}
+}
+func (s *stubPlan) SlowFactor(proc int) float64 { return 1 }
+func (s *stubPlan) DeathTime(proc int) (float64, bool) {
+	t, ok := s.death[proc]
+	return t, ok
+}
+
+// expectRunDeath recovers a Run panic and asserts it is a *RunError rooted
+// at the injected death of processor victim.
+func expectRunDeath(t *testing.T, victim int, run func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not panic despite a processor death")
+		}
+		re, ok := r.(*machine.RunError)
+		if !ok {
+			t.Fatalf("Run panicked with %T (%v), want *machine.RunError", r, r)
+		}
+		var death *machine.ProcDeathError
+		if !errors.As(re, &death) || death.Proc != victim {
+			t.Fatalf("root cause = %v, want death of processor %d", re.Root().Value, victim)
+		}
+	}()
+	run()
+}
+
+// TestRetryCollectivesMatchPlainWhenHealthy: on a healthy machine the
+// retrying collectives produce the same values AND the same RunStats as the
+// plain ones — virtual-time timeouts that are beaten by the message's
+// arrival cost nothing, and the intermediate timed-out attempts advance the
+// clock only up to the arrival time the plain receive would reach anyway.
+// The compute skew makes early members wait well past BaseTimeout, so the
+// retry path (not just the first-attempt path) is exercised.
+func TestRetryCollectivesMatchPlainWhenHealthy(t *testing.T) {
+	add := func(a, b int) int { return a + b }
+	for _, n := range groupSizes {
+		run := func(retry bool) (machine.RunStats, []int, []int) {
+			m := testMachine(n)
+			bcastOut := make([]int, n)
+			redOut := make([]int, n)
+			stats := m.Run(func(p *machine.Proc) {
+				g := group.World(n)
+				r := p.ID()
+				p.Compute(float64(r) * 1000) // r milliseconds of skew
+				if retry {
+					pol := RetryPolicy{BaseTimeout: 5e-4, MaxTimeout: 4e-3, Attempts: 16}
+					if err := BarrierRetry(p, g, pol); err != nil {
+						t.Errorf("n=%d proc %d: BarrierRetry: %v", n, r, err)
+					}
+					data, err := BcastRetry(p, g, 0, []int{41, 42}, pol)
+					if err != nil {
+						t.Errorf("n=%d proc %d: BcastRetry: %v", n, r, err)
+						return
+					}
+					bcastOut[r] = data[1]
+					v, err := ReduceRetry(p, g, 0, r+1, add, pol)
+					if err != nil {
+						t.Errorf("n=%d proc %d: ReduceRetry: %v", n, r, err)
+						return
+					}
+					redOut[r] = v
+				} else {
+					Barrier(p, g)
+					data := Bcast(p, g, 0, []int{41, 42})
+					bcastOut[r] = data[1]
+					redOut[r] = Reduce(p, g, 0, r+1, add)
+				}
+			})
+			return stats, bcastOut, redOut
+		}
+		ps, pb, pr := run(false)
+		rs, rb, rr := run(true)
+		if !reflect.DeepEqual(pb, rb) || !reflect.DeepEqual(pr, rr) {
+			t.Errorf("n=%d: retry collectives produced different values: bcast %v vs %v, reduce %v vs %v",
+				n, pb, rb, pr, rr)
+		}
+		for i := range ps.Procs {
+			a, b := ps.Procs[i], rs.Procs[i]
+			// Idle is accumulated in different-sized segments on the retry
+			// path (per-timeout rather than per-wait), so it matches only up
+			// to floating-point association; everything else is exact.
+			if a.Finish != b.Finish || a.Busy != b.Busy ||
+				a.MsgsSent != b.MsgsSent || a.BytesSent != b.BytesSent ||
+				math.Abs(a.Idle-b.Idle) > 1e-12 {
+				t.Errorf("n=%d proc %d: retry collectives changed stats:\nplain %+v\nretry %+v", n, i, a, b)
+			}
+		}
+		if want := n * (n + 1) / 2; pr[0] != want {
+			t.Errorf("n=%d: reduce at root = %d, want %d", n, pr[0], want)
+		}
+	}
+}
+
+// TestBcastRetryDeadMember: a broadcast over a group with a dead member
+// unwinds with typed errors naming the dead rank on every member that
+// depended on it — directly or through the failure cascade.
+func TestBcastRetryDeadMember(t *testing.T) {
+	// Victim 4 is an interior node of the binomial tree from root 0: its
+	// subtree (ranks 5, 6, 7) can only fail.
+	const n, victim = 8, 4
+	m := testMachine(n)
+	m.SetFaults(&stubPlan{death: map[int]float64{victim: 1e-6}})
+	errs := make([]error, n)
+	expectRunDeath(t, victim, func() {
+		m.Run(func(p *machine.Proc) {
+			g := group.World(n)
+			p.Compute(10) // advance every clock past the death time
+			_, err := BcastRetry(p, g, 0, []int{7},
+				RetryPolicy{BaseTimeout: 1e-3, MaxTimeout: 8e-3, Attempts: 4})
+			errs[p.ID()] = err
+		})
+	})
+	saw := 0
+	for id, err := range errs {
+		if err == nil {
+			continue
+		}
+		var dm *DeadMemberError
+		if !errors.As(err, &dm) {
+			t.Errorf("proc %d: got %T (%v), want *DeadMemberError", id, err, err)
+			continue
+		}
+		if dm.Rank != victim || dm.Phys != victim || !dm.Panicked || dm.Op != "bcast" {
+			t.Errorf("proc %d: %+v does not name dead rank %d", id, dm, victim)
+		}
+		saw++
+	}
+	if saw == 0 {
+		t.Error("no survivor observed the dead member")
+	}
+	if errs[victim] != nil {
+		t.Errorf("the victim recorded an error (%v); it should have died mid-collective", errs[victim])
+	}
+}
+
+// TestBarrierRetryDeadMember: a barrier cannot complete without every
+// member, so every survivor must get a typed error naming the dead rank.
+func TestBarrierRetryDeadMember(t *testing.T) {
+	const n, victim = 4, 2
+	m := testMachine(n)
+	m.SetFaults(&stubPlan{death: map[int]float64{victim: 1e-6}})
+	errs := make([]error, n)
+	expectRunDeath(t, victim, func() {
+		m.Run(func(p *machine.Proc) {
+			p.Compute(10) // advance every clock past the death time
+			errs[p.ID()] = BarrierRetry(p, group.World(n),
+				RetryPolicy{BaseTimeout: 1e-3, MaxTimeout: 8e-3, Attempts: 4})
+		})
+	})
+	for id, err := range errs {
+		if id == victim {
+			continue
+		}
+		var dm *DeadMemberError
+		if !errors.As(err, &dm) {
+			t.Errorf("survivor %d: got %T (%v), want *DeadMemberError", id, err, err)
+			continue
+		}
+		if dm.Rank != victim || !dm.Panicked || dm.Op != "barrier" {
+			t.Errorf("survivor %d: %+v does not name dead rank %d", id, dm, victim)
+		}
+	}
+}
+
+// TestReduceRetryDeadMember: the root of a reduction with a dead leaf gets
+// a typed error naming the leaf, even though the leaf's failure reaches the
+// root through an intermediate member that merely gave up.
+func TestReduceRetryDeadMember(t *testing.T) {
+	const n, victim = 8, 5
+	m := testMachine(n)
+	m.SetFaults(&stubPlan{death: map[int]float64{victim: 1e-6}})
+	errs := make([]error, n)
+	expectRunDeath(t, victim, func() {
+		m.Run(func(p *machine.Proc) {
+			p.Compute(10) // advance every clock past the death time
+			_, err := ReduceRetry(p, group.World(n), 0, p.ID(),
+				func(a, b int) int { return a + b },
+				RetryPolicy{BaseTimeout: 1e-3, MaxTimeout: 8e-3, Attempts: 4})
+			errs[p.ID()] = err
+		})
+	})
+	var dm *DeadMemberError
+	if !errors.As(errs[0], &dm) {
+		t.Fatalf("root error = %T (%v), want *DeadMemberError", errs[0], errs[0])
+	}
+	if dm.Rank != victim || !dm.Panicked || dm.Op != "reduce" {
+		t.Errorf("root error %+v does not name dead rank %d", dm, victim)
+	}
+}
+
+// TestTimeoutOnSilentSender: a member that is alive but silent for longer
+// than the whole retry budget produces a *TimeoutError (not DeadMember —
+// nobody died), with the attempts and EvTimeout/EvRetry markers to match.
+// The late message is still delivered and consumable afterwards.
+func TestTimeoutOnSilentSender(t *testing.T) {
+	m := testMachine(2)
+	var tr trace.Collector
+	m.SetTracer(&tr)
+	var gotErr error
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		pol := RetryPolicy{BaseTimeout: 1e-3, MaxTimeout: 4e-3, Attempts: 3}
+		if p.ID() == 1 {
+			p.Elapse(10) // busy elsewhere for 10 virtual seconds
+			if _, err := BcastRetry(p, g, 1, []int{99}, pol); err != nil {
+				t.Errorf("root bcast: %v", err)
+			}
+			return
+		}
+		_, err := BcastRetry[int](p, g, 1, nil, pol)
+		gotErr = err
+		// The transmission was late, not lost: drain it.
+		if v := RecvVal[int](p, g, 1); v != 99 {
+			t.Errorf("late message = %d, want 99", v)
+		}
+	})
+	var to *TimeoutError
+	if !errors.As(gotErr, &to) {
+		t.Fatalf("got %T (%v), want *TimeoutError", gotErr, gotErr)
+	}
+	if to.Attempts != 3 || to.Rank != 1 || to.Phys != 1 || to.Proc != 0 || to.Op != "bcast" {
+		t.Errorf("timeout error fields: %+v", to)
+	}
+	if want := 1e-3 + 2e-3 + 4e-3; math.Abs(to.Waited-want) > 1e-12 {
+		t.Errorf("Waited = %g, want %g", to.Waited, want)
+	}
+	timeouts, retries := 0, 0
+	for _, e := range tr.Events() {
+		if e.Proc != 0 {
+			continue
+		}
+		switch e.Kind {
+		case machine.EvTimeout:
+			timeouts++
+		case machine.EvRetry:
+			retries++
+		}
+	}
+	if timeouts != 3 || retries != 2 {
+		t.Errorf("proc 0 recorded %d EvTimeout / %d EvRetry, want 3 / 2", timeouts, retries)
+	}
+}
+
+// TestRecvTimeoutWrapper: the typed comm wrapper over machine.RecvTimeout.
+func TestRecvTimeoutWrapper(t *testing.T) {
+	m := testMachine(2)
+	m.Run(func(p *machine.Proc) {
+		g := group.World(2)
+		if p.ID() == 0 {
+			p.Elapse(1e-3)
+			Send(p, g, 1, []int{5})
+			return
+		}
+		data, out := RecvTimeout[int](p, g, 0, 1e-6)
+		if out != machine.RecvTimedOut || data != nil {
+			t.Errorf("short timeout: got %v/%v, want nil/timed-out", data, out)
+		}
+		data, out = RecvTimeout[int](p, g, 0, 1.0)
+		if out != machine.RecvOK || len(data) != 1 || data[0] != 5 {
+			t.Errorf("long timeout: got %v/%v, want [5]/ok", data, out)
+		}
+	})
+}
+
+func TestRetryPolicyNormalized(t *testing.T) {
+	if got := (RetryPolicy{}).normalized(); got != DefaultRetry() {
+		t.Errorf("zero policy normalized to %+v, want DefaultRetry %+v", got, DefaultRetry())
+	}
+	got := RetryPolicy{BaseTimeout: 2, MaxTimeout: 1}.normalized()
+	if got.MaxTimeout != 2 || got.Attempts != 1 {
+		t.Errorf("partial policy normalized to %+v", got)
+	}
+}

@@ -40,6 +40,9 @@ type Fig5Config struct {
 	Workers  int
 	CacheDir string
 	Engine   machine.Engine
+	// Faults injects a deterministic chaos plan into the measured mapping
+	// runs (nil: none); the cost tables behind the optimizer stay healthy.
+	Faults machine.FaultPlan
 }
 
 // DefaultFig5 matches the paper: 512x512 FFT-Hist on 64 processors.
@@ -84,12 +87,12 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 		}
 		row.Choice = choice
 		row.Mapping = ffthist.ChoiceToMapping(choice)
-		r := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, row.Mapping)
+		r := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, row.Mapping)
 		row.Throughput = r.Stream.Throughput
 		row.Latency = r.Stream.Latency
 		if pc, err := mapping.OptimizePipeline(model, c.goal); err == nil {
 			row.Pipeline = pc
-			pres := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.ChoiceToMapping(pc))
+			pres := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, ffthist.ChoiceToMapping(pc))
 			row.PipelineThroughput = pres.Stream.Throughput
 			row.PipelineLatency = pres.Stream.Latency
 		}

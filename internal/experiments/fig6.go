@@ -19,6 +19,9 @@ type Fig6Point struct {
 	DPMakespan      float64
 	TaskMakespan    float64
 	TaskImprovement float64 // (DP - Task) / DP at this processor count
+	// Err carries a chaos-induced failure (a processor-death cascade under a
+	// lethal fault plan) as text; the point's speedups are then zero.
+	Err string
 }
 
 // Fig6Config controls scale.
@@ -30,6 +33,10 @@ type Fig6Config struct {
 	// Engine selects the machine execution engine (nil: package default);
 	// it changes only host wall-clock, never a simulated number.
 	Engine machine.Engine
+	// Faults injects a deterministic chaos plan into every point's runs
+	// (nil: none). Under a lethal profile a point may fail; its Err field
+	// carries the typed error text and its speedups stay zero.
+	Faults machine.FaultPlan
 }
 
 // DefaultFig6 matches the paper's sweep up to 64 processors.
@@ -64,22 +71,30 @@ func Fig6(cfg Fig6Config) []Fig6Point {
 	res := sweep.MapNamed("fig6", cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
 		if i == 0 {
 			return Fig6Point{Procs: 1,
-				DPMakespan: airshed.Run(newMachine(1, cost, cfg.Engine), cfg.App, airshed.DataParallel).Makespan}, nil
+				DPMakespan: airshed.Run(newMachine(1, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.DataParallel).Makespan}, nil
 		}
 		p := cfg.ProcCounts[i-1]
 		pt := Fig6Point{Procs: p}
-		pt.DPMakespan = airshed.Run(newMachine(p, cost, cfg.Engine), cfg.App, airshed.DataParallel).Makespan
+		pt.DPMakespan = airshed.Run(newMachine(p, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.DataParallel).Makespan
 		if p >= 4 {
-			pt.TaskMakespan = airshed.Run(newMachine(p, cost, cfg.Engine), cfg.App, airshed.TaskIO).Makespan
+			pt.TaskMakespan = airshed.Run(newMachine(p, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.TaskIO).Makespan
 		}
 		return pt, nil
 	})
 	t1 := res[0].Value.DPMakespan
+	if res[0].Err != nil {
+		t1 = 0 // chaotic baseline death: leave every speedup zero
+	}
 	points := make([]Fig6Point, 0, len(cfg.ProcCounts))
-	for _, r := range res[1:] {
+	for i, r := range res[1:] {
 		pt := r.Value
-		pt.DPSpeedup = t1 / pt.DPMakespan
-		if pt.TaskMakespan > 0 {
+		if r.Err != nil {
+			pt = Fig6Point{Procs: cfg.ProcCounts[i], Err: r.Err.Error()}
+		}
+		if t1 > 0 && pt.DPMakespan > 0 {
+			pt.DPSpeedup = t1 / pt.DPMakespan
+		}
+		if t1 > 0 && pt.TaskMakespan > 0 {
 			pt.TaskSpeedup = t1 / pt.TaskMakespan
 			pt.TaskImprovement = (pt.DPMakespan - pt.TaskMakespan) / pt.DPMakespan
 		}
@@ -102,6 +117,10 @@ func PrintFig6(w io.Writer, points []Fig6Point) {
 		}
 	}
 	for _, pt := range points {
+		if pt.Err != "" {
+			fmt.Fprintf(w, "%6d failed: %s\n", pt.Procs, pt.Err)
+			continue
+		}
 		task := "-"
 		imp := "-"
 		if pt.TaskSpeedup > 0 {

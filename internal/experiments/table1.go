@@ -62,6 +62,12 @@ type Table1Config struct {
 	// the campaign (nil: the machine package default). Engines change only
 	// host wall-clock, never a simulated number.
 	Engine machine.Engine
+	// Faults injects a deterministic chaos plan into the measured runs (nil:
+	// no chaos). The cost-table measurements behind the optimizer stay
+	// healthy — chaos perturbs the execution of the chosen mappings, not the
+	// model they were chosen from — so the memoized tables remain valid and
+	// shareable across chaotic and healthy campaigns.
+	Faults machine.FaultPlan
 }
 
 // DefaultTable1 runs at the paper's scale: 64 processors.
@@ -82,10 +88,11 @@ func (c Table1Config) buildOptions() mapping.BuildOptions {
 }
 
 // newMachine builds a machine running on the configured engine (the package
-// default when eng is nil).
-func newMachine(n int, cost sim.CostModel, eng machine.Engine) *machine.Machine {
+// default when eng is nil) with the configured fault plan (nil: none).
+func newMachine(n int, cost sim.CostModel, eng machine.Engine, fp machine.FaultPlan) *machine.Machine {
 	m := machine.New(n, cost)
 	m.SetEngine(eng)
+	m.SetFaults(fp)
 	return m
 }
 
@@ -144,7 +151,7 @@ func ffthistRow(name string, n int, cfg Table1Config,
 	if dpCap > n {
 		dpCap = n
 	}
-	dp := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.DataParallel(dpCap))
+	dp := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, ffthist.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -153,7 +160,7 @@ func ffthistRow(name string, n int, cfg Table1Config,
 		return row
 	}
 	row.Best = choice.String()
-	task := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, ffthist.ChoiceToMapping(choice))
+	task := ffthist.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, ffthist.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }
@@ -180,7 +187,7 @@ func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if dpCap > appCfg.Rows {
 		dpCap = appCfg.Rows
 	}
-	dp := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, radar.DataParallel(dpCap))
+	dp := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, radar.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -189,7 +196,7 @@ func radarRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 		return row
 	}
 	row.Best = choice.String()
-	task := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, radar.ChoiceToMapping(choice))
+	task := radar.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, radar.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }
@@ -216,7 +223,7 @@ func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 	if dpCap > appCfg.H {
 		dpCap = appCfg.H
 	}
-	dp := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, stereo.DataParallel(dpCap))
+	dp := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, stereo.DataParallel(dpCap))
 	row.DPThroughput, row.DPLatency = dp.Stream.Throughput, dp.Stream.Latency
 	row.Goal = row.GoalRatio / model.DPT[cfg.Procs]
 	choice, err := mapping.Optimize(model, row.Goal)
@@ -225,7 +232,7 @@ func stereoRow(cfg Table1Config, cost sim.CostModel) Table1Row {
 		return row
 	}
 	row.Best = choice.String()
-	task := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine), appCfg, stereo.ChoiceToMapping(choice))
+	task := stereo.Run(newMachine(cfg.Procs, cost, cfg.Engine, cfg.Faults), appCfg, stereo.ChoiceToMapping(choice))
 	row.TaskThroughput, row.TaskLatency = task.Stream.Throughput, task.Stream.Latency
 	return row
 }

@@ -38,13 +38,25 @@ type Engine interface {
 	// one. p is the sending processor.
 	put(p *Proc, mb *mailbox, msg Message)
 
-	// get returns the next message from mb, blocking the calling processor
-	// until one is deposited. src is the sending processor id (used for
-	// diagnostics).
-	get(p *Proc, mb *mailbox, src int) Message
+	// wait blocks the calling processor p until mb holds a deposited
+	// message or the sending processor src has terminated. It returns true
+	// if a message is available (not consumed — the machine layer decides
+	// whether to take it) and false if src terminated with mb empty, in
+	// which case no message can ever arrive. Spurious true returns are
+	// allowed; callers loop.
+	wait(p *Proc, mb *mailbox, src int) bool
 
 	// tryGet returns the next message from mb if one is already deposited.
 	tryGet(p *Proc, mb *mailbox) (Message, bool)
+
+	// peek returns a copy of the next message without consuming it.
+	peek(p *Proc, mb *mailbox) (Message, bool)
+
+	// senderTerminated wakes every receiver blocked on a message from p,
+	// whose SPMD body has terminated (the machine marks termination before
+	// calling this). Woken receivers re-check and fail with
+	// DeadSenderError if their mailbox is empty.
+	senderTerminated(p *Proc)
 }
 
 // EngineNames lists the accepted -engine selector values.
@@ -53,21 +65,56 @@ func EngineNames() []string { return []string{"goroutine", "coop"} }
 // EngineByName resolves an -engine flag value: "goroutine" (or "") is the
 // preemptive goroutine-per-processor engine, "coop" the cooperative
 // run-queue engine on one host worker, and "coop:N" the cooperative engine
-// on N host workers.
+// on N host workers. A coop selector may carry a "+shuffle@SEED" suffix
+// ("coop+shuffle@7", "coop:4+shuffle@7"): same-clock ready-queue ties are
+// then broken by a seeded hash of the processor id instead of by id —
+// a deterministic schedule perturbation that flushes out order-dependent
+// bugs without changing any virtual-time result.
 func EngineByName(name string) (Engine, error) {
+	base, shuffled, seed, err := splitShuffle(name)
+	if err != nil {
+		return nil, err
+	}
 	switch {
-	case name == "" || name == "goroutine":
+	case base == "" || base == "goroutine":
+		if shuffled {
+			return nil, fmt.Errorf("machine: engine %q: +shuffle applies to coop engines only", name)
+		}
 		return Goroutine(), nil
-	case name == "coop":
+	case base == "coop":
+		if shuffled {
+			return CoopShuffled(1, seed), nil
+		}
 		return Coop(1), nil
-	case strings.HasPrefix(name, "coop:"):
-		w, err := strconv.Atoi(name[len("coop:"):])
+	case strings.HasPrefix(base, "coop:"):
+		w, err := strconv.Atoi(base[len("coop:"):])
 		if err != nil || w < 1 {
 			return nil, fmt.Errorf("machine: bad coop worker count in engine %q", name)
+		}
+		if shuffled {
+			return CoopShuffled(w, seed), nil
 		}
 		return Coop(w), nil
 	}
 	return nil, fmt.Errorf("machine: unknown engine %q (have: %s)", name, strings.Join(EngineNames(), ", "))
+}
+
+// splitShuffle strips an optional "+shuffle@SEED" suffix from an engine
+// selector.
+func splitShuffle(name string) (base string, shuffled bool, seed uint64, err error) {
+	base, spec, ok := strings.Cut(name, "+")
+	if !ok {
+		return name, false, 0, nil
+	}
+	sstr, found := strings.CutPrefix(spec, "shuffle@")
+	if !found {
+		return "", false, 0, fmt.Errorf("machine: bad engine modifier %q in %q (want +shuffle@SEED)", spec, name)
+	}
+	seed, perr := strconv.ParseUint(sstr, 10, 64)
+	if perr != nil {
+		return "", false, 0, fmt.Errorf("machine: bad shuffle seed in engine %q", name)
+	}
+	return base, true, seed, nil
 }
 
 // defaultEngine is the engine New installs. It honors the FXPAR_ENGINE

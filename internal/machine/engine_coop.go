@@ -31,6 +31,13 @@ import (
 // run with a panic naming the blocked (receiver, sender) pairs.
 type coopEngine struct {
 	workers int
+	// shuffled breaks same-clock ready-heap ties by a seeded hash of the
+	// processor id instead of by id: a deterministic schedule perturbation
+	// (selector suffix "+shuffle@SEED") used to flush out hidden
+	// host-order dependencies. Virtual-time results must be — and are
+	// asserted to be — identical either way.
+	shuffled    bool
+	shuffleSeed uint64
 }
 
 // Coop returns the cooperative run-queue engine with the given number of
@@ -45,11 +52,35 @@ func Coop(workers int) Engine {
 	return &coopEngine{workers: workers}
 }
 
-func (e *coopEngine) Name() string {
-	if e.workers == 1 {
-		return "coop"
+// CoopShuffled is Coop with seeded tie-breaking of same-clock ready
+// processors (the "coop:N+shuffle@SEED" selector).
+func CoopShuffled(workers int, seed uint64) Engine {
+	if workers < 1 {
+		workers = 1
 	}
-	return fmt.Sprintf("coop:%d", e.workers)
+	return &coopEngine{workers: workers, shuffled: true, shuffleSeed: seed}
+}
+
+func (e *coopEngine) Name() string {
+	name := "coop"
+	if e.workers != 1 {
+		name = fmt.Sprintf("coop:%d", e.workers)
+	}
+	if e.shuffled {
+		name = fmt.Sprintf("%s+shuffle@%d", name, e.shuffleSeed)
+	}
+	return name
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality bijection used
+// to derive the shuffle tie-break keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // coop mailboxes have no condvar: receivers park in the scheduler.
@@ -70,6 +101,9 @@ type coopProc struct {
 	heapIdx int
 	// blockedSrc is the peer a blocked receive waits on (-1 when running).
 	blockedSrc int
+	// tie breaks same-readyKey heap comparisons before the id does: 0
+	// normally (id order), a seeded hash of the id in shuffle mode.
+	tie uint64
 	// done marks a finished processor (written under run.mu).
 	done bool
 	// poison tells a parked processor to abort: the scheduler found the
@@ -129,6 +163,9 @@ func (e *coopEngine) run(m *Machine, procs []*Proc, body func(*Proc), panics []a
 		cp.wake = make(chan struct{}, 1)
 		cp.heapIdx = -1
 		cp.blockedSrc = -1
+		if e.shuffled {
+			cp.tie = mix64(e.shuffleSeed ^ uint64(i))
+		}
 		procs[i].cp = cp
 	}
 	var wg sync.WaitGroup
@@ -146,7 +183,7 @@ func (e *coopEngine) run(m *Machine, procs []*Proc, body func(*Proc), panics []a
 				}
 			}()
 			if cp.poison {
-				panic(r.deadlockMessage(cp))
+				panic(&DeadlockError{Proc: cp.p.id, Src: cp.blockedSrc, Blocked: r.blockedCount()})
 			}
 			body(cp.p)
 		}(&r.cps[i])
@@ -205,44 +242,53 @@ func (e *coopEngine) put(p *Proc, mb *mailbox, msg Message) {
 	}
 }
 
-func (e *coopEngine) get(p *Proc, mb *mailbox, src int) Message {
+// wait parks the caller until a message is deposited or the sender
+// terminates; it never consumes. The termination check happens under the
+// same mailbox critical section as the waiter registration, so it cannot
+// race the terminating sender's scan: the scan runs after the termination
+// flag is set, hence it either sees our registration or we saw the flag.
+func (e *coopEngine) wait(p *Proc, mb *mailbox, src int) bool {
 	cp := p.cp
 	if cp == nil {
 		// Proc driven outside Run (tests): only the already-deposited case
 		// can succeed, there is no scheduler to yield to.
 		if mb.head < len(mb.queue) {
-			return mb.take()
+			return true
 		}
 		panic(fmt.Sprintf("machine: processor %d blocking Recv from %d outside Run under the coop engine", p.id, src))
 	}
 	r := cp.run
-	for {
-		if r.lockMail {
-			mb.mu.Lock()
-		}
-		if mb.head < len(mb.queue) {
-			msg := mb.take()
-			if r.lockMail {
-				mb.mu.Unlock()
-			}
-			return msg
-		}
-		cp.blockedSrc = src
-		cp.readyKey = p.clock
-		mb.waiter = cp
+	if r.lockMail {
+		mb.mu.Lock()
+	}
+	if mb.head < len(mb.queue) {
 		if r.lockMail {
 			mb.mu.Unlock()
 		}
-		r.yield(cp)
-		<-cp.wake
-		if cp.poison {
-			panic(r.deadlockMessage(cp))
-		}
-		cp.blockedSrc = -1
-		// A wakeup means a deposit readied us, so the retry takes the
-		// message; the loop guards the (workers > 1) race where another
-		// code path could observe the queue first.
+		return true
 	}
+	if p.m.terminated(src) {
+		if r.lockMail {
+			mb.mu.Unlock()
+		}
+		return false
+	}
+	cp.blockedSrc = src
+	cp.readyKey = p.clock
+	mb.waiter = cp
+	if r.lockMail {
+		mb.mu.Unlock()
+	}
+	r.yield(cp)
+	<-cp.wake
+	if cp.poison {
+		panic(&DeadlockError{Proc: cp.p.id, Src: cp.blockedSrc, Blocked: r.blockedCount()})
+	}
+	cp.blockedSrc = -1
+	// A wakeup means a deposit — or the sender's termination — readied us;
+	// the caller re-checks the queue (and calls wait again, which then
+	// reports the termination).
+	return true
 }
 
 func (e *coopEngine) tryGet(p *Proc, mb *mailbox) (Message, bool) {
@@ -255,6 +301,50 @@ func (e *coopEngine) tryGet(p *Proc, mb *mailbox) (Message, bool) {
 		return Message{}, false
 	}
 	return mb.take(), true
+}
+
+func (e *coopEngine) peek(p *Proc, mb *mailbox) (Message, bool) {
+	lock := p.cp != nil && p.cp.run.lockMail
+	if lock {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+	}
+	if mb.head == len(mb.queue) {
+		return Message{}, false
+	}
+	return mb.queue[mb.head], true
+}
+
+// senderTerminated readies every receiver parked on a mailbox sourced at p.
+// Called from p's goroutine after the termination flag is set and before
+// the scheduler's finish step, so the woken waiters reach the ready heap
+// ahead of the all-blocked (deadlock) check that finish may run.
+func (e *coopEngine) senderTerminated(p *Proc) {
+	cp := p.cp
+	if cp == nil {
+		return
+	}
+	r := cp.run
+	m, src := p.m, p.id
+	for dst := 0; dst < m.n; dst++ {
+		mb := m.mail[dst*m.n+src].Load()
+		if mb == nil {
+			continue
+		}
+		if r.lockMail {
+			mb.mu.Lock()
+		}
+		waiter := mb.waiter
+		mb.waiter = nil
+		if r.lockMail {
+			mb.mu.Unlock()
+		}
+		if waiter != nil {
+			// The waiter resumes at its own clock: nothing arrived, it will
+			// observe the termination and fail or time out.
+			r.readyProc(waiter)
+		}
+	}
 }
 
 // yield releases the caller's worker slot: hand it to the lowest-clock ready
@@ -337,8 +427,9 @@ func (r *coopRun) poisonAllLocked() *coopProc {
 	return next
 }
 
-// deadlockMessage describes the all-blocked state from cp's point of view.
-func (r *coopRun) deadlockMessage(cp *coopProc) string {
+// blockedCount reports how many processors had not finished when the
+// deadlock verdict was reached (for the DeadlockError diagnostic).
+func (r *coopRun) blockedCount() int {
 	r.lock()
 	blocked := 0
 	for i := range r.cps {
@@ -347,15 +438,17 @@ func (r *coopRun) deadlockMessage(cp *coopProc) string {
 		}
 	}
 	r.unlock()
-	return fmt.Sprintf("machine: deadlock: processor %d blocked on receive from %d with no runnable sender (%d processor(s) blocked)",
-		cp.p.id, cp.blockedSrc, blocked)
+	return blocked
 }
 
-// --- ready heap: min-heap by (readyKey, id) -------------------------------
+// --- ready heap: min-heap by (readyKey, tie, id) ---------------------------
 
 func coopLess(a, b *coopProc) bool {
 	if a.readyKey != b.readyKey {
 		return a.readyKey < b.readyKey
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
 	}
 	return a.p.id < b.p.id
 }

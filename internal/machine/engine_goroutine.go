@@ -32,14 +32,14 @@ func (goroutineEngine) put(_ *Proc, mb *mailbox, msg Message) {
 	mb.cond.Signal()
 }
 
-func (goroutineEngine) get(_ *Proc, mb *mailbox, _ int) Message {
+func (goroutineEngine) wait(p *Proc, mb *mailbox, src int) bool {
 	mb.mu.Lock()
-	for mb.head == len(mb.queue) {
+	for mb.head == len(mb.queue) && !p.m.terminated(src) {
 		mb.cond.Wait()
 	}
-	m := mb.take()
+	avail := mb.head < len(mb.queue)
 	mb.mu.Unlock()
-	return m
+	return avail
 }
 
 func (goroutineEngine) tryGet(_ *Proc, mb *mailbox) (Message, bool) {
@@ -49,6 +49,34 @@ func (goroutineEngine) tryGet(_ *Proc, mb *mailbox) (Message, bool) {
 		return Message{}, false
 	}
 	return mb.take(), true
+}
+
+func (goroutineEngine) peek(_ *Proc, mb *mailbox) (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.head == len(mb.queue) {
+		return Message{}, false
+	}
+	return mb.queue[mb.head], true
+}
+
+// senderTerminated broadcasts on every existing mailbox sourced at p: a
+// receiver parked in wait re-checks and sees the termination flag.
+// Broadcasting under the mailbox mutex orders the wakeup against a receiver
+// that checked the flag just before it was set — by the time we hold the
+// mutex, that receiver has either parked in cond.Wait (and gets the
+// Broadcast) or not yet entered its check (and will see the flag).
+func (goroutineEngine) senderTerminated(p *Proc) {
+	m, src := p.m, p.id
+	for dst := 0; dst < m.n; dst++ {
+		mb := m.mail[dst*m.n+src].Load()
+		if mb == nil {
+			continue
+		}
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
 }
 
 func (goroutineEngine) run(_ *Machine, procs []*Proc, body func(*Proc), panics []any) {

@@ -157,27 +157,44 @@ func TestCoopDetectsDeadlock(t *testing.T) {
 	}
 }
 
-// TestCoopPartialDeadlock: the deadlock is reported even when some
-// processors finish normally first.
-func TestCoopPartialDeadlock(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("deadlocked run returned without panicking")
-		}
-		msg := fmt.Sprint(r)
-		if !strings.Contains(msg, "deadlock") {
-			t.Fatalf("panic = %q, want deadlock diagnostic", msg)
-		}
-	}()
-	m := New(4, testCost())
-	m.SetEngine(Coop(1))
-	m.Run(func(p *Proc) {
-		if p.ID() < 2 {
-			return // finish immediately
-		}
-		p.Recv(0) // 0 has already exited: wait can never be satisfied
-	})
+// TestRecvFromExitedProcFails: a receive from a processor that exited
+// without sending is a dead-sender failure on every engine — it used to
+// hang the goroutine engine forever and trip the coop engine's deadlock
+// detector; now both report the root cause.
+func TestRecvFromExitedProcFails(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("run with an unsatisfiable receive returned without panicking")
+				}
+				re, ok := r.(*RunError)
+				if !ok {
+					t.Fatalf("panic value %T, want *RunError", r)
+				}
+				root := re.Root()
+				ds, ok := root.Value.(*DeadSenderError)
+				if !ok {
+					t.Fatalf("root cause %T (%v), want *DeadSenderError", root.Value, root.Value)
+				}
+				if ds.Src != 0 || ds.SrcPanicked {
+					t.Fatalf("DeadSenderError = %+v, want clean exit of processor 0", ds)
+				}
+				if !strings.Contains(re.Error(), "blocked on receive from 0") {
+					t.Fatalf("error %q missing diagnostic", re.Error())
+				}
+			}()
+			m := New(4, testCost())
+			m.SetEngine(e)
+			m.Run(func(p *Proc) {
+				if p.ID() < 2 {
+					return // finish immediately
+				}
+				p.Recv(0) // 0 has already exited: wait can never be satisfied
+			})
+		})
+	}
 }
 
 // TestCoopBlockedRecvOutsideRunPanics: a standalone Proc (constructed by

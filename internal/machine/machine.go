@@ -36,6 +36,10 @@ type Message struct {
 	// ArriveAt is the virtual time at which the message is available at the
 	// receiver.
 	ArriveAt float64
+	// Dup marks a transport-level duplicate injected by a fault plan. The
+	// receive path discards duplicates (recording an EvFault marker) instead
+	// of delivering them to the application.
+	Dup bool
 }
 
 // mailbox is an unbounded FIFO queue for one ordered (src,dst) pair. The
@@ -51,6 +55,11 @@ type mailbox struct {
 	queue  []Message
 	head   int
 	waiter *coopProc
+	// sendSeq counts messages sent through this pair, in sender program
+	// order. Written only by the sending processor's goroutine, and only
+	// while a fault plan is installed: it is the deterministic per-pair
+	// counter fault decisions are keyed on.
+	sendSeq int64
 }
 
 // take removes and returns the head message. Callers have exclusive access
@@ -68,8 +77,19 @@ func (mb *mailbox) take() Message {
 }
 
 // pending returns the number of unconsumed messages. Only valid when no
-// processor goroutines are running (used by Run's exit check).
-func (mb *mailbox) pending() int { return len(mb.queue) - mb.head }
+// processor goroutines are running (used by Run's exit check). Transport
+// duplicates injected by a fault plan are excluded: a receiver consumes a
+// pair's real traffic without necessarily touching trailing duplicates, and
+// leftovers of the transport layer are not a protocol bug.
+func (mb *mailbox) pending() int {
+	n := 0
+	for i := mb.head; i < len(mb.queue); i++ {
+		if !mb.queue[i].Dup {
+			n++
+		}
+	}
+	return n
+}
 
 // EventKind classifies a traced virtual-time interval.
 type EventKind uint8
@@ -95,6 +115,17 @@ const (
 	// with a simple stack walk over the per-processor event sequence.
 	EvSpanBegin
 	EvSpanEnd
+	// EvFault is a zero-duration marker recording an injected perturbation;
+	// Label names it (FaultDelay, FaultDup, FaultDupDrop, FaultSlow,
+	// FaultDeath) and Peer carries the other processor where one applies.
+	EvFault
+	// EvTimeout is the interval a receiver spent waiting before giving up at
+	// its virtual deadline (RecvTimeout); Peer is the awaited sender.
+	EvTimeout
+	// EvRetry is a zero-duration marker for one retransmission or retry
+	// attempt toward Peer: transport-level resends on the send path, or a
+	// comm-layer retry after a timed-out receive.
+	EvRetry
 )
 
 func (k EventKind) String() string {
@@ -113,6 +144,12 @@ func (k EventKind) String() string {
 		return "span-begin"
 	case EvSpanEnd:
 		return "span-end"
+	case EvFault:
+		return "fault"
+	case EvTimeout:
+		return "timeout"
+	case EvRetry:
+		return "retry"
 	}
 	return "?"
 }
@@ -168,6 +205,7 @@ type Machine struct {
 	cost   sim.CostModel
 	tracer Tracer
 	eng    Engine
+	faults FaultPlan
 	// hops returns the network distance between two physical processors;
 	// nil models a flat (distance-free) network.
 	hops func(a, b int) int
@@ -176,6 +214,11 @@ type Machine struct {
 	// n^2 ordered pairs, but real programs use a tiny fraction of them, and
 	// eager allocation made New(1024, ...) materialize ~1M mailboxes.
 	mail []atomic.Pointer[mailbox]
+	// term[i]/termAt[i] record whether and when processor i's SPMD body
+	// terminated in the current Run, so a receiver blocked on it can fail
+	// with DeadSenderError instead of waiting forever.
+	term   []atomic.Uint32
+	termAt []float64
 }
 
 // mailboxFor returns the FIFO from src to dst, creating it on first use.
@@ -232,7 +275,12 @@ func New(n int, cost sim.CostModel) *Machine {
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{n: n, cost: cost, eng: defaultEngine, mail: make([]atomic.Pointer[mailbox], n*n)}
+	return &Machine{
+		n: n, cost: cost, eng: defaultEngine,
+		mail:   make([]atomic.Pointer[mailbox], n*n),
+		term:   make([]atomic.Uint32, n),
+		termAt: make([]float64, n),
+	}
 }
 
 // NewMesh creates a machine whose cols*rows processors are arranged in a 2D
@@ -287,6 +335,11 @@ type Proc struct {
 	// untraced hot path stays allocation-free.
 	seq   int64
 	spans []string
+	// slow (> 1) multiplies all local time, and deathAt (> 0) is the virtual
+	// time this processor fails. Both are set by Run from the fault plan and
+	// stay zero — inert single-compare guards — on healthy machines.
+	slow    float64
+	deathAt float64
 }
 
 // ID returns the physical processor id in [0, N).
@@ -321,6 +374,52 @@ func (p *Proc) trace(kind EventKind, start, end float64) {
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: start, End: end, Seq: p.seq, Peer: -1})
 	}
+}
+
+// marker records a zero-duration event (EvFault, EvRetry) at the current
+// clock if a tracer is installed.
+func (p *Proc) marker(kind EventKind, peer, bytes int, label string) {
+	if p.m.tracer != nil {
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock,
+			Seq: p.seq, Peer: peer, Bytes: bytes, Label: label})
+	}
+}
+
+// scale applies the processor's fault-plan slowdown to a local duration.
+// Healthy processors have slow == 0 and pay a single compare.
+func (p *Proc) scale(t float64) float64 {
+	if p.slow > 1 {
+		return t * p.slow
+	}
+	return t
+}
+
+// checkAlive kills the processor if its clock has reached the fault plan's
+// death time. It is called at the start of every operation, so a processor
+// dies at the first operation boundary at or after deathAt; healthy
+// processors (deathAt == 0) pay a single compare.
+func (p *Proc) checkAlive() {
+	if p.deathAt > 0 && p.clock >= p.deathAt {
+		p.die()
+	}
+}
+
+// die records the death marker and unwinds the processor with a typed
+// panic. The panic is captured by the engine and surfaced through Run's
+// *RunError; every processor blocked on this one fails with
+// *DeadSenderError in turn, so the failure cascades instead of hanging.
+func (p *Proc) die() {
+	p.deathAt = 0 // the death marker and panic fire once
+	p.marker(EvFault, -1, 0, FaultDeath)
+	panic(&ProcDeathError{Proc: p.id, At: p.clock})
+}
+
+// MarkRetry records an EvRetry marker: retry machinery in higher layers
+// (comm's timeout-aware collectives) uses it to make attempt boundaries
+// visible in traces. Free when untraced.
+func (p *Proc) MarkRetry(peer, bytes int) {
+	p.marker(EvRetry, peer, bytes, "")
 }
 
 // BeginSpan opens a named span on this processor's timeline; it must be
@@ -360,7 +459,8 @@ func (p *Proc) SpanDepth() int { return len(p.spans) }
 // Compute advances the clock by the time to execute flops floating point
 // operations.
 func (p *Proc) Compute(flops float64) {
-	t := p.m.cost.FlopTime(flops)
+	p.checkAlive()
+	t := p.scale(p.m.cost.FlopTime(flops))
 	p.trace(EvCompute, p.clock, p.clock+t)
 	p.clock += t
 	p.busy += t
@@ -373,6 +473,8 @@ func (p *Proc) Elapse(seconds float64) {
 	if seconds < 0 {
 		panic("machine: Elapse with negative duration")
 	}
+	p.checkAlive()
+	seconds = p.scale(seconds)
 	p.trace(EvCompute, p.clock, p.clock+seconds)
 	p.clock += seconds
 	p.busy += seconds
@@ -380,7 +482,8 @@ func (p *Proc) Elapse(seconds float64) {
 
 // CopyBytes charges the local-memory copy cost for n bytes.
 func (p *Proc) CopyBytes(n int) {
-	t := p.m.cost.CopyTime(n)
+	p.checkAlive()
+	t := p.scale(p.m.cost.CopyTime(n))
 	p.trace(EvCompute, p.clock, p.clock+t)
 	p.clock += t
 	p.busy += t
@@ -391,7 +494,8 @@ func (p *Proc) CopyBytes(n int) {
 // the program structure (the paper designates I/O processors), not of this
 // call.
 func (p *Proc) IO(n int) {
-	t := p.m.cost.IOTime(n)
+	p.checkAlive()
+	t := p.scale(p.m.cost.IOTime(n))
 	if p.m.tracer != nil && t > 0 {
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: EvIO, Start: p.clock, End: p.clock + t,
@@ -407,18 +511,34 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 	if dst < 0 || dst >= p.m.n {
 		panic(fmt.Sprintf("machine: Send to invalid processor %d (machine has %d)", dst, p.m.n))
 	}
+	p.checkAlive()
+	overhead := p.scale(p.m.cost.SendOverhead)
 	if p.m.tracer != nil {
 		// Recorded even when SendOverhead is zero: trace analysis matches
 		// send events to recv markers to reconstruct dependency edges.
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
-			End: p.clock + p.m.cost.SendOverhead, Seq: p.seq, Peer: dst, Bytes: bytes})
+			End: p.clock + overhead, Seq: p.seq, Peer: dst, Bytes: bytes})
 	}
-	p.clock += p.m.cost.SendOverhead
-	p.busy += p.m.cost.SendOverhead
+	p.clock += overhead
+	p.busy += overhead
 	wire := p.m.cost.WireTime(bytes)
 	if p.m.hops != nil {
 		wire += float64(p.m.hops(p.id, dst)) * p.m.cost.PerHop
+	}
+	mb := p.m.mailboxFor(dst, p.id)
+	var mf MessageFault
+	if p.m.faults != nil {
+		seq := mb.sendSeq
+		mb.sendSeq++
+		mf = p.m.faults.MessageFault(p.id, dst, seq)
+		for k := 0; k < mf.Retries; k++ {
+			p.marker(EvRetry, dst, bytes, "")
+		}
+		if mf.Delay > 0 {
+			p.marker(EvFault, dst, bytes, FaultDelay)
+			wire += mf.Delay
+		}
 	}
 	msg := Message{
 		Src:      p.id,
@@ -426,33 +546,73 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 		Bytes:    bytes,
 		ArriveAt: p.clock + wire,
 	}
-	p.m.eng.put(p, p.m.mailboxFor(dst, p.id), msg)
+	p.m.eng.put(p, mb, msg)
+	if mf.Duplicate {
+		p.marker(EvFault, dst, bytes, FaultDup)
+		dup := msg
+		dup.Dup = true
+		p.m.eng.put(p, mb, dup)
+	}
 	p.sent++
 	p.bytes += int64(bytes)
 }
 
 // Recv blocks until the next message from src is available, advances the
-// clock to its arrival time, and returns it.
+// clock to its arrival time, and returns it. If src's SPMD body terminates
+// — by death, panic, or normal return — with nothing deposited, Recv panics
+// with *DeadSenderError instead of waiting forever, so failures cascade and
+// the run unwinds.
 func (p *Proc) Recv(src int) Message {
 	if src < 0 || src >= p.m.n {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d (machine has %d)", src, p.m.n))
 	}
+	p.checkAlive()
 	mb := p.m.mailboxFor(p.id, src)
-	var msg Message
+	for {
+		msg, ok := p.waitMsg(mb, src)
+		if !ok {
+			fate, exitAt := p.m.senderFate(src)
+			panic(&DeadSenderError{Proc: p.id, Src: src, At: p.clock,
+				SrcPanicked: fate == termPanicked, SrcExitAt: exitAt})
+		}
+		if msg.Dup {
+			p.dropDup(src, msg)
+			continue
+		}
+		p.finishRecv(src, msg)
+		return msg
+	}
+}
+
+// waitMsg blocks until a message from src is consumed from mb or src's
+// termination proves none is coming (ok == false). The separation between
+// the engine's wait (block until deposit or termination, don't consume) and
+// tryGet (consume) is safe because each mailbox has a single consumer.
+func (p *Proc) waitMsg(mb *mailbox, src int) (Message, bool) {
+	if msg, ok := p.m.eng.tryGet(p, mb); ok {
+		return msg, true
+	}
 	if bt, ok := p.m.tracer.(BlockTracer); ok {
 		// Flight-recorder path: announce the block before suspending, so a
 		// receive that never completes still leaves a trace of what the
 		// processor was waiting for.
-		var have bool
-		if msg, have = p.m.eng.tryGet(p, mb); !have {
-			bt.RecordBlocked(p.id, src, p.clock)
-			msg = p.m.eng.get(p, mb, src)
-		}
-	} else {
-		msg = p.m.eng.get(p, mb, src)
+		bt.RecordBlocked(p.id, src, p.clock)
 	}
-	p.finishRecv(src, msg)
-	return msg
+	for {
+		if !p.m.eng.wait(p, mb, src) {
+			return Message{}, false
+		}
+		if msg, ok := p.m.eng.tryGet(p, mb); ok {
+			return msg, true
+		}
+	}
+}
+
+// dropDup discards a transport-level duplicate at the receive path,
+// recording the detection. Duplicates cost the receiver no virtual time:
+// the filtering happens below the application's cost model.
+func (p *Proc) dropDup(src int, msg Message) {
+	p.marker(EvFault, src, msg.Bytes, FaultDupDrop)
 }
 
 // TryRecv receives a message from src if one has already been deposited.
@@ -460,12 +620,102 @@ func (p *Proc) Recv(src int) Message {
 // bookkeeping as Recv, so traced programs using it still emit the
 // EvWait/EvRecv markers trace analysis matches against EvSend events.
 func (p *Proc) TryRecv(src int) (Message, bool) {
-	msg, ok := p.m.eng.tryGet(p, p.m.mailboxFor(p.id, src))
-	if !ok {
-		return Message{}, false
+	p.checkAlive()
+	mb := p.m.mailboxFor(p.id, src)
+	for {
+		msg, ok := p.m.eng.tryGet(p, mb)
+		if !ok {
+			return Message{}, false
+		}
+		if msg.Dup {
+			p.dropDup(src, msg)
+			continue
+		}
+		p.finishRecv(src, msg)
+		return msg, true
 	}
-	p.finishRecv(src, msg)
-	return msg, true
+}
+
+// RecvOutcome reports how a RecvTimeout completed.
+type RecvOutcome int
+
+const (
+	// RecvOK: a message arrived by the deadline and was consumed.
+	RecvOK RecvOutcome = iota
+	// RecvTimedOut: the next message arrives after the deadline (it stays
+	// queued for a later receive); the clock advanced to the deadline.
+	RecvTimedOut
+	// RecvSenderDead: the sender terminated with nothing deposited; the
+	// clock advanced to the deadline.
+	RecvSenderDead
+)
+
+func (o RecvOutcome) String() string {
+	switch o {
+	case RecvOK:
+		return "ok"
+	case RecvTimedOut:
+		return "timed-out"
+	case RecvSenderDead:
+		return "sender-dead"
+	}
+	return "?"
+}
+
+// RecvTimeout is Recv with a virtual-time deadline of Now() + timeout. The
+// decision is made purely in virtual time, so it is deterministic and
+// engine-independent: the receiver suspends on the host until the next
+// message is deposited or the sender terminates (the only ways to learn the
+// virtual truth), then either consumes the message (ArriveAt <= deadline,
+// RecvOK), leaves it queued and advances the clock to the deadline
+// (RecvTimedOut), or reports the sender gone (RecvSenderDead). A timed-out
+// or dead-sender receive records an EvTimeout interval. Note the host-level
+// blocking means RecvTimeout detects virtual lateness and death — it does
+// not bound host time if the sender neither deposits nor terminates.
+func (p *Proc) RecvTimeout(src int, timeout float64) (Message, RecvOutcome) {
+	if src < 0 || src >= p.m.n {
+		panic(fmt.Sprintf("machine: RecvTimeout from invalid processor %d (machine has %d)", src, p.m.n))
+	}
+	if timeout < 0 {
+		panic("machine: RecvTimeout with negative timeout")
+	}
+	p.checkAlive()
+	deadline := p.clock + timeout
+	mb := p.m.mailboxFor(p.id, src)
+	for {
+		if msg, ok := p.m.eng.peek(p, mb); ok {
+			if msg.Dup {
+				p.m.eng.tryGet(p, mb)
+				p.dropDup(src, msg)
+				continue
+			}
+			if msg.ArriveAt > deadline {
+				p.timeoutAdvance(src, deadline)
+				return Message{}, RecvTimedOut
+			}
+			msg, _ = p.m.eng.tryGet(p, mb)
+			p.finishRecv(src, msg)
+			return msg, RecvOK
+		}
+		if !p.m.eng.wait(p, mb, src) {
+			p.timeoutAdvance(src, deadline)
+			return Message{}, RecvSenderDead
+		}
+	}
+}
+
+// timeoutAdvance charges the wait-until-deadline of a receive that gave up:
+// an EvTimeout interval and idle time up to the virtual deadline.
+func (p *Proc) timeoutAdvance(src int, deadline float64) {
+	if p.m.tracer != nil && deadline > p.clock {
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvTimeout, Start: p.clock,
+			End: deadline, Seq: p.seq, Peer: src})
+	}
+	if deadline > p.clock {
+		p.idle += deadline - p.clock
+		p.clock = deadline
+	}
 }
 
 // finishRecv is the post-receive bookkeeping shared by Recv and TryRecv:
@@ -529,24 +779,63 @@ func (s RunStats) TotalBusy() float64 {
 // receiving its own Proc. It returns per-processor statistics after all
 // processors finish. A Machine may be Run only once; mailboxes must be empty
 // at exit (leftover messages indicate a protocol bug and cause a panic
-// naming every undrained sender→receiver pair).
+// naming every undrained sender→receiver pair). If any processor panics —
+// an application bug, a fault-plan death, or the resulting cascade of
+// dead-sender failures — Run panics with a *RunError aggregating every
+// processor's panic and naming the root cause.
 func (m *Machine) Run(fn func(*Proc)) RunStats {
 	procs := make([]*Proc, m.n)
 	panics := make([]any, m.n)
 	for i := 0; i < m.n; i++ {
 		procs[i] = &Proc{m: m, id: i}
 	}
+	if m.faults != nil {
+		for i, p := range procs {
+			if s := m.faults.SlowFactor(i); s > 1 {
+				p.slow = s
+			}
+			if t, ok := m.faults.DeathTime(i); ok && t > 0 {
+				p.deathAt = t
+			}
+		}
+	}
 	m.eng.run(m, procs, func(p *Proc) {
+		// Mark termination — and wake every receiver blocked on this
+		// processor — whether the body returns or panics; the re-panic
+		// preserves the engine's per-processor capture. The ordering
+		// matters under the coop engine: waiters must reach the ready
+		// queue before the scheduler's finish step runs its all-blocked
+		// (deadlock) check.
+		defer func() {
+			r := recover()
+			m.termAt[p.id] = p.clock
+			if r != nil {
+				m.term[p.id].Store(termPanicked)
+			} else {
+				m.term[p.id].Store(termExited)
+			}
+			m.eng.senderTerminated(p)
+			if r != nil {
+				panic(r)
+			}
+		}()
+		if p.slow > 1 {
+			p.marker(EvFault, -1, 0, FaultSlow)
+		}
 		fn(p)
 		if len(p.spans) != 0 {
 			panic(fmt.Sprintf("machine: processor %d finished with %d unclosed span(s), innermost %q",
 				p.id, len(p.spans), p.spans[len(p.spans)-1]))
 		}
 	}, panics)
+	var failed []ProcPanic
 	for id, r := range panics {
 		if r != nil {
-			panic(fmt.Sprintf("machine: processor %d panicked: %v", id, r))
+			failed = append(failed, ProcPanic{Proc: id, Value: r})
 		}
+	}
+	if failed != nil {
+		panic(&RunError{Panics: failed})
 	}
 	if msg := m.drainReport(); msg != "" {
 		panic(msg)

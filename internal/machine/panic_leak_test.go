@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// ringPanicRun executes the P=64 ring scenario in which processor 17
+// panics with an application bug before sending, and returns the recovered
+// *RunError. Every other processor sends to its successor and then receives
+// from its predecessor, so exactly one receiver (18) is starved — the
+// cascade must stop there, not unwind the whole ring.
+func ringPanicRun(t *testing.T, e Engine) (re *RunError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: run with a panicking processor returned normally", e.Name())
+		}
+		var ok bool
+		if re, ok = r.(*RunError); !ok {
+			t.Fatalf("%s: panic value %T (%v), want *RunError", e.Name(), r, r)
+		}
+	}()
+	const procs = 64
+	m := New(procs, testCost())
+	m.SetEngine(e)
+	m.Run(func(p *Proc) {
+		if p.ID() == 17 {
+			panic("app bug: injected")
+		}
+		p.Send((p.ID()+1)%procs, p.ID(), 8)
+		p.Recv((p.ID() + procs - 1) % procs)
+	})
+	return re
+}
+
+// TestRingPanicPropagation: an application panic on one processor must
+// surface as a RunError whose root cause is that panic, with exactly the
+// starved neighbour joining as a dead-sender cascade — identically on every
+// engine, and without leaking the goroutine engine's worker goroutines.
+func TestRingPanicPropagation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	var first []ProcPanic
+	for _, e := range engines() {
+		re := ringPanicRun(t, e)
+
+		root := re.Root()
+		if root.Proc != 17 || root.Value != "app bug: injected" {
+			t.Fatalf("%s: root = proc %d value %v, want proc 17 app bug", e.Name(), root.Proc, root.Value)
+		}
+		if len(re.Panics) != 2 {
+			t.Fatalf("%s: %d processor panics %v, want exactly 2 (victim + starved receiver)",
+				e.Name(), len(re.Panics), re.Panics)
+		}
+		var cascade *ProcPanic
+		for i := range re.Panics {
+			if re.Panics[i].Proc != 17 {
+				cascade = &re.Panics[i]
+			}
+		}
+		if cascade == nil || cascade.Proc != 18 {
+			t.Fatalf("%s: cascade panics = %v, want processor 18", e.Name(), re.Panics)
+		}
+		ds, ok := cascade.Value.(*DeadSenderError)
+		if !ok {
+			t.Fatalf("%s: processor 18 panic %T (%v), want *DeadSenderError", e.Name(), cascade.Value, cascade.Value)
+		}
+		if ds.Proc != 18 || ds.Src != 17 || !ds.SrcPanicked {
+			t.Fatalf("%s: DeadSenderError = %+v, want receiver 18 starved by panicked 17", e.Name(), ds)
+		}
+
+		if first == nil {
+			first = re.Panics
+		} else if !reflect.DeepEqual(re.Panics, first) {
+			t.Fatalf("%s: panic set %v diverges from first engine's %v", e.Name(), re.Panics, first)
+		}
+	}
+
+	// The panic path must still tear down every per-processor goroutine: a
+	// failed run that leaks workers poisons every later run in the process.
+	// Goroutine counts are noisy, so poll with a settle loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after panicking runs: %d goroutines, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

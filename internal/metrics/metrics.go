@@ -102,6 +102,13 @@ type OpMetrics struct {
 	BytesSent  int64 `json:"bytesSent"`
 	MsgsRecvd  int64 `json:"msgsRecvd"`
 	BytesRecvd int64 `json:"bytesRecvd"`
+	// Faults, Timeouts, Retries count chaos markers attributed to the
+	// operation (fault-plan perturbations, timed-out receive windows, and
+	// retry attempts). omitempty keeps healthy snapshots byte-identical to
+	// pre-chaos baselines; EvTimeout durations also accrue into Wait.
+	Faults   int64 `json:"faults,omitempty"`
+	Timeouts int64 `json:"timeouts,omitempty"`
+	Retries  int64 `json:"retries,omitempty"`
 	// Dur is the histogram of individual span durations.
 	Dur Histogram `json:"dur"`
 }
@@ -118,6 +125,11 @@ type Totals struct {
 	Msgs      int64   `json:"msgs"`
 	Bytes     int64   `json:"bytes"`
 	SpanKinds int     `json:"spanKinds"`
+	// Chaos totals (see OpMetrics); zero — and absent from JSON — on
+	// healthy runs.
+	Faults   int64 `json:"faults,omitempty"`
+	Timeouts int64 `json:"timeouts,omitempty"`
+	Retries  int64 `json:"retries,omitempty"`
 }
 
 // Registry accumulates per-(group, operation) metrics. The zero value is

@@ -115,6 +115,19 @@ func (st *procState) feed(e machine.Event) {
 		case machine.EvIO:
 			m.IO += d
 			st.totals.IO += d
+		case machine.EvFault:
+			m.Faults++
+			st.totals.Faults++
+		case machine.EvTimeout:
+			// A timed-out receive window is wait time that bought nothing;
+			// it accrues into Wait and is counted separately.
+			m.Timeouts++
+			m.Wait += d
+			st.totals.Timeouts++
+			st.totals.Wait += d
+		case machine.EvRetry:
+			m.Retries++
+			st.totals.Retries++
 		}
 	}
 }
@@ -144,6 +157,9 @@ func mergeInto(out *Registry, st *procState) {
 		dst.BytesSent += m.BytesSent
 		dst.MsgsRecvd += m.MsgsRecvd
 		dst.BytesRecvd += m.BytesRecvd
+		dst.Faults += m.Faults
+		dst.Timeouts += m.Timeouts
+		dst.Retries += m.Retries
 		for i := range dst.Dur.Buckets {
 			dst.Dur.Buckets[i] += m.Dur.Buckets[i]
 		}
@@ -154,6 +170,9 @@ func mergeInto(out *Registry, st *procState) {
 	out.totals.IO += st.totals.IO
 	out.totals.Msgs += st.totals.Msgs
 	out.totals.Bytes += st.totals.Bytes
+	out.totals.Faults += st.totals.Faults
+	out.totals.Timeouts += st.totals.Timeouts
+	out.totals.Retries += st.totals.Retries
 	out.totals.Events += st.events
 	out.totals.Procs++
 	if st.makespan > out.totals.Makespan {

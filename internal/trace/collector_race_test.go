@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"fxpar/internal/machine"
+)
+
+// TestCollectorCacheNeverStale: the sorted Events() view must reflect every
+// Record that returned before the call — a strictly alternating
+// record/read sequence is the cheapest way for a stale cache to show.
+func TestCollectorCacheNeverStale(t *testing.T) {
+	var c Collector
+	for i := 0; i < 200; i++ {
+		c.Record(machine.Event{Proc: i % 5, Kind: machine.EvCompute,
+			Seq: int64(i), Start: float64(i), End: float64(i)})
+		if got := len(c.Events()); got != i+1 {
+			t.Fatalf("after %d records Events() has %d events", i+1, got)
+		}
+	}
+}
+
+// TestCollectorRecordEventsInterleaved hammers Record from many goroutines
+// while another goroutine repeatedly calls Events(). Under -race this pins
+// the collector's locking discipline; the assertions pin that every
+// mid-run view is sorted and that the final view holds every event exactly
+// once (the cached view must be invalidated by concurrent records).
+func TestCollectorRecordEventsInterleaved(t *testing.T) {
+	var c Collector
+	const writers = 8
+	const perWriter = 400
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			evs := c.Events()
+			for i := 1; i < len(evs); i++ {
+				prev, cur := evs[i-1], evs[i]
+				if cur.Proc < prev.Proc || (cur.Proc == prev.Proc && cur.Seq < prev.Seq) {
+					t.Errorf("Events() view not sorted at index %d: %+v after %+v", i, cur, prev)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 1; i <= perWriter; i++ {
+				c.Record(machine.Event{Proc: w, Kind: machine.EvCompute,
+					Seq: int64(i), Start: float64(i), End: float64(i)})
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	evs := c.Events()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("final Events() has %d events, want %d", len(evs), writers*perWriter)
+	}
+	next := make([]int64, writers) // per-writer expected next Seq - 1
+	for _, e := range evs {
+		if e.Seq != next[e.Proc]+1 {
+			t.Fatalf("proc %d: seq %d after %d — events lost or duplicated", e.Proc, e.Seq, next[e.Proc])
+		}
+		next[e.Proc] = e.Seq
+	}
+}

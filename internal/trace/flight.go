@@ -162,6 +162,12 @@ func (f *FlightRecorder) WriteText(w io.Writer, lastN int) {
 				fmt.Fprintf(w, " begin(%s)@%.6f", e.Label, e.Start)
 			case e.Kind == machine.EvSpanEnd:
 				fmt.Fprintf(w, " end(%s)@%.6f", e.Label, e.Start)
+			case e.Kind == machine.EvFault:
+				fmt.Fprintf(w, " fault(%s)@%.6f", e.Label, e.Start)
+			case e.Kind == machine.EvTimeout:
+				fmt.Fprintf(w, " timeout<-%d[%.6f,%.6f]", e.Peer, e.Start, e.End)
+			case e.Kind == machine.EvRetry:
+				fmt.Fprintf(w, " retry<-%d@%.6f", e.Peer, e.Start)
 			default:
 				fmt.Fprintf(w, " %s[%.6f,%.6f]", e.Kind, e.Start, e.End)
 			}

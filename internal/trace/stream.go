@@ -79,7 +79,7 @@ func (s *UtilSink) Record(e machine.Event) {
 		c.u.Compute += d
 	case machine.EvSend:
 		c.u.Send += d
-	case machine.EvWait:
+	case machine.EvWait, machine.EvTimeout:
 		c.u.Wait += d
 	case machine.EvIO:
 		c.u.IO += d

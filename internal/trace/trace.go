@@ -181,6 +181,12 @@ func glyph(k machine.EventKind) byte {
 		return 'I'
 	case machine.EvRecv:
 		return 'r'
+	case machine.EvTimeout:
+		return 't'
+	case machine.EvFault:
+		return 'F'
+	case machine.EvRetry:
+		return 'R'
 	}
 	return '?'
 }
@@ -274,13 +280,14 @@ func Utilization(w io.Writer, c *Collector, procs int) {
 // intervals and duration events ("ph":"B"/"E") for named spans, with
 // microsecond timestamps.
 type chromeEvent struct {
-	Name string           `json:"name"`
-	Ph   string           `json:"ph"`
-	Ts   float64          `json:"ts"`  // microseconds
-	Dur  float64          `json:"dur"` // microseconds (0 for B/E markers)
-	Pid  int              `json:"pid"`
-	Tid  int              `json:"tid"`
-	Args map[string]int64 `json:"args,omitempty"`
+	Name  string           `json:"name"`
+	Ph    string           `json:"ph"`
+	Scope string           `json:"s,omitempty"` // instant-event scope ("t")
+	Ts    float64          `json:"ts"`          // microseconds
+	Dur   float64          `json:"dur"`         // microseconds (0 for B/E markers)
+	Pid   int              `json:"pid"`
+	Tid   int              `json:"tid"`
+	Args  map[string]int64 `json:"args,omitempty"`
 }
 
 // WriteChromeTrace exports the trace in the Chrome trace-event JSON format,
@@ -306,12 +313,20 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 			ce.Name, ce.Ph, ce.Dur = e.Label, "B", 0
 		case machine.EvSpanEnd:
 			ce.Name, ce.Ph, ce.Dur = e.Label, "E", 0
-		case machine.EvSend, machine.EvRecv, machine.EvWait:
+		case machine.EvSend, machine.EvRecv, machine.EvWait, machine.EvTimeout:
 			ce.Args = map[string]int64{"peer": int64(e.Peer), "bytes": int64(e.Bytes)}
 		case machine.EvIO:
 			if e.Bytes != 0 {
 				ce.Args = map[string]int64{"bytes": int64(e.Bytes)}
 			}
+		case machine.EvFault:
+			// Zero-duration chaos markers render as thread-scoped instants
+			// so Perfetto draws them as flags on the processor's row.
+			ce.Name, ce.Ph, ce.Scope = "fault:"+e.Label, "i", "t"
+			ce.Args = map[string]int64{"peer": int64(e.Peer), "bytes": int64(e.Bytes)}
+		case machine.EvRetry:
+			ce.Name, ce.Ph, ce.Scope = "retry", "i", "t"
+			ce.Args = map[string]int64{"peer": int64(e.Peer)}
 		}
 		out = append(out, ce)
 	}
