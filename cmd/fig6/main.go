@@ -34,6 +34,9 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.SetEngineLabel(eng.Name())
+	if plan != nil {
+		sweep.SetChaosLabel(plan.String())
+	}
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig6:", err)

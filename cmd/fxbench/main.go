@@ -19,6 +19,7 @@ import (
 	"fxpar/internal/fault"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
 )
 
@@ -86,6 +87,34 @@ func compareMain(spec string, tolerance float64, skip string, stdout, stderr io.
 	return 0
 }
 
+// skeletonsMain implements the standalone -skeletons mode: decode two
+// serialized skeletons (content keys verified) and print the per-span
+// regression attribution. Exit codes mirror -compare: 0 identical, 1
+// changed, 2 when the diff itself cannot run.
+func skeletonsMain(spec string, stdout, stderr io.Writer) int {
+	basePath, curPath, ok := strings.Cut(spec, ":")
+	if !ok {
+		fmt.Fprintln(stderr, "fxbench: -skeletons wants 'baseline.json:current.json'")
+		return 2
+	}
+	base, err := skeleton.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "fxbench:", err)
+		return 2
+	}
+	cur, err := skeleton.ReadFile(curPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "fxbench:", err)
+		return 2
+	}
+	d := skeleton.Diff(base, cur)
+	d.WriteReport(stdout)
+	if d.Identical() {
+		return 0
+	}
+	return 1
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads")
 	jsonPath := flag.String("json", "BENCH_table1.json", "write Table 1 as machine-readable JSON to this file ('' disables)")
@@ -100,6 +129,9 @@ func main() {
 	chaos := flag.String("chaos", "", "inject deterministic faults into the benchmark runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
 	chaosSweep := flag.Int("chaossweep", 0, "standalone mode: fan an FFT-Hist chaos scenario across N seeds (derived from the -chaos seed; profile from -chaos, default havoc) and report survival and latency degradation")
 	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "with -chaossweep: write the chaos report as machine-readable JSON to this file ('' disables)")
+	whatIfSweep := flag.Bool("whatifsweep", false, "standalone mode: capture one FFT-Hist pipeline run as a communication skeleton, re-cost it across a machine-parameter grid and per-span virtual speedups, cross-check against full simulations, and report re-cost vs simulation throughput")
+	whatIfJSON := flag.String("whatifjson", "BENCH_whatif.json", "with -whatifsweep: write the what-if report as machine-readable JSON to this file ('' disables)")
+	skeletons := flag.String("skeletons", "", "standalone mode: diff two serialized skeletons 'baseline.json:current.json' for regression attribution and exit (0 identical, 1 changed, 2 missing/malformed input)")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
@@ -115,10 +147,19 @@ func main() {
 		os.Exit(compareMain(*compare, *tolerance, *skip, os.Stdout, os.Stderr))
 	}
 
+	// Standalone skeleton-diff mode: when a benchmark comparison regresses,
+	// this names the spans and edges that moved.
+	if *skeletons != "" {
+		os.Exit(skeletonsMain(*skeletons, os.Stdout, os.Stderr))
+	}
+
 	plan, err := fault.Parse(*chaos)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fxbench:", err)
 		os.Exit(2)
+	}
+	if plan != nil {
+		sweep.SetChaosLabel(plan.String())
 	}
 
 	// Standalone chaos-campaign mode: one scenario, N derived seeds, a
@@ -153,6 +194,48 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *chaosJSON)
+		}
+		return
+	}
+
+	// Standalone what-if mode: capture one skeleton, re-cost it across the
+	// parameter grid, cross-check against full simulations. Everything but
+	// the Host* throughput fields is deterministic, so the JSON is a
+	// committable artifact (CI diffs it with -skip '^Host').
+	if *whatIfSweep {
+		wcfg := experiments.DefaultWhatIf()
+		if *quick {
+			wcfg = experiments.QuickWhatIf()
+		}
+		wcfg.Workers, wcfg.Engine = *j, eng
+		rep, err := experiments.WhatIf(wcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+		if !rep.IdentityExact {
+			fmt.Fprintln(os.Stderr, "fxbench: skeleton determinism violated — re-cost at recorded parameters deviates from the recorded makespan")
+			os.Exit(1)
+		}
+		if *whatIfJSON != "" {
+			f, err := os.Create(*whatIfJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *whatIfJSON)
 		}
 		return
 	}

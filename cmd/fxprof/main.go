@@ -18,6 +18,15 @@
 //	fxprof -app radar -modules 2 -stages 2,4,4,2 -out radar
 //	fxprof -app ffthist -auto -procs 16 -goal 4 -cache .fxcache
 //	                                           # profile the optimizer's pick
+//	fxprof -app ffthist -stages 4,2,2 -whatif  # causal what-if profile
+//
+// With -whatif the run is additionally captured as a communication skeleton
+// (internal/skeleton): after a determinism self-check — re-costing the
+// skeleton at the recorded parameters must reproduce the recorded makespan
+// and critical path exactly — it prints the COZ-style ranked table of
+// virtual span speedups ("speeding up span X by k gains Y on the makespan")
+// and alpha/beta/flop-rate sensitivity curves, and writes the serialized
+// skeleton next to the other artifacts.
 package main
 
 import (
@@ -35,9 +44,24 @@ import (
 	"fxpar/internal/mapping"
 	"fxpar/internal/metrics"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/stats"
 	"fxpar/internal/trace"
 )
+
+// parseFactors parses a comma-separated list of positive floats.
+func parseFactors(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(v > 0) {
+			return nil, fmt.Errorf("invalid factor %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func parseStages(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
@@ -89,6 +113,9 @@ func main() {
 	cache := flag.String("cache", "", "with -auto: directory for the on-disk cost-table cache ('' disables)")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	chaos := flag.String("chaos", "", "inject deterministic faults into the profiled run: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+"); fault/timeout/retry events land in every view")
+	whatif := flag.Bool("whatif", false, "capture the run as a communication skeleton and print the causal what-if profile (ranked virtual span speedups + machine-parameter sensitivity curves)")
+	factors := flag.String("factors", "1.25,1.5,2,4", "with -whatif: comma-separated virtual speedup factors")
+	senscales := flag.String("senscales", "0.25,0.5,1,2,4", "with -whatif: comma-separated alpha/beta/flop-rate scales for the sensitivity curves")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
@@ -229,6 +256,61 @@ func main() {
 	fmt.Println("--- critical path ---")
 	cp.WriteReport(os.Stdout)
 
+	var sk *skeleton.Skeleton
+	if *whatif {
+		fs, err := parseFactors(*factors)
+		if err != nil {
+			fail(err)
+		}
+		scales, err := parseFactors(*senscales)
+		if err != nil {
+			fail(err)
+		}
+		sk, err = skeleton.FromEvents(sim.Paragon(), evs)
+		if err != nil {
+			fail(err)
+		}
+		if plan != nil {
+			sk.Chaos = plan.String()
+		}
+
+		// Determinism self-check: the analytic re-cost at recorded parameters
+		// must reproduce the recorded run exactly — makespan and critical
+		// path — or every what-if number below would be built on sand.
+		res, err := sk.RecostEvents(skeleton.Params{})
+		if err != nil {
+			fail(err)
+		}
+		if res.Makespan != sk.Makespan {
+			fail(fmt.Errorf("skeleton self-check: re-cost makespan %v != recorded %v", res.Makespan, sk.Makespan))
+		}
+		var recBuf, reBuf strings.Builder
+		cp.WriteReport(&recBuf)
+		trace.ComputeCriticalPath(res.Events).WriteReport(&reBuf)
+		if recBuf.String() != reBuf.String() {
+			fail(fmt.Errorf("skeleton self-check: re-costed critical path diverges from recorded"))
+		}
+		key, err := sk.Key()
+		if err != nil {
+			fail(err)
+		}
+
+		fmt.Println()
+		fmt.Printf("--- what-if (skeleton %s, %d ops; re-cost reproduces recorded run exactly) ---\n", key, sk.Ops())
+		rep, err := sk.WhatIf(fs)
+		if err != nil {
+			fail(err)
+		}
+		rep.WriteTable(os.Stdout)
+		fmt.Println()
+		fmt.Println("--- sensitivity (machine parameters) ---")
+		sv, err := sk.Sensitivity(scales)
+		if err != nil {
+			fail(err)
+		}
+		sv.WriteCurves(os.Stdout)
+	}
+
 	if *out != "" {
 		writeFile(*out+".metrics.json", func(f *os.File) error {
 			_, err := f.Write(js)
@@ -241,5 +323,11 @@ func main() {
 			cp.WriteReport(f)
 			return nil
 		})
+		if sk != nil {
+			if err := sk.WriteFile(*out + ".skeleton.json"); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *out+".skeleton.json")
+		}
 	}
 }

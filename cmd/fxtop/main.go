@@ -3,7 +3,8 @@
 // fxbench) and renders a top-style terminal view of every running campaign —
 // jobs finished/running/failed, a progress bar, elapsed wall time and an
 // ETA — refreshing in place until the campaigns complete or it is
-// interrupted.
+// interrupted. The header identifies the run: the driver's execution engine
+// and, when fault injection is active, the chaos plan (seed:profile).
 //
 // Examples:
 //

@@ -38,6 +38,9 @@ func main() {
 		os.Exit(2)
 	}
 	sweep.SetEngineLabel(eng.Name())
+	if plan != nil {
+		sweep.SetChaosLabel(plan.String())
+	}
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)

@@ -16,6 +16,7 @@ import (
 	"fxpar/internal/machine"
 	"fxpar/internal/metrics"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/trace"
 )
 
@@ -86,6 +87,46 @@ func TestEngineSoakP1024(t *testing.T) {
 		}
 		if !bytes.Equal(got.metrics, base.metrics) {
 			t.Errorf("%s: metrics snapshots diverge (%d vs %d bytes)", eng.Name(), len(got.metrics), len(base.metrics))
+		}
+	}
+}
+
+// TestEngineSkeletonIdentityP64: the serialized communication skeleton is a
+// content-keyed artifact (cacheable, diffable), so the same P=64 FFT-Hist
+// run must serialize to byte-identical skeletons under every engine — the
+// capture path goes through a live skeleton.Sink, whose per-processor
+// buffers fill in engine-dependent host order but must fold to the same
+// canonical form.
+func TestEngineSkeletonIdentityP64(t *testing.T) {
+	cfg := ffthist.Config{N: 64, Sets: 8, Bins: 64}
+	mp := ffthist.Mapping{Modules: 2, Stages: []int{16, 8, 8}}
+
+	capture := func(eng machine.Engine) []byte {
+		t.Helper()
+		sink := skeleton.NewSink(sim.Paragon(), "")
+		m := machine.New(64, sim.Paragon())
+		m.SetEngine(eng)
+		m.SetTracer(sink)
+		ffthist.Run(m, cfg, mp)
+		sk, err := sink.Skeleton()
+		if err != nil {
+			t.Fatalf("%s: skeleton: %v", eng.Name(), err)
+		}
+		data, err := sk.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", eng.Name(), err)
+		}
+		return data
+	}
+
+	base := capture(machine.Goroutine())
+	if len(base) == 0 {
+		t.Fatal("baseline skeleton is empty")
+	}
+	for _, eng := range []machine.Engine{machine.Coop(1), machine.Coop(4)} {
+		if got := capture(eng); !bytes.Equal(got, base) {
+			t.Errorf("%s: serialized skeleton diverges from goroutine engine (%d vs %d bytes)",
+				eng.Name(), len(got), len(base))
 		}
 	}
 }

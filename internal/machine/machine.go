@@ -57,9 +57,16 @@ type mailbox struct {
 	waiter *coopProc
 	// sendSeq counts messages sent through this pair, in sender program
 	// order. Written only by the sending processor's goroutine, and only
-	// while a fault plan is installed: it is the deterministic per-pair
-	// counter fault decisions are keyed on.
+	// while a fault plan or a tracer is installed: it is the deterministic
+	// per-pair counter fault decisions are keyed on, and the PairSeq edge
+	// identity recorded on EvSend events for skeleton capture.
 	sendSeq int64
+	// recvSeq counts real (non-duplicate) messages consumed from this pair,
+	// in receiver program order. Written only by the receiving processor's
+	// goroutine, and only while a tracer is installed: per-pair FIFO order
+	// guarantees the k-th consumed message is the k-th sent one, so the
+	// counter stamps EvRecv markers with the matching send's PairSeq.
+	recvSeq int64
 }
 
 // take removes and returns the head message. Callers have exclusive access
@@ -177,6 +184,25 @@ type Event struct {
 	// Depth is the span nesting depth at which a span event was recorded
 	// (0 = outermost). Zero for non-span events.
 	Depth int
+	// Dur is the charged duration exactly as the cost model produced it,
+	// before the clock addition rounds: End == fl(Start + Dur) where fl is
+	// one float64 rounding. It is recorded for events that advance the clock
+	// by an increment (compute, io, send overhead, timeout) so skeleton
+	// replay (internal/skeleton) can reproduce the machine's clock
+	// arithmetic bitwise; it is zero for instant markers and for EvWait,
+	// whose End is an absolute assignment (the message's arrival time).
+	Dur float64
+	// Wire is the full wire latency charged to the message of an EvSend
+	// event: alpha + bytes*beta, plus any mesh per-hop cost and any
+	// fault-injected delay. The message's arrival time at the receiver is
+	// End + Wire (one rounding). Zero for all other kinds.
+	Wire float64
+	// PairSeq is the per-ordered-pair FIFO sequence number of the message an
+	// EvSend or EvRecv event refers to: the k-th message sent through the
+	// (src,dst) pair is consumed by the k-th real receive on it, so
+	// (src, dst, PairSeq) is a stable identity for the dependence edge, used
+	// by skeleton capture and assigned only while a tracer is installed.
+	PairSeq int64
 }
 
 // Tracer receives the events of a traced run. Record is called from
@@ -368,11 +394,13 @@ func (p *Proc) BytesSent() int64 { return p.bytes }
 // does no work (and no allocation).
 func (p *Proc) Tracing() bool { return p.m.tracer != nil }
 
-// trace records an interval if the machine has a tracer installed.
-func (p *Proc) trace(kind EventKind, start, end float64) {
-	if p.m.tracer != nil && end > start {
+// trace records an interval of duration t starting at the current clock if
+// the machine has a tracer installed. t is recorded verbatim as Event.Dur.
+func (p *Proc) trace(kind EventKind, t float64) {
+	if p.m.tracer != nil && t > 0 {
 		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: start, End: end, Seq: p.seq, Peer: -1})
+		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock + t,
+			Seq: p.seq, Peer: -1, Dur: t})
 	}
 }
 
@@ -461,7 +489,7 @@ func (p *Proc) SpanDepth() int { return len(p.spans) }
 func (p *Proc) Compute(flops float64) {
 	p.checkAlive()
 	t := p.scale(p.m.cost.FlopTime(flops))
-	p.trace(EvCompute, p.clock, p.clock+t)
+	p.trace(EvCompute, t)
 	p.clock += t
 	p.busy += t
 }
@@ -475,7 +503,7 @@ func (p *Proc) Elapse(seconds float64) {
 	}
 	p.checkAlive()
 	seconds = p.scale(seconds)
-	p.trace(EvCompute, p.clock, p.clock+seconds)
+	p.trace(EvCompute, seconds)
 	p.clock += seconds
 	p.busy += seconds
 }
@@ -484,7 +512,7 @@ func (p *Proc) Elapse(seconds float64) {
 func (p *Proc) CopyBytes(n int) {
 	p.checkAlive()
 	t := p.scale(p.m.cost.CopyTime(n))
-	p.trace(EvCompute, p.clock, p.clock+t)
+	p.trace(EvCompute, t)
 	p.clock += t
 	p.busy += t
 }
@@ -499,7 +527,7 @@ func (p *Proc) IO(n int) {
 	if p.m.tracer != nil && t > 0 {
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: EvIO, Start: p.clock, End: p.clock + t,
-			Seq: p.seq, Peer: -1, Bytes: n})
+			Seq: p.seq, Peer: -1, Bytes: n, Dur: t})
 	}
 	p.clock += t
 	p.busy += t
@@ -513,32 +541,43 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 	}
 	p.checkAlive()
 	overhead := p.scale(p.m.cost.SendOverhead)
-	if p.m.tracer != nil {
-		// Recorded even when SendOverhead is zero: trace analysis matches
-		// send events to recv markers to reconstruct dependency edges.
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
-			End: p.clock + overhead, Seq: p.seq, Peer: dst, Bytes: bytes})
-	}
-	p.clock += overhead
-	p.busy += overhead
+	// The full wire latency (and the fault plan's verdict, which can extend
+	// it) is computed before the send event is recorded, so the event carries
+	// the complete edge: overhead duration, wire time, and the per-pair FIFO
+	// sequence number. Skeleton capture (internal/skeleton) rebuilds the
+	// exact dependence DAG from these three fields alone.
 	wire := p.m.cost.WireTime(bytes)
 	if p.m.hops != nil {
 		wire += float64(p.m.hops(p.id, dst)) * p.m.cost.PerHop
 	}
 	mb := p.m.mailboxFor(dst, p.id)
 	var mf MessageFault
-	if p.m.faults != nil {
-		seq := mb.sendSeq
+	var seq int64
+	if p.m.tracer != nil || p.m.faults != nil {
+		seq = mb.sendSeq
 		mb.sendSeq++
+	}
+	if p.m.faults != nil {
 		mf = p.m.faults.MessageFault(p.id, dst, seq)
-		for k := 0; k < mf.Retries; k++ {
-			p.marker(EvRetry, dst, bytes, "")
-		}
 		if mf.Delay > 0 {
-			p.marker(EvFault, dst, bytes, FaultDelay)
 			wire += mf.Delay
 		}
+	}
+	if p.m.tracer != nil {
+		// Recorded even when SendOverhead is zero: trace analysis matches
+		// send events to recv markers to reconstruct dependency edges.
+		p.seq++
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
+			End: p.clock + overhead, Seq: p.seq, Peer: dst, Bytes: bytes,
+			Dur: overhead, Wire: wire, PairSeq: seq})
+	}
+	p.clock += overhead
+	p.busy += overhead
+	for k := 0; k < mf.Retries; k++ {
+		p.marker(EvRetry, dst, bytes, "")
+	}
+	if mf.Delay > 0 {
+		p.marker(EvFault, dst, bytes, FaultDelay)
 	}
 	msg := Message{
 		Src:      p.id,
@@ -579,7 +618,7 @@ func (p *Proc) Recv(src int) Message {
 			p.dropDup(src, msg)
 			continue
 		}
-		p.finishRecv(src, msg)
+		p.finishRecv(mb, src, msg)
 		return msg
 	}
 }
@@ -631,7 +670,7 @@ func (p *Proc) TryRecv(src int) (Message, bool) {
 			p.dropDup(src, msg)
 			continue
 		}
-		p.finishRecv(src, msg)
+		p.finishRecv(mb, src, msg)
 		return msg, true
 	}
 }
@@ -690,27 +729,29 @@ func (p *Proc) RecvTimeout(src int, timeout float64) (Message, RecvOutcome) {
 				continue
 			}
 			if msg.ArriveAt > deadline {
-				p.timeoutAdvance(src, deadline)
+				p.timeoutAdvance(src, deadline, timeout)
 				return Message{}, RecvTimedOut
 			}
 			msg, _ = p.m.eng.tryGet(p, mb)
-			p.finishRecv(src, msg)
+			p.finishRecv(mb, src, msg)
 			return msg, RecvOK
 		}
 		if !p.m.eng.wait(p, mb, src) {
-			p.timeoutAdvance(src, deadline)
+			p.timeoutAdvance(src, deadline, timeout)
 			return Message{}, RecvSenderDead
 		}
 	}
 }
 
 // timeoutAdvance charges the wait-until-deadline of a receive that gave up:
-// an EvTimeout interval and idle time up to the virtual deadline.
-func (p *Proc) timeoutAdvance(src int, deadline float64) {
+// an EvTimeout interval and idle time up to the virtual deadline. timeout is
+// the caller's original increment (deadline == fl(clock + timeout)), recorded
+// as the event's Dur.
+func (p *Proc) timeoutAdvance(src int, deadline, timeout float64) {
 	if p.m.tracer != nil && deadline > p.clock {
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: EvTimeout, Start: p.clock,
-			End: deadline, Seq: p.seq, Peer: src})
+			End: deadline, Seq: p.seq, Peer: src, Dur: timeout})
 	}
 	if deadline > p.clock {
 		p.idle += deadline - p.clock
@@ -719,9 +760,9 @@ func (p *Proc) timeoutAdvance(src int, deadline float64) {
 }
 
 // finishRecv is the post-receive bookkeeping shared by Recv and TryRecv:
-// wait-time accounting with its EvWait interval, the EvRecv marker, and the
-// received-message counter.
-func (p *Proc) finishRecv(src int, msg Message) {
+// wait-time accounting with its EvWait interval, the EvRecv marker (stamped
+// with the pair's FIFO sequence number), and the received-message counter.
+func (p *Proc) finishRecv(mb *mailbox, src int, msg Message) {
 	if msg.ArriveAt > p.clock {
 		if p.m.tracer != nil {
 			p.seq++
@@ -732,9 +773,11 @@ func (p *Proc) finishRecv(src int, msg Message) {
 		p.clock = msg.ArriveAt
 	}
 	if p.m.tracer != nil {
+		seq := mb.recvSeq
+		mb.recvSeq++
 		p.seq++
 		p.m.tracer.Record(Event{Proc: p.id, Kind: EvRecv, Start: p.clock, End: p.clock,
-			Seq: p.seq, Peer: src, Bytes: msg.Bytes})
+			Seq: p.seq, Peer: src, Bytes: msg.Bytes, PairSeq: seq})
 	}
 	p.recvd++
 }

@@ -1,0 +1,145 @@
+package skeleton
+
+// Regression attribution: when a baseline check fails, diff the baseline
+// skeleton against the current one and *name* what moved — which spans
+// gained local work, which edges gained wire time, where messages appeared
+// or disappeared. All aggregates are virtual-time values, so a diff is
+// deterministic and exact.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fxpar/internal/machine"
+)
+
+// spanAgg is the per-span-label aggregate of one skeleton.
+type spanAgg struct {
+	Ops   int     // ops owned by the span
+	Local float64 // owned compute + io + send overhead
+	Msgs  int     // sends owned by the span
+	Bytes int64   // payload bytes of those sends
+	Wire  float64 // wire time of those sends
+}
+
+// aggregate folds a skeleton into per-span-label aggregates.
+func aggregate(s *Skeleton) map[string]spanAgg {
+	out := map[string]spanAgg{}
+	for _, ops := range s.Procs {
+		for _, op := range ops {
+			label := untrackedLabel
+			if op.Span >= 0 {
+				label = s.Labels[op.Span]
+			}
+			a := out[label]
+			a.Ops++
+			switch op.Kind {
+			case machine.EvCompute, machine.EvIO, machine.EvSend:
+				a.Local += op.Dur
+			}
+			if op.Kind == machine.EvSend {
+				a.Msgs++
+				a.Bytes += int64(op.Bytes)
+				a.Wire += op.Wire
+			}
+			out[label] = a
+		}
+	}
+	return out
+}
+
+// SpanDelta is one span label's change between two skeletons. A label
+// present in only one side has a zero aggregate on the other.
+type SpanDelta struct {
+	Label    string
+	Old, New spanAgg
+}
+
+// changed reports whether anything moved. Virtual values are deterministic,
+// so exact comparison is the correct test.
+func (d SpanDelta) changed() bool { return d.Old != d.New }
+
+// magnitude orders deltas by how much virtual time moved.
+func (d SpanDelta) magnitude() float64 {
+	m := d.New.Local - d.Old.Local
+	if m < 0 {
+		m = -m
+	}
+	w := d.New.Wire - d.Old.Wire
+	if w < 0 {
+		w = -w
+	}
+	return m + w
+}
+
+// DiffReport names the spans and edges that moved between two skeletons.
+type DiffReport struct {
+	OldMakespan, NewMakespan float64
+	OldOps, NewOps           int
+	// Deltas lists only labels whose aggregate changed, sorted by moved
+	// virtual time descending (ties by label).
+	Deltas []SpanDelta
+}
+
+// Identical reports whether the two skeletons agree on makespan and every
+// per-span aggregate.
+func (d *DiffReport) Identical() bool {
+	return len(d.Deltas) == 0 && d.OldMakespan == d.NewMakespan && d.OldOps == d.NewOps
+}
+
+// Diff compares two skeletons span by span.
+func Diff(old, cur *Skeleton) *DiffReport {
+	rep := &DiffReport{
+		OldMakespan: old.Makespan, NewMakespan: cur.Makespan,
+		OldOps: old.Ops(), NewOps: cur.Ops(),
+	}
+	oa, ca := aggregate(old), aggregate(cur)
+	labels := map[string]bool{}
+	for l := range oa {
+		labels[l] = true
+	}
+	for l := range ca {
+		labels[l] = true
+	}
+	for l := range labels {
+		d := SpanDelta{Label: l, Old: oa[l], New: ca[l]}
+		if d.changed() {
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].magnitude() != rep.Deltas[j].magnitude() {
+			return rep.Deltas[i].magnitude() > rep.Deltas[j].magnitude()
+		}
+		return rep.Deltas[i].Label < rep.Deltas[j].Label
+	})
+	return rep
+}
+
+// WriteReport prints the attribution in a fixed, deterministic text format.
+func (d *DiffReport) WriteReport(w io.Writer) {
+	if d.Identical() {
+		fmt.Fprintln(w, "skeleton diff: identical")
+		return
+	}
+	fmt.Fprintf(w, "skeleton diff: makespan %.6f s -> %.6f s (%+.6f s), %d -> %d ops\n",
+		d.OldMakespan, d.NewMakespan, d.NewMakespan-d.OldMakespan, d.OldOps, d.NewOps)
+	if len(d.Deltas) == 0 {
+		fmt.Fprintln(w, "  (no per-span changes: timing moved without structural change)")
+		return
+	}
+	fmt.Fprintln(w, "  spans that moved (virtual time, exact):")
+	for _, dl := range d.Deltas {
+		fmt.Fprintf(w, "    %-40s local %+.6f s (%.6f -> %.6f)",
+			dl.Label, dl.New.Local-dl.Old.Local, dl.Old.Local, dl.New.Local)
+		if dl.Old.Msgs != dl.New.Msgs || dl.Old.Bytes != dl.New.Bytes || dl.Old.Wire != dl.New.Wire {
+			fmt.Fprintf(w, "  msgs %d -> %d, bytes %d -> %d, wire %+.6f s",
+				dl.Old.Msgs, dl.New.Msgs, dl.Old.Bytes, dl.New.Bytes, dl.New.Wire-dl.Old.Wire)
+		}
+		if dl.Old.Ops != dl.New.Ops {
+			fmt.Fprintf(w, "  ops %d -> %d", dl.Old.Ops, dl.New.Ops)
+		}
+		fmt.Fprintln(w)
+	}
+}

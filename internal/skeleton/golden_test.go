@@ -1,0 +1,99 @@
+package skeleton
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+	"fxpar/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden skeleton snapshots")
+
+// goldenProgram is a small hand-rolled SPMD pipeline with spans, exchanges
+// and io — stable on purpose, so the golden file only changes when the
+// serialization format or the capture semantics change.
+func goldenProgram(p *machine.Proc) {
+	switch p.ID() {
+	case 0:
+		p.IO(1 << 12)
+		for i := 0; i < 3; i++ {
+			p.BeginSpan("stage:a")
+			p.Compute(2e6)
+			p.EndSpan()
+			p.Send(1, nil, 1024)
+		}
+	case 1:
+		for i := 0; i < 3; i++ {
+			p.Recv(0)
+			p.BeginSpan("stage:b")
+			p.Compute(5e5)
+			p.BeginSpan("stage:b:inner")
+			p.Compute(1e5)
+			p.EndSpan()
+			p.EndSpan()
+			p.Send(2, nil, 256)
+		}
+	case 2:
+		for i := 0; i < 3; i++ {
+			p.Recv(1)
+			p.Compute(1e5) // untracked tail work
+		}
+		p.IO(768)
+	}
+}
+
+// TestGoldenSkeleton pins the canonical serialized form. Run with -update to
+// regenerate after an intentional format change; any unintentional change to
+// the encoding, the label interning order, the op token grammar or the
+// content key breaks this test.
+func TestGoldenSkeleton(t *testing.T) {
+	cost := sim.Paragon()
+	col := &trace.Collector{}
+	m := machine.New(3, cost)
+	m.SetTracer(col)
+	m.Run(goldenProgram)
+	sk, err := FromEvents(cost, col.Events())
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	got, err := sk.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	const path = "testdata/golden.fxskel"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("serialized skeleton deviates from golden snapshot (%d vs %d bytes); "+
+			"if the format change is intentional, regenerate with -update.\ngot:\n%s", len(got), len(want), got)
+	}
+
+	// The golden file must itself decode, key-verify and re-cost to its
+	// recorded makespan.
+	dec, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden decode: %v", err)
+	}
+	mk, err := dec.Recost(Params{})
+	if err != nil {
+		t.Fatalf("golden recost: %v", err)
+	}
+	if mk != dec.Makespan {
+		t.Fatalf("golden skeleton re-costs to %v, recorded %v", mk, dec.Makespan)
+	}
+}

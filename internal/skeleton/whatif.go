@@ -1,0 +1,201 @@
+package skeleton
+
+// The what-if causal profiler: COZ-style virtual speedups evaluated
+// analytically on the skeleton. For every span that owns local time the
+// report answers "if this span were k times faster, how much would the
+// *makespan* improve?" — which is exactly what a critical-path breakdown
+// cannot answer, because accelerating an off-path span gains nothing and
+// accelerating an on-path span gains less than its local time once the path
+// shifts elsewhere. Alpha/beta/flop sensitivity curves re-cost the whole run
+// under scaled machine parameters, locating the regime (latency-, bandwidth-
+// or compute-bound) the mapping sits in.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fxpar/internal/machine"
+)
+
+// WhatIfRow is one span's virtual-speedup outcomes.
+type WhatIfRow struct {
+	// Label is the span label ("(untracked)" for time outside every span).
+	Label string
+	// Local is the total local time (compute, io, send overhead, summed
+	// over all processors) owned by the span — the naive upper bound on any
+	// gain from accelerating it.
+	Local float64
+	// Gains[i] is the makespan reduction when the span runs Factors[i]
+	// times faster.
+	Gains []float64
+}
+
+// WhatIfReport ranks virtual span speedups by their makespan gain.
+type WhatIfReport struct {
+	// Baseline is the re-costed makespan at recorded parameters (equal to
+	// the recorded makespan by the determinism guarantee).
+	Baseline float64
+	// Factors are the evaluated speedup factors, ascending.
+	Factors []float64
+	// Rows are sorted by the gain at the largest factor, descending (ties
+	// by label).
+	Rows []WhatIfRow
+}
+
+// untrackedLabel names time outside every span, matching the critical-path
+// report's convention.
+const untrackedLabel = "(untracked)"
+
+// localBySpan sums owned local duration (compute, io, send overhead) per
+// span label; the empty owner aggregates under "(untracked)".
+func (s *Skeleton) localBySpan() map[string]float64 {
+	out := map[string]float64{}
+	for _, ops := range s.Procs {
+		for _, op := range ops {
+			switch op.Kind {
+			case machine.EvCompute, machine.EvSend, machine.EvIO:
+			default:
+				continue
+			}
+			if op.Dur == 0 {
+				continue
+			}
+			label := untrackedLabel
+			if op.Span >= 0 {
+				label = s.Labels[op.Span]
+			}
+			out[label] += op.Dur
+		}
+	}
+	return out
+}
+
+// WhatIf evaluates every owning span at each speedup factor. Factors must
+// be > 1 for a gain to be meaningful, but any positive factor is accepted
+// (factors < 1 model slowdowns). Only spans that own local time are
+// evaluated — a span with no local time cannot be sped up.
+func (s *Skeleton) WhatIf(factors []float64) (*WhatIfReport, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("skeleton: WhatIf needs at least one factor")
+	}
+	baseline, err := s.Recost(Params{})
+	if err != nil {
+		return nil, err
+	}
+	local := s.localBySpan()
+	labels := make([]string, 0, len(local))
+	for l := range local {
+		if l == untrackedLabel {
+			continue // not addressable by a span speedup
+		}
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	rep := &WhatIfReport{Baseline: baseline, Factors: append([]float64(nil), factors...)}
+	sort.Float64s(rep.Factors)
+	for _, l := range labels {
+		row := WhatIfRow{Label: l, Local: local[l], Gains: make([]float64, len(rep.Factors))}
+		for i, k := range rep.Factors {
+			mk, err := s.Recost(Params{SpanSpeedup: map[string]float64{l: k}})
+			if err != nil {
+				return nil, err
+			}
+			row.Gains[i] = baseline - mk
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	last := len(rep.Factors) - 1
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Gains[last] != rep.Rows[j].Gains[last] {
+			return rep.Rows[i].Gains[last] > rep.Rows[j].Gains[last]
+		}
+		return rep.Rows[i].Label < rep.Rows[j].Label
+	})
+	return rep, nil
+}
+
+// WriteTable prints the ranked what-if table in a fixed, deterministic text
+// format: one row per span, one gain column per factor.
+func (r *WhatIfReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "what-if: makespan %.6f s at recorded parameters; gain from speeding up one span\n", r.Baseline)
+	wl := len("span")
+	for _, row := range r.Rows {
+		if len(row.Label) > wl {
+			wl = len(row.Label)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %12s", wl, "span", "local(s)")
+	for _, k := range r.Factors {
+		fmt.Fprintf(w, " %11s", fmt.Sprintf("x%.2f", k))
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-*s %12.6f", wl, row.Label, row.Local)
+		for _, g := range row.Gains {
+			fmt.Fprintf(w, " %11.6f", g)
+		}
+		if r.Baseline > 0 && len(row.Gains) > 0 {
+			fmt.Fprintf(w, "  (%.1f%%)", 100*row.Gains[len(row.Gains)-1]/r.Baseline)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SensPoint is one machine-parameter scaling and its re-costed makespan.
+type SensPoint struct {
+	Scale    float64
+	Makespan float64
+}
+
+// Sensitivity holds makespan curves under scaled machine parameters.
+type Sensitivity struct {
+	// Alpha scales the per-message latency, Beta the per-byte time, Flop
+	// the flop *rate* (scale 2 = twice as fast a CPU).
+	Alpha, Beta, Flop []SensPoint
+}
+
+// Sensitivity re-costs the run with each of alpha, beta and flop rate
+// scaled by every factor in scales, one parameter at a time.
+func (s *Skeleton) Sensitivity(scales []float64) (*Sensitivity, error) {
+	out := &Sensitivity{}
+	sorted := append([]float64(nil), scales...)
+	sort.Float64s(sorted)
+	for _, sc := range sorted {
+		if !(sc > 0) {
+			return nil, fmt.Errorf("skeleton: sensitivity scale must be positive, got %g", sc)
+		}
+		ca := s.Cost
+		ca.Alpha *= sc
+		mk, err := s.Recost(Params{Cost: &ca})
+		if err != nil {
+			return nil, err
+		}
+		out.Alpha = append(out.Alpha, SensPoint{sc, mk})
+
+		cb := s.Cost
+		cb.Beta *= sc
+		if mk, err = s.Recost(Params{Cost: &cb}); err != nil {
+			return nil, err
+		}
+		out.Beta = append(out.Beta, SensPoint{sc, mk})
+
+		cf := s.Cost
+		cf.FlopRate *= sc
+		if mk, err = s.Recost(Params{Cost: &cf}); err != nil {
+			return nil, err
+		}
+		out.Flop = append(out.Flop, SensPoint{sc, mk})
+	}
+	return out, nil
+}
+
+// WriteCurves prints the sensitivity curves as one row per scale.
+func (sv *Sensitivity) WriteCurves(w io.Writer) {
+	fmt.Fprintf(w, "sensitivity: makespan under scaled machine parameters (one at a time)\n")
+	fmt.Fprintf(w, "%8s %14s %14s %14s\n", "scale", "alpha*s", "beta*s", "floprate*s")
+	for i := range sv.Alpha {
+		fmt.Fprintf(w, "%8.2f %14.6f %14.6f %14.6f\n",
+			sv.Alpha[i].Scale, sv.Alpha[i].Makespan, sv.Beta[i].Makespan, sv.Flop[i].Makespan)
+	}
+}

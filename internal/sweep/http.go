@@ -132,6 +132,9 @@ func RenderText(w io.Writer, s MonitorSnapshot) {
 	if s.Engine != "" {
 		fmt.Fprintf(w, "  engine %s", s.Engine)
 	}
+	if s.Chaos != "" {
+		fmt.Fprintf(w, "  chaos %s", s.Chaos)
+	}
 	fmt.Fprintln(w)
 	if len(s.Campaigns) == 0 {
 		fmt.Fprintln(w, "(no campaigns yet)")

@@ -108,7 +108,12 @@ type MonitorSnapshot struct {
 	// Engine is the machine execution engine the process runs its
 	// simulations under ("" when the driver never declared one); see
 	// SetEngineLabel.
-	Engine    string             `json:"engine,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Chaos is the active fault-injection plan ("seed:profile"; "" when the
+	// process runs healthy); see SetChaosLabel. Surfacing it in the snapshot
+	// lets a postmortem reader of an fxtop capture identify the scenario
+	// without digging through driver flags.
+	Chaos     string             `json:"chaos,omitempty"`
 	Campaigns []CampaignSnapshot `json:"campaigns"`
 }
 
@@ -120,6 +125,16 @@ var engineLabel atomic.Pointer[string]
 // endpoints) can tell a goroutine campaign from a coop one. Drivers call it
 // once after flag parsing; it is an observer-facing label only.
 func SetEngineLabel(name string) { engineLabel.Store(&name) }
+
+// chaosLabel is the process-global fault-plan label surfaced in snapshots.
+var chaosLabel atomic.Pointer[string]
+
+// SetChaosLabel records the fault-injection plan (fault.Plan.String(),
+// "seed:profile") the process injects into its simulations, so monitor
+// consumers can tell a chaos campaign from a healthy one at a glance.
+// Drivers call it once after parsing a non-empty -chaos flag; it is an
+// observer-facing label only.
+func SetChaosLabel(plan string) { chaosLabel.Store(&plan) }
 
 // Monitor aggregates campaign progress for one process. Create with
 // NewMonitor (or StartMonitor, which also serves it over HTTP) and install
@@ -162,6 +177,9 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	out := MonitorSnapshot{UptimeSec: now.Sub(m.start).Seconds()}
 	if lbl := engineLabel.Load(); lbl != nil {
 		out.Engine = *lbl
+	}
+	if lbl := chaosLabel.Load(); lbl != nil {
+		out.Chaos = *lbl
 	}
 	for _, c := range cs {
 		out.Campaigns = append(out.Campaigns, c.snapshot(now))

@@ -183,3 +183,39 @@ func TestRenderText(t *testing.T) {
 		t.Errorf("empty render:\n%s", empty.String())
 	}
 }
+
+// TestRenderTextShowsEngineAndChaos: the header names the active execution
+// engine and the chaos plan, so a live fxtop view identifies the run — and
+// a healthy run's header stays free of chaos noise.
+func TestRenderTextShowsEngineAndChaos(t *testing.T) {
+	var sb strings.Builder
+	RenderText(&sb, MonitorSnapshot{
+		Engine: "coop:4",
+		Chaos:  "7:flaky",
+		Campaigns: []CampaignSnapshot{
+			{Name: "chaos-flaky", Total: 4, Started: 4, Finished: 4, Done: true},
+		},
+	})
+	out := sb.String()
+	for _, want := range []string{"engine coop:4", "chaos 7:flaky"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var healthy strings.Builder
+	RenderText(&healthy, MonitorSnapshot{Engine: "goroutine"})
+	if strings.Contains(healthy.String(), "chaos") {
+		t.Errorf("healthy header mentions chaos:\n%s", healthy.String())
+	}
+}
+
+// TestSetChaosLabelReachesSnapshot: the process-wide chaos label set by the
+// drivers lands in every subsequent snapshot.
+func TestSetChaosLabelReachesSnapshot(t *testing.T) {
+	SetChaosLabel("42:havoc")
+	defer SetChaosLabel("")
+	m := NewMonitor()
+	if snap := m.Snapshot(); snap.Chaos != "42:havoc" {
+		t.Errorf("snapshot chaos = %q, want 42:havoc", snap.Chaos)
+	}
+}

@@ -29,6 +29,15 @@ type SpanTime struct {
 	Label string
 	Time  float64
 	Steps int
+	// Faults, Timeouts and Retries count the fault-injection markers on the
+	// path whose innermost owning span has this label. The markers are
+	// zero-duration, so without these counters a chaotic run's critical path
+	// would show *where* time went but hide *why* — a retransmission storm or
+	// a beaten deadline inside a stage leaves its time attributed to the
+	// stage with no visible cause.
+	Faults   int
+	Timeouts int
+	Retries  int
 }
 
 // CriticalPath is the longest virtual-time dependency chain of a run.
@@ -50,6 +59,12 @@ type CriticalPath struct {
 	// path event ("(network)" for wire time, "(untracked)" outside spans),
 	// sorted by time descending (ties by label).
 	BySpan []SpanTime
+	// Faults, Timeouts and Retries total the fault-injection markers on the
+	// path (EvFault, EvTimeout, EvRetry); the per-span breakdown is in
+	// BySpan. All zero on a healthy run.
+	Faults   int
+	Timeouts int
+	Retries  int
 	// Unattributed is path wall time not covered by any event (gaps);
 	// ~zero in a well-formed trace, reported so it cannot hide.
 	Unattributed float64
@@ -141,12 +156,16 @@ func ComputeCriticalPath(evs []machine.Event) *CriticalPath {
 	cp := &CriticalPath{Makespan: t.Events[cur].End}
 	byKind := map[string]float64{}
 	bySpan := map[string]*SpanTime{}
-	addSpan := func(label string, d float64) {
+	spanOf := func(label string) *SpanTime {
 		st := bySpan[label]
 		if st == nil {
 			st = &SpanTime{Label: label}
 			bySpan[label] = st
 		}
+		return st
+	}
+	addSpan := func(label string, d float64) {
+		st := spanOf(label)
 		st.Time += d
 		st.Steps++
 	}
@@ -186,6 +205,29 @@ func ComputeCriticalPath(evs []machine.Event) *CriticalPath {
 			}
 			// No matching send recorded (e.g. partial trace): account the
 			// wait itself and continue on this processor.
+		}
+
+		// Fault-injection markers are on the path even when zero-duration:
+		// attribute them to their owning span so a chaotic run's report names
+		// the cause, not just the kinds of time.
+		switch e.Kind {
+		case machine.EvFault, machine.EvTimeout, machine.EvRetry:
+			label := t.OwnerLabel(cur)
+			if label == "" {
+				label = "(untracked)"
+			}
+			st := spanOf(label)
+			switch e.Kind {
+			case machine.EvFault:
+				cp.Faults++
+				st.Faults++
+			case machine.EvTimeout:
+				cp.Timeouts++
+				st.Timeouts++
+			case machine.EvRetry:
+				cp.Retries++
+				st.Retries++
+			}
 		}
 
 		if d := e.End - e.Start; d > 0 {
@@ -243,6 +285,10 @@ func (cp *CriticalPath) WriteReport(w io.Writer) {
 	total := cp.PathTime()
 	fmt.Fprintf(w, "critical path: %.6f s (t=%.6f .. %.6f), %d steps, %d hops, %d processors\n",
 		total, cp.Start, cp.Makespan, cp.Steps, cp.Hops, len(cp.Procs))
+	if cp.Faults > 0 || cp.Timeouts > 0 || cp.Retries > 0 {
+		fmt.Fprintf(w, "  faults on path: %d faults, %d timeouts, %d retries\n",
+			cp.Faults, cp.Timeouts, cp.Retries)
+	}
 	pct := func(v float64) float64 {
 		if total <= 0 {
 			return 0
@@ -255,7 +301,11 @@ func (cp *CriticalPath) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  by span (innermost attribution):\n")
 	for _, st := range cp.BySpan {
-		fmt.Fprintf(w, "    %-40s %12.6f s %6.1f%%  (%d steps)\n", st.Label, st.Time, pct(st.Time), st.Steps)
+		fmt.Fprintf(w, "    %-40s %12.6f s %6.1f%%  (%d steps)", st.Label, st.Time, pct(st.Time), st.Steps)
+		if st.Faults > 0 || st.Timeouts > 0 || st.Retries > 0 {
+			fmt.Fprintf(w, "  [%d faults, %d timeouts, %d retries]", st.Faults, st.Timeouts, st.Retries)
+		}
+		fmt.Fprintln(w)
 	}
 	if cp.Unattributed != 0 {
 		fmt.Fprintf(w, "  unattributed: %.6f s\n", cp.Unattributed)
