@@ -13,6 +13,8 @@ import (
 	"fxpar/internal/experiments"
 	"fxpar/internal/fault"
 	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
 )
 
@@ -20,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
 	cache := flag.String("cache", "", "directory for the on-disk cost-table cache ('' disables)")
+	replay := flag.String("replay", "", "directory for the skeleton store; cost-table cells are answered by analytic DAG replay instead of re-simulation whenever the store holds their skeleton ('' disables)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	chaos := flag.String("chaos", "", "inject deterministic faults into the measured runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
@@ -55,6 +58,9 @@ func main() {
 	cfg.CacheDir = *cache
 	cfg.Engine = eng
 	cfg.Faults = plan.Machine()
+	if *replay != "" {
+		cfg.Replay = &mapping.ReplayOptions{Store: skeleton.NewStore(*replay)}
+	}
 	if plan != nil {
 		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
 	}

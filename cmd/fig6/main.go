@@ -13,12 +13,15 @@ import (
 	"fxpar/internal/experiments"
 	"fxpar/internal/fault"
 	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run a reduced-size workload")
 	j := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical for every value")
+	replay := flag.String("replay", "", "directory for the skeleton store; sweep points are answered by analytic whole-run replay instead of re-simulation whenever the store holds their skeleton ('' disables)")
 	monitor := flag.String("monitor", "", "serve live campaign progress over HTTP on this address for fxtop ('auto' = "+sweep.DefaultMonitorAddr+")")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	chaos := flag.String("chaos", "", "inject deterministic faults into every point's runs: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+")")
@@ -53,6 +56,9 @@ func main() {
 	cfg.Workers = *j
 	cfg.Engine = eng
 	cfg.Faults = plan.Machine()
+	if *replay != "" {
+		cfg.Replay = &mapping.ReplayOptions{Store: skeleton.NewStore(*replay)}
+	}
 	if plan != nil {
 		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
 	}

@@ -18,6 +18,7 @@ import (
 	"fxpar/internal/experiments"
 	"fxpar/internal/fault"
 	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
 	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
@@ -131,6 +132,9 @@ func main() {
 	chaosJSON := flag.String("chaosjson", "BENCH_chaos.json", "with -chaossweep: write the chaos report as machine-readable JSON to this file ('' disables)")
 	whatIfSweep := flag.Bool("whatifsweep", false, "standalone mode: capture one FFT-Hist pipeline run as a communication skeleton, re-cost it across a machine-parameter grid and per-span virtual speedups, cross-check against full simulations, and report re-cost vs simulation throughput")
 	whatIfJSON := flag.String("whatifjson", "BENCH_whatif.json", "with -whatifsweep: write the what-if report as machine-readable JSON to this file ('' disables)")
+	replay := flag.String("replay", "", "directory for the skeleton store: cost-table cells (and -replaysweep captures) are answered by analytic DAG replay instead of re-simulation whenever the store holds their skeleton ('' keeps the store in-process only)")
+	replaySweep := flag.Bool("replaysweep", false, "standalone mode: one traced FFT-Hist capture (healthy + chaotic), a machine-parameter campaign answered entirely by analytic replay with bitwise cross-checks against fresh simulations, and a replay-backed mapping search across machine variants")
+	replayJSON := flag.String("replayjson", "BENCH_replay.json", "with -replaysweep: write the replay campaign report as machine-readable JSON to this file ('' disables)")
 	skeletons := flag.String("skeletons", "", "standalone mode: diff two serialized skeletons 'baseline.json:current.json' for regression attribution and exit (0 identical, 1 changed, 2 missing/malformed input)")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
@@ -240,6 +244,56 @@ func main() {
 		return
 	}
 
+	// Standalone replay-campaign mode: capture once, answer the whole
+	// machine-parameter campaign and mapping search by analytic DAG replay,
+	// and cross-check a sample of cells against fresh simulations bitwise.
+	// Everything but the Host* throughput fields is deterministic, so the
+	// JSON is a committable artifact (CI diffs it with -skip '^Host').
+	if *replaySweep {
+		rcfg := experiments.DefaultReplay()
+		if *quick {
+			rcfg = experiments.QuickReplay()
+		}
+		rcfg.Workers, rcfg.Engine, rcfg.StoreDir = *j, eng, *replay
+		if plan != nil {
+			rcfg.ChaosSeed, rcfg.ChaosProfile = plan.Seed, plan.Prof.Name
+		}
+		rep, err := experiments.Replay(rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+		if !rep.IdentityExact || !rep.ChaosIdentityExact {
+			fmt.Fprintln(os.Stderr, "fxbench: replay determinism violated — identity replay deviates from the recorded run")
+			os.Exit(1)
+		}
+		if rep.Mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "fxbench: %d replay cross-check(s) deviate bitwise from fresh simulations\n", rep.Mismatches)
+			os.Exit(1)
+		}
+		if *replayJSON != "" {
+			f, err := os.Create(*replayJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fxbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *replayJSON)
+		}
+		return
+	}
+
 	url, stopMon, err := sweep.MonitorFromFlag(*monitor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fxbench:", err)
@@ -260,6 +314,12 @@ func main() {
 	f5.Workers, f5.CacheDir, f5.Engine = *j, *cache, eng
 	f6.Workers, f6.Engine = *j, eng
 	t1.Faults, f5.Faults, f6.Faults = plan.Machine(), plan.Machine(), plan.Machine()
+	if *replay != "" {
+		st := skeleton.NewStore(*replay)
+		t1.Replay = &mapping.ReplayOptions{Store: st}
+		f5.Replay = &mapping.ReplayOptions{Store: st}
+		f6.Replay = &mapping.ReplayOptions{Store: st}
+	}
 	if plan != nil {
 		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
 	}

@@ -32,6 +32,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -49,27 +50,46 @@ import (
 	"fxpar/internal/trace"
 )
 
-// parseFactors parses a comma-separated list of positive floats.
+// parseFactors parses a comma-separated list of positive finite floats.
+// Empty segments — "1,,2", a trailing comma, or an empty list — are
+// rejected with an error naming the offending position, not silently
+// skipped or reported as a cryptic parse failure.
 func parseFactors(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty factor list")
+	}
 	parts := strings.Split(s, ",")
 	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil || !(v > 0) {
-			return nil, fmt.Errorf("invalid factor %q", p)
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty factor at position %d in %q (stray or trailing comma)", i+1, s)
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("invalid factor %q (want a positive number)", p)
 		}
 		out = append(out, v)
 	}
 	return out, nil
 }
 
+// parseStages parses the -stages list with the same empty-segment
+// strictness as parseFactors.
 func parseStages(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty stage list")
+	}
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty stage size at position %d in %q (stray or trailing comma)", i+1, s)
+		}
+		v, err := strconv.Atoi(p)
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("invalid stage size %q", p)
+			return nil, fmt.Errorf("invalid stage size %q (want a positive integer)", p)
 		}
 		out = append(out, v)
 	}
@@ -111,6 +131,7 @@ func main() {
 	goal := flag.Float64("goal", 0, "with -auto: throughput constraint in data sets/s (0 = minimize latency only)")
 	j := flag.Int("j", 0, "with -auto: max concurrent cost-table simulations (0 = all host cores)")
 	cache := flag.String("cache", "", "with -auto: directory for the on-disk cost-table cache ('' disables)")
+	replay := flag.String("replay", "", "with -auto: directory for the skeleton store; cost-table cells are answered by analytic DAG replay instead of re-simulation whenever the store holds their skeleton ('' disables)")
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N; changes host time only, never a simulated number")
 	chaos := flag.String("chaos", "", "inject deterministic faults into the profiled run: seed[:profile] (profiles: "+strings.Join(fault.ProfileNames(), " ")+"; default "+fault.DefaultProfile+"); fault/timeout/retry events land in every view")
 	whatif := flag.Bool("whatif", false, "capture the run as a communication skeleton and print the causal what-if profile (ranked virtual span speedups + machine-parameter sensitivity curves)")
@@ -150,6 +171,9 @@ func main() {
 		}
 	}
 	opt := mapping.BuildOptions{Workers: *j, CacheDir: *cache, Engine: eng}
+	if *replay != "" {
+		opt.Replay = &mapping.ReplayOptions{Store: skeleton.NewStore(*replay)}
+	}
 
 	// The full collector drives the post-hoc views (Gantt, critical path,
 	// Chrome export); the streaming sinks aggregate the same run online and

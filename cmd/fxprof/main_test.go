@@ -1,0 +1,107 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseFactors pins the strict parse: valid lists round-trip, and
+// malformed input — above all empty segments from stray or trailing
+// commas — fails with an error that names the problem instead of a
+// generic strconv complaint.
+func TestParseFactors(t *testing.T) {
+	good := []struct {
+		in   string
+		want []float64
+	}{
+		{"1", []float64{1}},
+		{"0.5,1,2", []float64{0.5, 1, 2}},
+		{" 0.25 , 4 ", []float64{0.25, 4}},
+		{"1e-3,1e3", []float64{1e-3, 1e3}},
+	}
+	for _, g := range good {
+		got, err := parseFactors(g.in)
+		if err != nil {
+			t.Errorf("parseFactors(%q): unexpected error %v", g.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, g.want) {
+			t.Errorf("parseFactors(%q) = %v, want %v", g.in, got, g.want)
+		}
+	}
+
+	bad := []struct {
+		in   string
+		want string // substring the error must contain
+	}{
+		{"", "empty factor list"},
+		{"   ", "empty factor list"},
+		{"1,2,", "empty factor at position 3"},
+		{",1,2", "empty factor at position 1"},
+		{"1,,2", "empty factor at position 2"},
+		{"1, ,2", "empty factor at position 2"},
+		{"1,x", "invalid factor"},
+		{"0,1", "invalid factor"},
+		{"-2", "invalid factor"},
+		{"NaN", "invalid factor"},
+		{"Inf", "invalid factor"},
+	}
+	for _, b := range bad {
+		got, err := parseFactors(b.in)
+		if err == nil {
+			t.Errorf("parseFactors(%q) = %v, want error containing %q", b.in, got, b.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), b.want) {
+			t.Errorf("parseFactors(%q) error = %q, want it to contain %q", b.in, err, b.want)
+		}
+	}
+}
+
+// TestParseStages mirrors TestParseFactors for the -stages list.
+func TestParseStages(t *testing.T) {
+	good := []struct {
+		in   string
+		want []int
+	}{
+		{"6", []int{6}},
+		{"2,2,2", []int{2, 2, 2}},
+		{" 16 , 8 , 8 ", []int{16, 8, 8}},
+	}
+	for _, g := range good {
+		got, err := parseStages(g.in)
+		if err != nil {
+			t.Errorf("parseStages(%q): unexpected error %v", g.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, g.want) {
+			t.Errorf("parseStages(%q) = %v, want %v", g.in, got, g.want)
+		}
+	}
+
+	bad := []struct {
+		in   string
+		want string
+	}{
+		{"", "empty stage list"},
+		{"  ", "empty stage list"},
+		{"2,2,", "empty stage size at position 3"},
+		{",2", "empty stage size at position 1"},
+		{"2,,2", "empty stage size at position 2"},
+		{"2,a", "invalid stage size"},
+		{"0", "invalid stage size"},
+		{"-1,2", "invalid stage size"},
+		{"2.5", "invalid stage size"},
+	}
+	for _, b := range bad {
+		got, err := parseStages(b.in)
+		if err == nil {
+			t.Errorf("parseStages(%q) = %v, want error containing %q", b.in, got, b.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), b.want) {
+			t.Errorf("parseStages(%q) error = %q, want it to contain %q", b.in, err, b.want)
+		}
+	}
+}

@@ -8,19 +8,15 @@ import (
 	"fxpar/internal/machine"
 	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/stats"
 )
 
-// measureStage simulates stage s of the radar program in isolation on p
-// processors for one data set and returns the virtual makespan.
-func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
-	caps := []int{cfg.Gates, cfg.Rows, cfg.Rows, cfg.Rows}
-	if p > caps[s] {
-		p = caps[s]
-	}
-	mach := machine.New(p, cost)
-	mach.SetEngine(eng)
-	st := fx.Run(mach, func(px *fx.Proc) {
+// stageBody returns the program of stage s of the radar pipeline run in
+// isolation for one data set: the unit of both plain measurement and traced
+// capture.
+func stageBody(cfg Config, s int) func(*fx.Proc) {
+	return func(px *fx.Proc) {
 		g := px.Group()
 		switch s {
 		case 0: // input: serial sensor read + scatter of the gate-major matrix
@@ -47,8 +43,37 @@ func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) 
 		default:
 			panic(fmt.Sprintf("radar: no stage %d", s))
 		}
-	})
+	}
+}
+
+// stageProcs clamps a requested processor count to stage s's cap.
+func stageProcs(cfg Config, s, p int) int {
+	caps := []int{cfg.Gates, cfg.Rows, cfg.Rows, cfg.Rows}
+	if p > caps[s] {
+		return caps[s]
+	}
+	return p
+}
+
+// measureStage simulates stage s of the radar program in isolation on p
+// processors for one data set and returns the virtual makespan.
+func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
+	mach := machine.New(stageProcs(cfg, s, p), cost)
+	mach.SetEngine(eng)
+	st := fx.Run(mach, stageBody(cfg, s))
 	return st.MakespanTime()
+}
+
+// captureStage runs the same isolated stage simulation under a skeleton sink
+// and returns the folded communication skeleton alongside the live makespan.
+func captureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) (*skeleton.Skeleton, float64, error) {
+	mach := machine.New(stageProcs(cfg, s, p), cost)
+	mach.SetEngine(eng)
+	sink := skeleton.NewSink(cost, "")
+	mach.SetTracer(sink)
+	st := fx.Run(mach, stageBody(cfg, s))
+	sk, err := sink.Skeleton()
+	return sk, st.MakespanTime(), err
 }
 
 // measureDP simulates the whole radar program data-parallel on p processors
@@ -65,20 +90,68 @@ func measureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) float6
 	return res.Stream.Latency
 }
 
+// captureDP is the traced variant of measureDP; its live value is a stream
+// latency, so ReplayOptions.Eval keeps these cells on the live path.
+func captureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) (*skeleton.Skeleton, float64, error) {
+	if p > cfg.Rows {
+		p = cfg.Rows
+	}
+	one := cfg
+	one.Sets = 1
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	sink := skeleton.NewSink(cost, "")
+	mach.SetTracer(sink)
+	res := Run(mach, one, DataParallel(p))
+	sk, err := sink.Skeleton()
+	return sk, res.Stream.Latency, err
+}
+
+// replayCells rewrites the measurement closures replay-first; see
+// ffthist.replayCells for the pattern.
+func replayCells(r *mapping.ReplayOptions, cost sim.CostModel, cfg Config, eng machine.Engine,
+	stage func(s, p int) float64, dp func(p int) float64) (func(s, p int) float64, func(p int) float64) {
+	params := fmt.Sprintf("Gates=%d,Rows=%d,Scale=%g,Thr=%g", cfg.Gates, cfg.Rows, cfg.Scale, cfg.Threshold)
+	rStage := func(s, p int) float64 {
+		key := skeleton.StoreKey{App: "radar.stage", Params: fmt.Sprintf("%s,s=%d", params, s),
+			Mapping: "isolated", P: p}
+		if v, ok := r.Eval(key, cost, func(base sim.CostModel) (*skeleton.Skeleton, float64, error) {
+			return captureStage(base, cfg, s, p, eng)
+		}); ok {
+			return v
+		}
+		return stage(s, p)
+	}
+	rDP := func(p int) float64 {
+		key := skeleton.StoreKey{App: "radar.dp", Params: params, Mapping: "dp", P: p}
+		if v, ok := r.Eval(key, cost, func(base sim.CostModel) (*skeleton.Skeleton, float64, error) {
+			return captureDP(base, cfg, p, eng)
+		}); ok {
+			return v
+		}
+		return dp(p)
+	}
+	return rStage, rDP
+}
+
 // MeasuredModel builds the radar cost model from isolated stage simulations
-// memoized by content key; see ffthist.MeasuredModel for the contract.
+// memoized by content key; see ffthist.MeasuredModel for the contract
+// (including the replay-first path under opt.Replay).
 func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
 	closed := BuildModel(cost, cfg, maxP)
 	spec := mapping.TableSpec{
 		App:    "radar",
-		Params: fmt.Sprintf("Gates=%d,Rows=%d,Scale=%g,Thr=%g", cfg.Gates, cfg.Rows, cfg.Scale, cfg.Threshold),
+		Params: fmt.Sprintf("Gates=%d,Rows=%d,Scale=%g,Thr=%g", cfg.Gates, cfg.Rows, cfg.Scale, cfg.Threshold) + opt.Replay.SpecSuffix(cost),
 		P:      maxP,
 		Stages: closed.StageNames,
 		Cost:   cost,
 	}
-	tab, src, err := mapping.BuildTables(spec, opt,
-		func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) },
-		func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) })
+	stage := func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) }
+	dp := func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) }
+	if opt.Replay != nil && opt.Replay.Store != nil {
+		stage, dp = replayCells(opt.Replay, cost, cfg, opt.Engine, stage, dp)
+	}
+	tab, src, err := mapping.BuildTables(spec, opt, stage, dp)
 	if err != nil {
 		return mapping.Model{}, src, err
 	}

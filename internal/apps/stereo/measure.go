@@ -8,18 +8,15 @@ import (
 	"fxpar/internal/machine"
 	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/stats"
 )
 
-// measureStage simulates stage s of the stereo program in isolation on p
-// processors for one data set and returns the virtual makespan.
-func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
-	if p > cfg.H {
-		p = cfg.H // all stages distribute over the H image rows
-	}
-	mach := machine.New(p, cost)
-	mach.SetEngine(eng)
-	st := fx.Run(mach, func(px *fx.Proc) {
+// stageBody returns the program of stage s of the stereo pipeline run in
+// isolation for one data set: the unit of both plain measurement and traced
+// capture.
+func stageBody(cfg Config, s int) func(*fx.Proc) {
+	return func(px *fx.Proc) {
 		g := px.Group()
 		vol := newVolume(px, g, cfg)
 		switch s {
@@ -33,8 +30,34 @@ func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) 
 		default:
 			panic(fmt.Sprintf("stereo: no stage %d", s))
 		}
-	})
+	}
+}
+
+// measureStage simulates stage s of the stereo program in isolation on p
+// processors for one data set and returns the virtual makespan.
+func measureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) float64 {
+	if p > cfg.H {
+		p = cfg.H // all stages distribute over the H image rows
+	}
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	st := fx.Run(mach, stageBody(cfg, s))
 	return st.MakespanTime()
+}
+
+// captureStage runs the same isolated stage simulation under a skeleton sink
+// and returns the folded communication skeleton alongside the live makespan.
+func captureStage(cost sim.CostModel, cfg Config, s, p int, eng machine.Engine) (*skeleton.Skeleton, float64, error) {
+	if p > cfg.H {
+		p = cfg.H
+	}
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	sink := skeleton.NewSink(cost, "")
+	mach.SetTracer(sink)
+	st := fx.Run(mach, stageBody(cfg, s))
+	sk, err := sink.Skeleton()
+	return sk, st.MakespanTime(), err
 }
 
 // measureDP simulates the whole stereo program data-parallel on p
@@ -51,21 +74,68 @@ func measureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) float6
 	return res.Stream.Latency
 }
 
+// captureDP is the traced variant of measureDP; its live value is a stream
+// latency, so ReplayOptions.Eval keeps these cells on the live path.
+func captureDP(cost sim.CostModel, cfg Config, p int, eng machine.Engine) (*skeleton.Skeleton, float64, error) {
+	if p > cfg.H {
+		p = cfg.H
+	}
+	one := cfg
+	one.Sets = 1
+	mach := machine.New(p, cost)
+	mach.SetEngine(eng)
+	sink := skeleton.NewSink(cost, "")
+	mach.SetTracer(sink)
+	res := Run(mach, one, DataParallel(p))
+	sk, err := sink.Skeleton()
+	return sk, res.Stream.Latency, err
+}
+
+// replayCells rewrites the measurement closures replay-first; see
+// ffthist.replayCells for the pattern.
+func replayCells(r *mapping.ReplayOptions, cost sim.CostModel, cfg Config, eng machine.Engine,
+	stage func(s, p int) float64, dp func(p int) float64) (func(s, p int) float64, func(p int) float64) {
+	params := fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window)
+	rStage := func(s, p int) float64 {
+		key := skeleton.StoreKey{App: "stereo.stage", Params: fmt.Sprintf("%s,s=%d", params, s),
+			Mapping: "isolated", P: p}
+		if v, ok := r.Eval(key, cost, func(base sim.CostModel) (*skeleton.Skeleton, float64, error) {
+			return captureStage(base, cfg, s, p, eng)
+		}); ok {
+			return v
+		}
+		return stage(s, p)
+	}
+	rDP := func(p int) float64 {
+		key := skeleton.StoreKey{App: "stereo.dp", Params: params, Mapping: "dp", P: p}
+		if v, ok := r.Eval(key, cost, func(base sim.CostModel) (*skeleton.Skeleton, float64, error) {
+			return captureDP(base, cfg, p, eng)
+		}); ok {
+			return v
+		}
+		return dp(p)
+	}
+	return rStage, rDP
+}
+
 // MeasuredModel builds the stereo cost model from isolated stage
 // simulations memoized by content key; see ffthist.MeasuredModel for the
-// contract.
+// contract (including the replay-first path under opt.Replay).
 func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
 	closed := BuildModel(cost, cfg, maxP)
 	spec := mapping.TableSpec{
 		App:    "stereo",
-		Params: fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window),
+		Params: fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window) + opt.Replay.SpecSuffix(cost),
 		P:      maxP,
 		Stages: closed.StageNames,
 		Cost:   cost,
 	}
-	tab, src, err := mapping.BuildTables(spec, opt,
-		func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) },
-		func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) })
+	stage := func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) }
+	dp := func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) }
+	if opt.Replay != nil && opt.Replay.Store != nil {
+		stage, dp = replayCells(opt.Replay, cost, cfg, opt.Engine, stage, dp)
+	}
+	tab, src, err := mapping.BuildTables(spec, opt, stage, dp)
 	if err != nil {
 		return mapping.Model{}, src, err
 	}

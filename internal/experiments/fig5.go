@@ -43,6 +43,10 @@ type Fig5Config struct {
 	// Faults injects a deterministic chaos plan into the measured mapping
 	// runs (nil: none); the cost tables behind the optimizer stay healthy.
 	Faults machine.FaultPlan
+	// Replay, when non-nil, answers cost-table cells from the skeleton
+	// store by analytic re-cost instead of live simulation (see
+	// mapping.ReplayOptions).
+	Replay *mapping.ReplayOptions
 }
 
 // DefaultFig5 matches the paper: 512x512 FFT-Hist on 64 processors.
@@ -62,7 +66,7 @@ func QuickFig5() Fig5Config { return Fig5Config{Procs: 16, N: 64, Sets: 6} }
 func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	cost := sim.Paragon()
 	appCfg := ffthist.Config{N: cfg.N, Sets: cfg.Sets, Bins: 64}
-	opt := mapping.BuildOptions{Workers: cfg.Workers, CacheDir: cfg.CacheDir, Engine: cfg.Engine}
+	opt := mapping.BuildOptions{Workers: cfg.Workers, CacheDir: cfg.CacheDir, Engine: cfg.Engine, Replay: cfg.Replay}
 	model, _, err := ffthist.MeasuredModel(cost, appCfg, cfg.Procs, opt)
 	if err != nil {
 		return nil, err

@@ -7,7 +7,9 @@ import (
 
 	"fxpar/internal/apps/airshed"
 	"fxpar/internal/machine"
+	"fxpar/internal/mapping"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
 )
 
@@ -37,6 +39,12 @@ type Fig6Config struct {
 	// (nil: none). Under a lethal profile a point may fail; its Err field
 	// carries the typed error text and its speedups stay zero.
 	Faults machine.FaultPlan
+	// Replay, when non-nil, memoizes every point's whole-run skeleton in
+	// the store: a repeated sweep (same config, same chaos plan) answers
+	// each point by one analytic DAG evaluation — bitwise equal to the live
+	// makespan — instead of re-simulating. With the store's directory set
+	// the memoization spans processes.
+	Replay *mapping.ReplayOptions
 }
 
 // DefaultFig6 matches the paper's sweep up to 64 processors.
@@ -65,19 +73,41 @@ func QuickFig6() Fig6Config {
 // included) fans out over cfg.Workers host threads.
 func Fig6(cfg Fig6Config) []Fig6Point {
 	cost := sim.Paragon()
+	// makespan answers one point's run replay-first when cfg.Replay is set
+	// (whole-run makespans ARE skeleton makespans, so the replay is bitwise
+	// exact) and by live simulation otherwise.
+	makespan := func(p int, variant airshed.Variant, label string) float64 {
+		key := skeleton.StoreKey{
+			App:     "airshed",
+			Params:  fmt.Sprintf("%+v", cfg.App),
+			Mapping: label,
+			P:       p,
+			Chaos:   chaosLabel(cfg.Faults),
+		}
+		if v, ok := cfg.Replay.Eval(key, cost, func(base sim.CostModel) (*skeleton.Skeleton, float64, error) {
+			m := newMachine(p, base, cfg.Engine, cfg.Faults)
+			sink := skeleton.NewSink(base, chaosLabel(cfg.Faults))
+			m.SetTracer(sink)
+			res := airshed.Run(m, cfg.App, variant)
+			sk, err := sink.Skeleton()
+			return sk, res.Makespan, err
+		}); ok {
+			return v
+		}
+		return airshed.Run(newMachine(p, cost, cfg.Engine, cfg.Faults), cfg.App, variant).Makespan
+	}
 	// Job 0 is the 1-processor baseline; job i+1 simulates point i (both
 	// program versions). Speedups are filled in after the barrier because
 	// they all divide by the baseline.
 	res := sweep.MapNamed("fig6", cfg.Workers, len(cfg.ProcCounts)+1, func(i int) (Fig6Point, error) {
 		if i == 0 {
-			return Fig6Point{Procs: 1,
-				DPMakespan: airshed.Run(newMachine(1, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.DataParallel).Makespan}, nil
+			return Fig6Point{Procs: 1, DPMakespan: makespan(1, airshed.DataParallel, "dp")}, nil
 		}
 		p := cfg.ProcCounts[i-1]
 		pt := Fig6Point{Procs: p}
-		pt.DPMakespan = airshed.Run(newMachine(p, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.DataParallel).Makespan
+		pt.DPMakespan = makespan(p, airshed.DataParallel, "dp")
 		if p >= 4 {
-			pt.TaskMakespan = airshed.Run(newMachine(p, cost, cfg.Engine, cfg.Faults), cfg.App, airshed.TaskIO).Makespan
+			pt.TaskMakespan = makespan(p, airshed.TaskIO, "taskio")
 		}
 		return pt, nil
 	})

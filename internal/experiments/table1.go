@@ -68,6 +68,11 @@ type Table1Config struct {
 	// model they were chosen from — so the memoized tables remain valid and
 	// shareable across chaotic and healthy campaigns.
 	Faults machine.FaultPlan
+	// Replay, when non-nil, answers cost-table cells from the skeleton
+	// store by analytic re-cost instead of live simulation (see
+	// mapping.ReplayOptions); table values are unchanged where the replay
+	// is exact and fall back to live simulation everywhere else.
+	Replay *mapping.ReplayOptions
 }
 
 // DefaultTable1 runs at the paper's scale: 64 processors.
@@ -84,7 +89,21 @@ func (c Table1Config) cost() sim.CostModel {
 }
 
 func (c Table1Config) buildOptions() mapping.BuildOptions {
-	return mapping.BuildOptions{Workers: c.Workers, CacheDir: c.CacheDir, Engine: c.Engine}
+	return mapping.BuildOptions{Workers: c.Workers, CacheDir: c.CacheDir, Engine: c.Engine, Replay: c.Replay}
+}
+
+// chaosLabel renders a fault plan's identity for skeleton store keys: the
+// canonical "seed:profile" label, or "" for a healthy run. A skeleton
+// captured under one plan bakes its faults into the op stream, so the label
+// must distinguish every plan that could change the DAG.
+func chaosLabel(fp machine.FaultPlan) string {
+	if fp == nil {
+		return ""
+	}
+	if s, ok := fp.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", fp)
 }
 
 // newMachine builds a machine running on the configured engine (the package

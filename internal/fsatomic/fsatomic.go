@@ -1,0 +1,44 @@
+// Package fsatomic is the one place cache and artifact files get written:
+// a temp file created in the *destination directory* followed by a rename.
+// Creating the temp file next to its final path — never in os.TempDir —
+// matters twice over: rename(2) is only atomic within one filesystem, and
+// campaign workers sharing a cache directory (-j table builds, concurrent
+// replay-store writers) must never observe a half-written JSON file under
+// the final name. Concurrent writers of the same path each rename their own
+// complete temp file; the last rename wins and every reader sees some
+// complete version.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: the bytes land in a temp file
+// created in path's own directory (created if absent) and are renamed into
+// place only after a successful Close. On any error the temp file is
+// removed and the destination is untouched.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

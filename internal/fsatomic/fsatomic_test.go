@@ -1,0 +1,118 @@
+package fsatomic
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "file.json")
+	want := []byte(`{"k":"v"}`)
+	if err := WriteFile(path, want); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, wrote %q", got, want)
+	}
+}
+
+// TestWriteFileTempInTargetDir pins the property the atomicity rests on:
+// the temp file is created in the destination directory, not os.TempDir,
+// so the final rename never crosses a filesystem boundary.
+func TestWriteFileTempInTargetDir(t *testing.T) {
+	dir := t.TempDir()
+	// Write through a hook-free observation: fill the directory before and
+	// after, and separately verify no stray temp files survive a success.
+	if err := WriteFile(filepath.Join(dir, "out.json"), []byte("x")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.json" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only out.json (leaked temp file?)", names)
+	}
+}
+
+// TestWriteFileConcurrentWriters hammers one destination path from many
+// goroutines writing distinct complete payloads. Every concurrent read must
+// observe one of the complete payloads — never a short or interleaved file —
+// which is exactly the guarantee -j campaign workers sharing a cache
+// directory rely on.
+func TestWriteFileConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	const writers, rounds = 8, 40
+	payload := func(id int) []byte {
+		// Distinct sizes so a torn read is detectable by content alone.
+		return []byte(fmt.Sprintf("writer-%d:%s\n", id, strings.Repeat("x", 512*(id+1))))
+	}
+	valid := make(map[string]bool, writers)
+	for i := 0; i < writers; i++ {
+		valid[string(payload(i))] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := WriteFile(path, payload(id)); err != nil {
+					errs <- fmt.Errorf("writer %d round %d: %v", id, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < writers*rounds; r++ {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // before the first rename lands
+				}
+				errs <- fmt.Errorf("reader round %d: %v", r, err)
+				return
+			}
+			if !valid[string(data)] {
+				errs <- fmt.Errorf("reader observed a torn file (%d bytes)", len(data))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want only cache.json", names)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sync"
 
+	"fxpar/internal/fsatomic"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/sweep"
 )
 
@@ -89,6 +91,107 @@ type BuildOptions struct {
 	// engine is deliberately NOT part of the memo key: tables computed under
 	// one engine are valid for all.
 	Engine machine.Engine
+	// Replay, when non-nil, enables the skeleton-replay backend for the
+	// measurement closures: each table cell is answered by re-costing a
+	// stored communication skeleton instead of running a simulation
+	// whenever the store has one (see ReplayOptions). The apps' measure
+	// functions consult it; BuildTables itself only threads it through.
+	Replay *ReplayOptions
+}
+
+// ReplayOptions is the skeleton-replay backend of a table build: a
+// content-addressed skeleton store plus the base cost model cells are
+// captured under. A cell requested at exactly Base re-costs bitwise
+// identically to a live simulation (the replay is the recorded run); a cell
+// requested at another cost model is an analytic re-cost of the Base
+// skeleton — exact for healthy runs up to floating-point rounding, and in
+// practice bitwise for power-of-two parameter scalings (see the replay
+// campaign's cross-checks). This is what turns a mapping search across
+// machine parameterizations into one traced simulation per cell shape plus
+// thousands of cheap DAG evaluations.
+type ReplayOptions struct {
+	// Store holds the captured cell skeletons (in-process and, when its
+	// directory is set, shared on disk across processes and -j workers).
+	Store *skeleton.Store
+	// Base is the cost model cell skeletons are captured under. Campaigns
+	// that sweep machine parameters all capture at one Base and re-cost
+	// everywhere else. The zero value means "capture at whatever model the
+	// build requests": every replay is then an identity replay (bitwise
+	// equal to the live run), which still displaces simulation whenever the
+	// store — in-process or on disk — already holds the cell.
+	Base sim.CostModel
+
+	// skip remembers cells proven non-replayable (their live metric is not
+	// a DAG makespan — e.g. a stream latency that excludes teardown), so a
+	// cross-cost build does not re-capture them on every variant.
+	skip sync.Map // key string -> struct{}
+}
+
+// SpecSuffix returns the marker a replay-first build must append to its
+// table-spec params when building for target: analytically re-costed
+// tables (target != Base) carry the base model in their memo key so they
+// never collide with live-simulated tables for the same target, which
+// would make results depend on which mode ran first.
+func (r *ReplayOptions) SpecSuffix(target sim.CostModel) string {
+	if r == nil || r.Store == nil || r.Base == (sim.CostModel{}) || target == r.Base {
+		return ""
+	}
+	return fmt.Sprintf("|replay-base=%+v", r.Base)
+}
+
+// Eval answers one table cell replay-first and reports whether it could:
+// a false return means the caller must fall back to a live simulation at
+// target (which is also the only path that can answer non-makespan cells).
+//
+// On a store hit the cell costs one analytic DAG evaluation. On a miss,
+// capture runs one live traced simulation at Base and must return the
+// folded skeleton together with the cell's live value at Base; the
+// skeleton is stored only if its makespan IS that value — the guard that
+// keeps metrics which are not pure DAG makespans from ever being replayed.
+func (r *ReplayOptions) Eval(key skeleton.StoreKey, target sim.CostModel,
+	capture func(base sim.CostModel) (*skeleton.Skeleton, float64, error)) (float64, bool) {
+	if r == nil || r.Store == nil {
+		return 0, false
+	}
+	base := r.Base
+	if base == (sim.CostModel{}) {
+		base = target
+	}
+	key.Cost = base
+	ks := key.Key()
+	if _, bad := r.skip.Load(ks); bad {
+		return 0, false
+	}
+	recost := func(sk *skeleton.Skeleton) (float64, bool) {
+		if target == base {
+			return sk.Makespan, true
+		}
+		mk, err := sk.Recost(skeleton.Params{Cost: &target})
+		if err != nil {
+			return 0, false
+		}
+		return mk, true
+	}
+	if sk, _, ok := r.Store.Get(key); ok {
+		return recost(sk)
+	}
+	sk, live, err := capture(base)
+	if err != nil || sk == nil {
+		return 0, false
+	}
+	if sk.Makespan != live {
+		r.skip.Store(ks, struct{}{})
+		if target == base {
+			// The capture was the live run; its value stands even though
+			// the cell cannot be replayed at other cost models.
+			return live, true
+		}
+		return 0, false
+	}
+	if err := r.Store.Put(key, sk); err != nil {
+		return 0, false
+	}
+	return recost(sk)
 }
 
 // tableMemo is the in-process cache, shared by every build in the process.
@@ -125,30 +228,17 @@ func readDiskCache(path, key string, nStages, p int) (Tables, bool) {
 }
 
 // writeDiskCache persists tables best-effort: a cache write failure never
-// fails the build. The temp-file + rename dance keeps concurrent processes
-// from observing half-written JSON.
+// fails the build. The write goes through fsatomic — the temp file lives in
+// the cache directory itself, never os.TempDir, so the rename is atomic
+// even when concurrent -j campaign workers share one cache dir (rename is
+// only atomic within a filesystem, and a cross-device fallback could expose
+// half-written JSON under the final name).
 func writeDiskCache(path string, t Tables) {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(dir, "fxtab-*.tmp")
+	data, err := json.Marshal(t)
 	if err != nil {
 		return
 	}
-	enc := json.NewEncoder(tmp)
-	if err := enc.Encode(t); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-	}
+	_ = fsatomic.WriteFile(path, append(data, '\n'))
 }
 
 // BuildTables returns the cost tables for spec, consulting the in-process

@@ -1,9 +1,11 @@
 package mapping
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -216,6 +218,77 @@ func TestBuildTablesParallelEqualsSerial(t *testing.T) {
 	for p := 1; p <= spec.P; p++ {
 		if serial.DPT[p] != par.DPT[p] {
 			t.Fatalf("DPT[%d]: serial %g != parallel %g", p, serial.DPT[p], par.DPT[p])
+		}
+	}
+}
+
+// TestWriteDiskCacheConcurrentWriters hammers one cache path with parallel
+// writers (the -j campaign scenario: many workers, one shared cache dir)
+// while a reader polls. Because writeDiskCache goes through fsatomic — temp
+// file in the cache directory itself, then rename — a concurrent reader must
+// only ever observe a complete, verified table, never a torn file.
+func TestWriteDiskCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(4)
+	key := spec.Key()
+	path := cachePath(dir, key)
+
+	mk := func(fill float64) Tables {
+		tab := Tables{Key: key, StageT: make([][]float64, 2), DPT: make([]float64, 5)}
+		for s := range tab.StageT {
+			tab.StageT[s] = make([]float64, 5)
+			for p := 1; p <= 4; p++ {
+				tab.StageT[s][p] = fill
+			}
+		}
+		return tab
+	}
+
+	const writers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				writeDiskCache(path, mk(float64(w*rounds+r)))
+			}
+		}(w)
+	}
+	readerDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < writers*rounds; i++ {
+			if tab, ok := readDiskCache(path, key, 2, 4); ok {
+				if tab.Key != key {
+					readerDone <- fmt.Errorf("read tables with wrong key %q", tab.Key)
+					return
+				}
+			}
+		}
+		readerDone <- nil
+	}()
+	wg.Wait()
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the file must hold one complete table.
+	tab, ok := readDiskCache(path, key, 2, 4)
+	if !ok {
+		t.Fatal("cache file unreadable after concurrent writes")
+	}
+	if tab.Key != key {
+		t.Fatalf("final table key %q != %q", tab.Key, key)
+	}
+
+	// And no temp droppings may be left behind in the cache dir.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("leftover file %q in cache dir", e.Name())
 		}
 	}
 }

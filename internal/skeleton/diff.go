@@ -60,8 +60,8 @@ type SpanDelta struct {
 // so exact comparison is the correct test.
 func (d SpanDelta) changed() bool { return d.Old != d.New }
 
-// magnitude orders deltas by how much virtual time moved.
-func (d SpanDelta) magnitude() float64 {
+// Magnitude orders deltas by how much virtual time moved.
+func (d SpanDelta) Magnitude() float64 {
 	m := d.New.Local - d.Old.Local
 	if m < 0 {
 		m = -m
@@ -109,8 +109,8 @@ func Diff(old, cur *Skeleton) *DiffReport {
 		}
 	}
 	sort.Slice(rep.Deltas, func(i, j int) bool {
-		if rep.Deltas[i].magnitude() != rep.Deltas[j].magnitude() {
-			return rep.Deltas[i].magnitude() > rep.Deltas[j].magnitude()
+		if rep.Deltas[i].Magnitude() != rep.Deltas[j].Magnitude() {
+			return rep.Deltas[i].Magnitude() > rep.Deltas[j].Magnitude()
 		}
 		return rep.Deltas[i].Label < rep.Deltas[j].Label
 	})

@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
+	"fxpar/internal/fsatomic"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
 )
@@ -228,28 +228,15 @@ func Decode(data []byte) (*Skeleton, error) {
 	return s, nil
 }
 
-// WriteFile writes the canonical encoding to path via a temp file + rename,
-// so a crashed writer never leaves a torn skeleton behind.
+// WriteFile writes the canonical encoding to path via a temp file created
+// in path's own directory + rename (fsatomic), so a crashed writer never
+// leaves a torn skeleton behind and concurrent writers stay atomic.
 func (s *Skeleton) WriteFile(path string) error {
 	data, err := s.Encode()
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".fxskel-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsatomic.WriteFile(path, data)
 }
 
 // ReadFile reads and verifies a serialized skeleton.

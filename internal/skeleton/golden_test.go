@@ -1,4 +1,4 @@
-package skeleton
+package skeleton_test
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/trace"
 )
 
@@ -56,9 +57,9 @@ func TestGoldenSkeleton(t *testing.T) {
 	m := machine.New(3, cost)
 	m.SetTracer(col)
 	m.Run(goldenProgram)
-	sk, err := FromEvents(cost, col.Events())
+	sk, err := skeleton.FromEvents(cost, col.Events())
 	if err != nil {
-		t.Fatalf("FromEvents: %v", err)
+		t.Fatalf("skeleton.FromEvents: %v", err)
 	}
 	got, err := sk.Encode()
 	if err != nil {
@@ -85,11 +86,11 @@ func TestGoldenSkeleton(t *testing.T) {
 
 	// The golden file must itself decode, key-verify and re-cost to its
 	// recorded makespan.
-	dec, err := Decode(want)
+	dec, err := skeleton.Decode(want)
 	if err != nil {
 		t.Fatalf("golden decode: %v", err)
 	}
-	mk, err := dec.Recost(Params{})
+	mk, err := dec.Recost(skeleton.Params{})
 	if err != nil {
 		t.Fatalf("golden recost: %v", err)
 	}

@@ -26,6 +26,7 @@ package skeleton
 
 import (
 	"fmt"
+	"math"
 
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
@@ -45,7 +46,74 @@ type Params struct {
 	SpanSpeedup map[string]float64
 	// NetScale, when non-zero and != 1, multiplies every edge's wire time
 	// after the alpha/beta adjustment (a uniform network speedup/slowdown).
+	// When set it must be positive and finite; zero means "unset" (scale 1).
 	NetScale float64
+}
+
+// ParamError is the typed error a re-cost evaluation returns for invalid
+// parameters: a non-positive or non-finite flop rate, a negative alpha or
+// beta, a non-positive net scale or span speedup. Catching these at the
+// seam keeps NaN and Inf out of replayed makespans — and out of the
+// committed campaign artifacts built from them (BENCH_replay.json).
+type ParamError struct {
+	// Field names the offending parameter ("cost.FlopRate", "netscale",
+	// "speedup:<label>", ...).
+	Field string
+	// Value is the rejected value.
+	Value float64
+	// Reason says what the parameter must satisfy.
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("skeleton: invalid re-cost parameter %s = %g: %s", e.Field, e.Value, e.Reason)
+}
+
+// finite reports whether v is a usable float (not NaN, not an infinity).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validateCost rejects cost models that would replay into NaN/Inf
+// makespans. Stricter than sim.CostModel.Validate: NaN and Inf fields are
+// errors here, not merely sign violations.
+func validateCost(c *sim.CostModel) *ParamError {
+	if !(c.FlopRate > 0) || !finite(c.FlopRate) {
+		return &ParamError{Field: "cost.FlopRate", Value: c.FlopRate, Reason: "must be positive and finite"}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"cost.Alpha", c.Alpha}, {"cost.Beta", c.Beta},
+		{"cost.SendOverhead", c.SendOverhead}, {"cost.MemByte", c.MemByte},
+		{"cost.BarrierAlpha", c.BarrierAlpha}, {"cost.IORate", c.IORate},
+		{"cost.PerHop", c.PerHop},
+	} {
+		if f.v < 0 || !finite(f.v) {
+			return &ParamError{Field: f.name, Value: f.v, Reason: "must be non-negative and finite"}
+		}
+	}
+	return nil
+}
+
+// Validate checks p without evaluating anything; every re-cost entry point
+// performs the same checks, so a caller building campaign grids can reject
+// a bad point before spending a capture on it. Span labels are not resolved
+// here (that needs a skeleton); only the numeric values are checked.
+func (p Params) Validate() error {
+	if p.Cost != nil {
+		if err := validateCost(p.Cost); err != nil {
+			return err
+		}
+	}
+	if p.NetScale != 0 && (!(p.NetScale > 0) || !finite(p.NetScale)) {
+		return &ParamError{Field: "netscale", Value: p.NetScale, Reason: "must be positive and finite"}
+	}
+	for label, k := range p.SpanSpeedup {
+		if !(k > 0) || !finite(k) {
+			return &ParamError{Field: "speedup:" + label, Value: k, Reason: "must be positive and finite"}
+		}
+	}
+	return nil
 }
 
 // Result is one re-cost evaluation.
@@ -93,12 +161,12 @@ type factors struct {
 }
 
 func (s *Skeleton) factors(p Params) (factors, error) {
+	if err := p.Validate(); err != nil {
+		return factors{}, err
+	}
 	old := s.Cost
 	cur := old
 	if p.Cost != nil {
-		if err := p.Cost.Validate(); err != nil {
-			return factors{}, err
-		}
 		cur = *p.Cost
 	}
 	f := factors{compute: 1, io: 1, send: 1, net: 1}
@@ -122,9 +190,6 @@ func (s *Skeleton) factors(p Params) (factors, error) {
 			f.span[i] = 1
 		}
 		for label, k := range p.SpanSpeedup {
-			if !(k > 0) {
-				return factors{}, fmt.Errorf("skeleton: speedup for %q must be positive, got %g", label, k)
-			}
 			idx := -1
 			for i, l := range s.Labels {
 				if l == label {

@@ -1,4 +1,4 @@
-package skeleton
+package skeleton_test
 
 import (
 	"bytes"
@@ -9,27 +9,28 @@ import (
 	"fxpar/internal/apps/ffthist"
 	"fxpar/internal/machine"
 	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
 	"fxpar/internal/trace"
 )
 
 // captureFFTHist runs a small FFT-Hist pipeline under a collector and a
 // skeleton sink simultaneously and returns both capture paths' views.
-func captureFFTHist(t *testing.T, cost sim.CostModel, cfg ffthist.Config, mp ffthist.Mapping) (*Skeleton, *Sink, []machine.Event) {
+func captureFFTHist(t *testing.T, cost sim.CostModel, cfg ffthist.Config, mp ffthist.Mapping) (*skeleton.Skeleton, *skeleton.Sink, []machine.Event) {
 	t.Helper()
 	col := &trace.Collector{}
-	sink := NewSink(cost, "")
+	sink := skeleton.NewSink(cost, "")
 	m := machine.New(mp.Procs(), cost)
 	m.SetTracer(trace.Tee(col, sink))
 	ffthist.Run(m, cfg, mp)
 	evs := col.Events()
-	sk, err := FromEvents(cost, evs)
+	sk, err := skeleton.FromEvents(cost, evs)
 	if err != nil {
-		t.Fatalf("FromEvents: %v", err)
+		t.Fatalf("skeleton.FromEvents: %v", err)
 	}
 	return sk, sink, evs
 }
 
-func smallRun(t *testing.T) (*Skeleton, *Sink, []machine.Event) {
+func smallRun(t *testing.T) (*skeleton.Skeleton, *skeleton.Sink, []machine.Event) {
 	t.Helper()
 	return captureFFTHist(t, sim.Paragon(),
 		ffthist.Config{N: 32, Sets: 6, Bins: 16},
@@ -42,7 +43,7 @@ func smallRun(t *testing.T) (*Skeleton, *Sink, []machine.Event) {
 func TestRecostIdentity(t *testing.T) {
 	sk, _, evs := smallRun(t)
 
-	res, err := sk.RecostEvents(Params{})
+	res, err := sk.RecostEvents(skeleton.Params{})
 	if err != nil {
 		t.Fatalf("RecostEvents: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestRecostIdentity(t *testing.T) {
 		t.Fatalf("critical-path reports diverge:\nrecorded:\n%s\nreplayed:\n%s", recBuf.String(), reBuf.String())
 	}
 
-	mk, err := sk.Recost(Params{})
+	mk, err := sk.Recost(skeleton.Params{})
 	if err != nil {
 		t.Fatalf("Recost: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestSinkMatchesFromEvents(t *testing.T) {
 	sk, sink, _ := smallRun(t)
 	fromSink, err := sink.Skeleton()
 	if err != nil {
-		t.Fatalf("Sink.Skeleton: %v", err)
+		t.Fatalf("skeleton.Sink.Skeleton: %v", err)
 	}
 	a, err := sk.Encode()
 	if err != nil {
@@ -96,7 +97,7 @@ func TestSinkMatchesFromEvents(t *testing.T) {
 		t.Fatalf("Encode(sink): %v", err)
 	}
 	if !bytes.Equal(a, b) {
-		t.Fatalf("capture paths diverge: FromEvents %d bytes, Sink %d bytes", len(a), len(b))
+		t.Fatalf("capture paths diverge: skeleton.FromEvents %d bytes, skeleton.Sink %d bytes", len(a), len(b))
 	}
 }
 
@@ -128,7 +129,7 @@ func TestPerturbedRecostMatchesResim(t *testing.T) {
 	for i, f := range perturb {
 		cost := sim.Paragon()
 		f(&cost)
-		got, err := sk.Recost(Params{Cost: &cost})
+		got, err := sk.Recost(skeleton.Params{Cost: &cost})
 		if err != nil {
 			t.Fatalf("perturbation %d: Recost: %v", i, err)
 		}
@@ -174,14 +175,14 @@ func TestWhatIfTopEntryConfirmed(t *testing.T) {
 	m := machine.New(2, cost)
 	m.SetTracer(col)
 	m.Run(prog(1))
-	sk, err := FromEvents(cost, col.Events())
+	sk, err := skeleton.FromEvents(cost, col.Events())
 	if err != nil {
-		t.Fatalf("FromEvents: %v", err)
+		t.Fatalf("skeleton.FromEvents: %v", err)
 	}
 
 	rep, err := sk.WhatIf([]float64{2, k})
 	if err != nil {
-		t.Fatalf("WhatIf: %v", err)
+		t.Fatalf("skeleton.WhatIf: %v", err)
 	}
 	if len(rep.Rows) == 0 || rep.Rows[0].Label != "produce" {
 		t.Fatalf("top-ranked span = %+v, want produce first", rep.Rows)
@@ -210,7 +211,7 @@ func TestSensitivityCurves(t *testing.T) {
 	sk, _, _ := smallRun(t)
 	sv, err := sk.Sensitivity([]float64{0.5, 1, 2})
 	if err != nil {
-		t.Fatalf("Sensitivity: %v", err)
+		t.Fatalf("skeleton.Sensitivity: %v", err)
 	}
 	if sv.Alpha[1].Makespan != sk.Makespan || sv.Beta[1].Makespan != sk.Makespan || sv.Flop[1].Makespan != sk.Makespan {
 		t.Fatalf("identity scale does not reproduce recorded makespan: %+v (want %v)", sv, sk.Makespan)
@@ -237,9 +238,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
-	got, err := Decode(data)
+	got, err := skeleton.Decode(data)
 	if err != nil {
-		t.Fatalf("Decode: %v", err)
+		t.Fatalf("skeleton.Decode: %v", err)
 	}
 	data2, err := got.Encode()
 	if err != nil {
@@ -248,7 +249,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if !bytes.Equal(data, data2) {
 		t.Fatal("round trip is not byte-identical")
 	}
-	mk, err := got.Recost(Params{})
+	mk, err := got.Recost(skeleton.Params{})
 	if err != nil {
 		t.Fatalf("Recost(decoded): %v", err)
 	}
@@ -270,7 +271,7 @@ func TestDecodeRejectsTampering(t *testing.T) {
 	if bytes.Equal(tampered, data) {
 		t.Fatal("tampering had no effect")
 	}
-	if _, err := Decode(tampered); err == nil || !strings.Contains(err.Error(), "content key mismatch") {
+	if _, err := skeleton.Decode(tampered); err == nil || !strings.Contains(err.Error(), "content key mismatch") {
 		t.Fatalf("tampered skeleton decoded without key error: %v", err)
 	}
 }
@@ -282,9 +283,9 @@ func TestWriteReadFile(t *testing.T) {
 	if err := sk.WriteFile(path); err != nil {
 		t.Fatalf("WriteFile: %v", err)
 	}
-	got, err := ReadFile(path)
+	got, err := skeleton.ReadFile(path)
 	if err != nil {
-		t.Fatalf("ReadFile: %v", err)
+		t.Fatalf("skeleton.ReadFile: %v", err)
 	}
 	if got.Makespan != sk.Makespan || got.Ops() != sk.Ops() || got.P != sk.P {
 		t.Fatalf("file round trip changed the skeleton: %+v vs %+v", got, sk)
@@ -296,7 +297,7 @@ func TestWriteReadFile(t *testing.T) {
 func TestDiff(t *testing.T) {
 	old, _, _ := smallRun(t)
 	same, _, _ := smallRun(t)
-	if d := Diff(old, same); !d.Identical() {
+	if d := skeleton.Diff(old, same); !d.Identical() {
 		var buf bytes.Buffer
 		d.WriteReport(&buf)
 		t.Fatalf("identical runs diff as changed:\n%s", buf.String())
@@ -305,7 +306,7 @@ func TestDiff(t *testing.T) {
 	cur, _, _ := captureFFTHist(t, sim.Paragon(),
 		ffthist.Config{N: 32, Sets: 8, Bins: 16}, // two more sets
 		ffthist.Mapping{Modules: 1, Stages: []int{4, 2, 2}})
-	d := Diff(old, cur)
+	d := skeleton.Diff(old, cur)
 	if d.Identical() || len(d.Deltas) == 0 {
 		t.Fatal("regressed run diffs as identical")
 	}
@@ -319,7 +320,7 @@ func TestDiff(t *testing.T) {
 		t.Fatalf("diff report malformed:\n%s", out)
 	}
 	for i := 1; i < len(d.Deltas); i++ {
-		if d.Deltas[i-1].magnitude() < d.Deltas[i].magnitude() {
+		if d.Deltas[i-1].Magnitude() < d.Deltas[i].Magnitude() {
 			t.Fatalf("deltas not sorted by moved time: %v", d.Deltas)
 		}
 	}
@@ -328,19 +329,19 @@ func TestDiff(t *testing.T) {
 // TestNetScaleAndSpeedupValidation covers the Params error paths.
 func TestNetScaleAndSpeedupValidation(t *testing.T) {
 	sk, _, _ := smallRun(t)
-	if _, err := sk.Recost(Params{SpanSpeedup: map[string]float64{"no-such-span": 2}}); err == nil {
+	if _, err := sk.Recost(skeleton.Params{SpanSpeedup: map[string]float64{"no-such-span": 2}}); err == nil {
 		t.Error("speedup for unknown span did not error")
 	}
 	if len(sk.Labels) > 0 {
-		if _, err := sk.Recost(Params{SpanSpeedup: map[string]float64{sk.Labels[0]: -1}}); err == nil {
+		if _, err := sk.Recost(skeleton.Params{SpanSpeedup: map[string]float64{sk.Labels[0]: -1}}); err == nil {
 			t.Error("negative speedup did not error")
 		}
 	}
-	fast, err := sk.Recost(Params{NetScale: 0.5})
+	fast, err := sk.Recost(skeleton.Params{NetScale: 0.5})
 	if err != nil {
 		t.Fatalf("NetScale recost: %v", err)
 	}
-	slow, err := sk.Recost(Params{NetScale: 2})
+	slow, err := sk.Recost(skeleton.Params{NetScale: 2})
 	if err != nil {
 		t.Fatalf("NetScale recost: %v", err)
 	}
@@ -352,19 +353,19 @@ func TestNetScaleAndSpeedupValidation(t *testing.T) {
 // TestFoldRejectsMalformedTraces covers the fold error paths.
 func TestFoldRejectsMalformedTraces(t *testing.T) {
 	cost := sim.Paragon()
-	if _, err := FromEvents(cost, nil); err == nil {
+	if _, err := skeleton.FromEvents(cost, nil); err == nil {
 		t.Error("empty trace did not error")
 	}
 	unclosed := []machine.Event{
 		{Proc: 0, Seq: 1, Kind: machine.EvSpanBegin, Label: "open", Peer: -1},
 	}
-	if _, err := FromEvents(cost, unclosed); err == nil {
+	if _, err := skeleton.FromEvents(cost, unclosed); err == nil {
 		t.Error("unclosed span did not error")
 	}
 	orphanWait := []machine.Event{
 		{Proc: 0, Seq: 1, Kind: machine.EvWait, Peer: 1, End: 1},
 	}
-	if _, err := FromEvents(cost, orphanWait); err == nil {
+	if _, err := skeleton.FromEvents(cost, orphanWait); err == nil {
 		t.Error("wait without recv did not error")
 	}
 }
@@ -372,11 +373,11 @@ func TestFoldRejectsMalformedTraces(t *testing.T) {
 // TestReplayStuckDetection: a skeleton with a receive whose message is never
 // sent must fail loudly, not hang.
 func TestReplayStuckDetection(t *testing.T) {
-	sk := &Skeleton{P: 2, Cost: sim.Paragon(), Procs: [][]Op{
+	sk := &skeleton.Skeleton{P: 2, Cost: sim.Paragon(), Procs: [][]skeleton.Op{
 		{},
 		{{Kind: machine.EvRecv, Peer: 0, Bytes: 8, PairSeq: 0, Label: -1, Span: -1}},
 	}}
-	if _, err := sk.Recost(Params{}); err == nil || !strings.Contains(err.Error(), "stuck") {
+	if _, err := sk.Recost(skeleton.Params{}); err == nil || !strings.Contains(err.Error(), "stuck") {
 		t.Fatalf("truncated skeleton did not report stuck replay: %v", err)
 	}
 }

@@ -1,0 +1,234 @@
+package skeleton
+
+// The skeleton store promotes captured skeletons from one-off profiler
+// artifacts into a first-class replay backend: a content-addressed cache —
+// in-process map plus optional on-disk directory, following the
+// internal/mapping table-memo conventions — keyed on everything that
+// determines a recorded run's DAG: the application, its parameters, the
+// mapping, the machine size, the chaos plan identity, and the recorded cost
+// model. Campaign jobs that vary only machine parameters (alpha, beta, flop
+// rate, net scale) hit the store and re-cost the stored skeleton
+// analytically instead of re-simulating; a miss falls back to one live
+// traced run, which populates the store for every job after it.
+//
+// The chaos plan label is part of the key on purpose: a skeleton captured
+// under one fault seed/profile bakes that plan's delays, retries and drops
+// into its op stream, so replaying it for a different plan would be a
+// silent wrong answer, not an approximation. Different chaos identity ==
+// store miss, enforced both by the key string and by a belt-and-suspenders
+// check against the stored skeleton's own Chaos stamp on every hit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"fxpar/internal/fsatomic"
+	"fxpar/internal/sim"
+)
+
+// StoreKey identifies one captured run by content. Two equal keys describe
+// byte-identical skeletons (capture is deterministic across engines, worker
+// counts and hosts), so skeletons are shareable across campaigns, processes
+// and machines.
+type StoreKey struct {
+	// App names the traced program ("ffthist", "ffthist.stage", "airshed", ...).
+	App string
+	// Params is a canonical rendering of the application parameters that
+	// shape the DAG (data sizes, kernel constants, stage index).
+	Params string
+	// Mapping is the mapping's canonical string (module/stage split).
+	Mapping string
+	// P is the machine size the run executed on.
+	P int
+	// Chaos is the fault plan identity ("seed:profile"; "" for a healthy
+	// run). A skeleton captured under one plan is never valid for another:
+	// the injected delays, duplicates and retries are part of the DAG.
+	Chaos string
+	// Cost is the cost model the run was recorded under. Re-costing at
+	// exactly this model reproduces the recorded run bitwise; other models
+	// are analytic perturbations.
+	Cost sim.CostModel
+}
+
+// Key renders the canonical content key. CostModel is a flat struct of
+// float64 fields, so %+v yields a stable field-name=value rendering.
+func (k StoreKey) Key() string {
+	return fmt.Sprintf("app=%s|params=%s|mapping=%s|P=%d|chaos=%s|cost=%+v",
+		k.App, k.Params, k.Mapping, k.P, k.Chaos, k.Cost)
+}
+
+// Source says where a store lookup found (or produced) a skeleton.
+type Source int
+
+const (
+	// SourceCaptured: the skeleton was captured by a live traced run.
+	SourceCaptured Source = iota
+	// SourceMemory: in-process hit, no simulation ran.
+	SourceMemory
+	// SourceDisk: on-disk hit, no simulation ran.
+	SourceDisk
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceCaptured:
+		return "captured"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// StoreStats counts lookups by outcome; a campaign report can cite them to
+// show how much simulation the store displaced.
+type StoreStats struct {
+	Memory   int64 // in-process hits
+	Disk     int64 // on-disk hits
+	Captured int64 // misses resolved by a live traced run
+}
+
+// Store is a content-addressed skeleton cache: an in-process map owned by
+// this Store plus an optional on-disk directory shared with concurrent
+// processes (temp-in-dir + rename writes, content keys verified on read).
+// Safe for concurrent use.
+type Store struct {
+	dir string
+	mem sync.Map // key string -> *Skeleton
+
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	captures atomic.Int64
+}
+
+// NewStore returns a store. dir is the on-disk cache directory; "" keeps
+// the store purely in-process.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the on-disk cache directory ("" when in-process only).
+func (st *Store) Dir() string {
+	if st == nil {
+		return ""
+	}
+	return st.dir
+}
+
+// Stats snapshots the lookup counters.
+func (st *Store) Stats() StoreStats {
+	return StoreStats{
+		Memory:   st.memHits.Load(),
+		Disk:     st.diskHits.Load(),
+		Captured: st.captures.Load(),
+	}
+}
+
+// storeFile is the on-disk envelope: the store key for collision/staleness
+// detection around the canonical (self-keyed) skeleton encoding.
+type storeFile struct {
+	StoreKey string          `json:"storeKey"`
+	Skeleton json.RawMessage `json:"skeleton"`
+}
+
+// path maps a store key to its cache file. FNV-64a keeps filenames short;
+// the StoreKey field inside the file guards against collisions.
+func (st *Store) path(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(st.dir, fmt.Sprintf("fxskel-%016x.json", h.Sum64()))
+}
+
+// admissible verifies a skeleton against the key it is stored or served
+// under. The Chaos and Cost cross-checks are deliberately redundant with
+// the key string: they turn a mis-keyed Put (a caller bug) into a loud
+// failure instead of a silent wrong-answer replay.
+func admissible(k StoreKey, sk *Skeleton) error {
+	if sk.Chaos != k.Chaos {
+		return fmt.Errorf("skeleton: store key says chaos %q but skeleton was captured under %q", k.Chaos, sk.Chaos)
+	}
+	if sk.Cost != k.Cost {
+		return fmt.Errorf("skeleton: store key cost model differs from the skeleton's recorded one")
+	}
+	return nil
+}
+
+// Get looks the key up in memory, then on disk. Any disk-side failure —
+// file absent, malformed JSON, envelope key mismatch, content-key mismatch,
+// chaos/cost stamp mismatch — is a miss.
+func (st *Store) Get(k StoreKey) (*Skeleton, Source, bool) {
+	key := k.Key()
+	if v, ok := st.mem.Load(key); ok {
+		st.memHits.Add(1)
+		return v.(*Skeleton), SourceMemory, true
+	}
+	if st.dir == "" {
+		return nil, SourceCaptured, false
+	}
+	data, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return nil, SourceCaptured, false
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil || f.StoreKey != key {
+		return nil, SourceCaptured, false
+	}
+	sk, err := Decode(f.Skeleton)
+	if err != nil || admissible(k, sk) != nil {
+		return nil, SourceCaptured, false
+	}
+	st.mem.Store(key, sk)
+	st.diskHits.Add(1)
+	return sk, SourceDisk, true
+}
+
+// Put stores a captured skeleton under k, in memory always and on disk
+// best-effort (a disk write failure never fails the caller — the skeleton
+// is still served from memory). A skeleton whose chaos or cost stamp
+// contradicts the key is rejected.
+func (st *Store) Put(k StoreKey, sk *Skeleton) error {
+	if err := admissible(k, sk); err != nil {
+		return err
+	}
+	key := k.Key()
+	st.mem.Store(key, sk)
+	if st.dir == "" {
+		return nil
+	}
+	inner, err := sk.Encode()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&storeFile{StoreKey: key, Skeleton: inner}, "", " ")
+	if err != nil {
+		return err
+	}
+	// Best-effort, atomic: concurrent campaign workers sharing one cache
+	// directory each rename a complete temp file into place.
+	_ = fsatomic.WriteFile(st.path(key), append(data, '\n'))
+	return nil
+}
+
+// GetOrCapture returns the stored skeleton for k, or runs capture — one
+// live traced simulation — on a miss and stores its result. Concurrent
+// misses on the same key may each capture; the runs are deterministic, so
+// every capture produces the identical skeleton and the duplicate work is
+// the only cost.
+func (st *Store) GetOrCapture(k StoreKey, capture func() (*Skeleton, error)) (*Skeleton, Source, error) {
+	if sk, src, ok := st.Get(k); ok {
+		return sk, src, nil
+	}
+	sk, err := capture()
+	if err != nil {
+		return nil, SourceCaptured, err
+	}
+	if err := st.Put(k, sk); err != nil {
+		return nil, SourceCaptured, err
+	}
+	st.captures.Add(1)
+	return sk, SourceCaptured, nil
+}

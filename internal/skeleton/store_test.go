@@ -1,0 +1,226 @@
+package skeleton_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fxpar/internal/sim"
+	"fxpar/internal/skeleton"
+)
+
+func storeKeyFor(sk *skeleton.Skeleton, chaos string) skeleton.StoreKey {
+	return skeleton.StoreKey{
+		App:     "ffthist",
+		Params:  "N=32,Bins=16",
+		Mapping: "m=1/s=4,2,2",
+		P:       sk.P,
+		Chaos:   chaos,
+		Cost:    sk.Cost,
+	}
+}
+
+// TestStoreRoundTrip covers the three sources: a miss resolved by capture, a
+// memory hit in the same store, and a disk hit in a fresh store sharing the
+// directory (the cross-process path).
+func TestStoreRoundTrip(t *testing.T) {
+	sk, _, _ := smallRun(t)
+	dir := t.TempDir()
+	st := skeleton.NewStore(dir)
+	k := storeKeyFor(sk, "")
+
+	if _, _, ok := st.Get(k); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	got, src, err := st.GetOrCapture(k, func() (*skeleton.Skeleton, error) { return sk, nil })
+	if err != nil || src != skeleton.SourceCaptured || got != sk {
+		t.Fatalf("GetOrCapture miss: got %v source %v err %v", got, src, err)
+	}
+	if got, src, ok := st.Get(k); !ok || src != skeleton.SourceMemory || got != sk {
+		t.Fatalf("second lookup: ok %v source %v", ok, src)
+	}
+
+	// A fresh store over the same directory models a second -j worker or a
+	// later process: it must hit on disk and serve a byte-identical skeleton.
+	st2 := skeleton.NewStore(dir)
+	got2, src, ok := st2.Get(k)
+	if !ok || src != skeleton.SourceDisk {
+		t.Fatalf("fresh store over shared dir: ok %v source %v", ok, src)
+	}
+	want, err := sk.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := got2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(want) {
+		t.Fatal("disk round-trip altered the skeleton encoding")
+	}
+
+	stats := st.Stats()
+	if stats.Captured != 1 || stats.Memory != 1 {
+		t.Fatalf("stats = %+v, want 1 capture and 1 memory hit", stats)
+	}
+	if s2 := st2.Stats(); s2.Disk != 1 {
+		t.Fatalf("fresh store stats = %+v, want 1 disk hit", s2)
+	}
+}
+
+// TestStoreChaosIdentity pins the satellite guarantee: a skeleton captured
+// under one chaos plan must never be served for another — a different seed or
+// profile is a store miss, not a silent wrong-answer hit.
+func TestStoreChaosIdentity(t *testing.T) {
+	sk, _, _ := smallRun(t) // healthy capture: sk.Chaos == ""
+	st := skeleton.NewStore(t.TempDir())
+
+	if err := st.Put(storeKeyFor(sk, ""), sk); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for _, chaos := range []string{"42:flaky", "7:flaky", "42:lossy"} {
+		if _, _, ok := st.Get(storeKeyFor(sk, chaos)); ok {
+			t.Errorf("healthy skeleton served for chaos plan %q", chaos)
+		}
+	}
+
+	// Mis-keyed Put: storing a healthy skeleton under a chaos key must fail
+	// loudly (the belt-and-suspenders admissibility check), in memory and
+	// before anything lands on disk.
+	if err := st.Put(storeKeyFor(sk, "42:flaky"), sk); err == nil {
+		t.Fatal("Put accepted a skeleton whose chaos stamp contradicts the key")
+	}
+	if _, _, ok := st.Get(storeKeyFor(sk, "42:flaky")); ok {
+		t.Fatal("rejected Put still served on lookup")
+	}
+
+	// Same for a cost-model mismatch: key says one machine, skeleton another.
+	k := storeKeyFor(sk, "")
+	k.Cost.Alpha *= 2
+	if err := st.Put(k, sk); err == nil {
+		t.Fatal("Put accepted a skeleton whose recorded cost contradicts the key")
+	}
+}
+
+// TestStoreDiskTamperIsMiss: a corrupted or swapped cache file must read as a
+// miss, never as a wrong skeleton.
+func TestStoreDiskTamperIsMiss(t *testing.T) {
+	sk, _, _ := smallRun(t)
+	dir := t.TempDir()
+	st := skeleton.NewStore(dir)
+	k := storeKeyFor(sk, "")
+	if err := st.Put(k, sk); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("cache dir: %v entries, err %v", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the payload.
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := skeleton.NewStore(dir).Get(k); ok {
+		t.Fatal("tampered cache file served as a hit")
+	}
+}
+
+// TestStoreConcurrentGetOrCapture: concurrent misses on one key may each
+// capture, but every caller must get an admissible skeleton and the store
+// must end up consistent.
+func TestStoreConcurrentGetOrCapture(t *testing.T) {
+	sk, _, _ := smallRun(t)
+	st := skeleton.NewStore(t.TempDir())
+	k := storeKeyFor(sk, "")
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := st.GetOrCapture(k, func() (*skeleton.Skeleton, error) { return sk, nil })
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.Makespan != sk.Makespan || got.Chaos != sk.Chaos {
+				errs <- fmt.Errorf("concurrent caller got a different skeleton")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, src, ok := st.Get(k); !ok || src != skeleton.SourceMemory {
+		t.Fatalf("store not settled after concurrent captures: ok %v source %v", ok, src)
+	}
+}
+
+// TestRecostRejectsBadParams is the regression test for the Params
+// validation seam: non-positive or non-finite machine parameters must come
+// back as a typed *ParamError, never as a NaN or Inf makespan.
+func TestRecostRejectsBadParams(t *testing.T) {
+	sk, _, _ := smallRun(t)
+	base := sk.Cost
+
+	cases := []struct {
+		name  string
+		p     skeleton.Params
+		field string
+	}{
+		{"zero flop rate", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.FlopRate = 0; return &c }()}, "cost.FlopRate"},
+		{"negative flop rate", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.FlopRate = -1e6; return &c }()}, "cost.FlopRate"},
+		{"NaN flop rate", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.FlopRate = math.NaN(); return &c }()}, "cost.FlopRate"},
+		{"Inf flop rate", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.FlopRate = math.Inf(1); return &c }()}, "cost.FlopRate"},
+		{"negative alpha", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.Alpha = -1e-6; return &c }()}, "cost.Alpha"},
+		{"negative beta", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.Beta = -1e-9; return &c }()}, "cost.Beta"},
+		{"NaN beta", skeleton.Params{Cost: func() *sim.CostModel { c := base; c.Beta = math.NaN(); return &c }()}, "cost.Beta"},
+		{"negative net scale", skeleton.Params{NetScale: -2}, "netscale"},
+		{"NaN net scale", skeleton.Params{NetScale: math.NaN()}, "netscale"},
+		{"Inf net scale", skeleton.Params{NetScale: math.Inf(1)}, "netscale"},
+		{"NaN speedup", skeleton.Params{SpanSpeedup: map[string]float64{sk.Labels[0]: math.NaN()}}, "speedup:" + sk.Labels[0]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk, err := sk.Recost(tc.p)
+			if err == nil {
+				t.Fatalf("Recost accepted bad params (makespan %v)", mk)
+			}
+			var pe *skeleton.ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T (%v), want *skeleton.ParamError", err, err)
+			}
+			if pe.Field != tc.field {
+				t.Errorf("ParamError.Field = %q, want %q", pe.Field, tc.field)
+			}
+			if pe.Error() == "" || pe.Reason == "" {
+				t.Errorf("ParamError not descriptive: %+v", pe)
+			}
+			// The same rejection must be available pre-flight, without a
+			// skeleton, for campaign grid validation.
+			if tc.p.Validate() == nil {
+				t.Error("Params.Validate accepted what Recost rejected")
+			}
+		})
+	}
+
+	// The zero value stays the identity replay (fxprof's self-check relies
+	// on it): NetScale 0 means "unset", not an error.
+	if mk, err := sk.Recost(skeleton.Params{}); err != nil || mk != sk.Makespan {
+		t.Fatalf("zero-value Params: makespan %v err %v, want identity %v", mk, err, sk.Makespan)
+	}
+}
