@@ -47,6 +47,7 @@ import (
 	"fxpar/internal/sim"
 	"fxpar/internal/skeleton"
 	"fxpar/internal/stats"
+	"fxpar/internal/sweep"
 	"fxpar/internal/trace"
 )
 
@@ -137,6 +138,8 @@ func main() {
 	whatif := flag.Bool("whatif", false, "capture the run as a communication skeleton and print the causal what-if profile (ranked virtual span speedups + machine-parameter sensitivity curves)")
 	factors := flag.String("factors", "1.25,1.5,2,4", "with -whatif: comma-separated virtual speedup factors")
 	senscales := flag.String("senscales", "0.25,0.5,1,2,4", "with -whatif: comma-separated alpha/beta/flop-rate scales for the sensitivity curves")
+	sample := flag.String("sample", "", "deterministic event sampling: rate[:seed][,kind=rate ...] (e.g. 1/64 or 1/64:7,send=1); span/fault/timeout/retry events are always kept, counts are reported with scale factors; incompatible with -whatif")
+	monitor := flag.String("monitor", "", "serve the live monitor (with the telemetry overhead-budget line) over HTTP: listen address, or 'auto' for "+sweep.DefaultMonitorAddr)
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
@@ -177,16 +180,63 @@ func main() {
 
 	// The full collector drives the post-hoc views (Gantt, critical path,
 	// Chrome export); the streaming sinks aggregate the same run online and
-	// are checked against the post-hoc pipeline byte for byte below.
+	// are checked against the post-hoc pipeline byte for byte below. Every
+	// sink is wrapped in an overhead-budget meter so the profile accounts for
+	// its own host cost.
+	var sampler *trace.Sampler
+	if *sample != "" {
+		if *whatif {
+			fail(fmt.Errorf("-sample is incompatible with -whatif: the skeleton capture needs the full event stream"))
+		}
+		cfg, err := trace.ParseSampleSpec(*sample)
+		if err != nil {
+			fail(err)
+		}
+		sampler = trace.NewSampler(*procs, cfg)
+	}
+	budget := trace.NewOverheadBudget()
 	col := &trace.Collector{}
 	sink := metrics.NewStreamSink(*procs)
 	comm := trace.NewCommMatrix(*procs)
+	util := trace.NewUtilSink(*procs)
 	m := machine.New(*procs, sim.Paragon())
 	m.SetEngine(eng)
-	m.SetTracer(trace.Tee(col, sink, comm))
+	m.SetTracer(trace.Tee(
+		budget.Meter("collector", col),
+		budget.Meter("metrics", sink),
+		budget.Meter("comm", comm),
+		budget.Meter("util", util),
+	))
+	if sampler != nil {
+		m.SetSampler(sampler)
+		budget.SetSampler(sampler)
+		fmt.Printf("sampling: deterministic, seed %d — recorded counts are samples; unsampled estimate = count / rate\n", sampler.Snapshot().Seed)
+	}
 	m.SetFaults(plan.Machine())
 	if plan != nil {
 		fmt.Printf("chaos: injecting faults with plan %s\n", plan)
+	}
+
+	sweep.SetEngineLabel(eng.Name())
+	if plan != nil {
+		sweep.SetChaosLabel(plan.String())
+	}
+	sweep.SetTelemetrySource(func() sweep.TelemetrySnapshot {
+		r := budget.Report()
+		ts := sweep.TelemetrySnapshot{Line: r.Line(), SinkSharePct: r.SinkSharePct}
+		if r.Sample != nil {
+			ts.SampleRates = r.Sample.RatesString()
+			ts.DroppedEvents = r.Sample.Dropped
+		}
+		return ts
+	})
+	monURL, stopMon, err := sweep.MonitorFromFlag(*monitor)
+	if err != nil {
+		fail(err)
+	}
+	defer stopMon()
+	if monURL != "" {
+		fmt.Printf("monitor: %s\n", monURL)
 	}
 
 	// pick runs the optimizer against measured cost tables (the -auto path)
@@ -213,7 +263,9 @@ func main() {
 		if *auto {
 			mp = ffthist.ChoiceToMapping(pick(ffthist.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
 		}
+		budget.Start()
 		res := ffthist.Run(m, cfg, mp)
+		budget.Finish()
 		stream, label = res.Stream, mp.String()
 	case "radar":
 		cfg := radar.DefaultConfig()
@@ -222,7 +274,9 @@ func main() {
 		if *auto {
 			mp = radar.ChoiceToMapping(pick(radar.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
 		}
+		budget.Start()
 		res := radar.Run(m, cfg, mp)
+		budget.Finish()
 		stream, label = res.Stream, mp.String()
 	case "stereo":
 		cfg := stereo.DefaultConfig()
@@ -231,7 +285,9 @@ func main() {
 		if *auto {
 			mp = stereo.ChoiceToMapping(pick(stereo.MeasuredModel(sim.Paragon(), cfg, *procs, opt)))
 		}
+		budget.Start()
 		res := stereo.Run(m, cfg, mp)
+		budget.Finish()
 		stream, label = res.Stream, mp.String()
 	default:
 		fail(fmt.Errorf("unknown app %q", *app))
@@ -239,18 +295,29 @@ func main() {
 
 	fmt.Printf("=== %s %s on %d procs: %s ===\n\n", *app, label, *procs, stream)
 
+	// sampled marks every view computed from a thinned event stream, so no
+	// reader mistakes a sampled count for an exhaustive one.
+	sampled := ""
+	if sampler != nil {
+		sampled = " [sampled]"
+	}
 	evs := col.Events()
 
-	fmt.Println("--- gantt (event kinds) ---")
+	fmt.Printf("--- gantt (event kinds)%s ---\n", sampled)
 	trace.Gantt(os.Stdout, col, *procs, *width)
 	fmt.Println()
-	fmt.Println("--- gantt (innermost spans) ---")
+	fmt.Printf("--- gantt (innermost spans)%s ---\n", sampled)
 	trace.SpanGantt(os.Stdout, col, *procs, *width)
 	fmt.Println()
-	fmt.Println("--- utilization ---")
-	trace.Utilization(os.Stdout, col, *procs)
+	fmt.Printf("--- utilization%s ---\n", sampled)
+	if *procs > 256 {
+		// Per-processor rows are unreadable at scale; print the distribution.
+		metrics.UtilDistribution(util.Snapshot()).WriteText(os.Stdout)
+	} else {
+		trace.Utilization(os.Stdout, col, *procs)
+	}
 	fmt.Println()
-	fmt.Println("--- spans ---")
+	fmt.Printf("--- spans%s ---\n", sampled)
 	trace.SpanSummary(os.Stdout, col)
 	fmt.Println()
 
@@ -269,16 +336,36 @@ func main() {
 	if string(js) != string(postJS) {
 		fail(fmt.Errorf("streaming metrics diverge from post-hoc pipeline (%d vs %d bytes)", len(js), len(postJS)))
 	}
-	fmt.Println("--- per-group metrics (streamed; verified against post-hoc) ---")
+	fmt.Printf("--- per-group metrics (streamed; verified against post-hoc)%s ---\n", sampled)
 	snap.WriteText(os.Stdout)
 	fmt.Println()
-	fmt.Println("--- communication matrix ---")
-	trace.WriteCommMatrix(os.Stdout, comm.Snapshot())
+	edges := comm.Snapshot()
+	if len(edges) > 64 {
+		// Bounded rendering at scale: the sparse matrix may hold far more
+		// active pairs than a terminal can show.
+		fmt.Printf("--- communication matrix (top 64 of %d edges by total bytes)%s ---\n", len(edges), sampled)
+		trace.WriteCommMatrix(os.Stdout, trace.TopCommEdges(edges, 64))
+	} else {
+		fmt.Printf("--- communication matrix%s ---\n", sampled)
+		trace.WriteCommMatrix(os.Stdout, edges)
+	}
 	fmt.Println()
 
 	cp := trace.ComputeCriticalPath(evs)
-	fmt.Println("--- critical path ---")
+	fmt.Printf("--- critical path%s ---\n", sampled)
+	if sampler != nil {
+		fmt.Println("(sampled trace: virtual times are exact, but thinned send/recv events make edge coverage partial)")
+	}
 	cp.WriteReport(os.Stdout)
+
+	if sampler != nil {
+		fmt.Println()
+		fmt.Println("--- sampling (deterministic: same kept set on every engine and -j) ---")
+		sampler.Snapshot().WriteText(os.Stdout)
+	}
+	fmt.Println()
+	fmt.Println("--- telemetry overhead budget (self-accounted) ---")
+	budget.Report().WriteText(os.Stdout)
 
 	var sk *skeleton.Skeleton
 	if *whatif {

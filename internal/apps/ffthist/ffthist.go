@@ -38,6 +38,11 @@ type Config struct {
 	Sets int
 	// Bins is the number of histogram buckets.
 	Bins int
+	// SketchStats meters the stream in sketch mode (stats.NewSketchStream):
+	// O(in-flight) meter memory and sketch-derived latency quantiles instead
+	// of per-set retention — the scale tier's setting for long streams on
+	// large machines.
+	SketchStats bool
 }
 
 // DefaultConfig returns the 256x256 workload of Table 1 with a short stream.
@@ -195,6 +200,9 @@ func Run(mach *machine.Machine, cfg Config, mp Mapping) Result {
 		panic(fmt.Sprintf("ffthist: N must be a positive power of two, got %d", cfg.N))
 	}
 	meter := stats.NewStream()
+	if cfg.SketchStats {
+		meter = stats.NewSketchStream()
+	}
 	res := Result{Hists: make(map[int][]int64)}
 	var histMu chan struct{} = make(chan struct{}, 1)
 	histMu <- struct{}{}

@@ -1,0 +1,60 @@
+package ffthist_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/machine"
+	"fxpar/internal/sim"
+)
+
+func sketchRun(eng machine.Engine, sketch bool) ffthist.Result {
+	m := machine.New(8, sim.Paragon())
+	m.SetEngine(eng)
+	cfg := ffthist.Config{N: 32, Sets: 12, Bins: 16, SketchStats: sketch}
+	return ffthist.Run(m, cfg, ffthist.Pipeline(4, 2, 2))
+}
+
+// TestSketchStatsMatchesExact: the sketch-mode meter changes only how
+// latency statistics are summarized — histograms, makespan, set counts, and
+// throughput are identical, and the latency figures agree within one sketch
+// bin.
+func TestSketchStatsMatchesExact(t *testing.T) {
+	exact := sketchRun(machine.Goroutine(), false)
+	sk := sketchRun(machine.Goroutine(), true)
+	if !reflect.DeepEqual(exact.Hists, sk.Hists) {
+		t.Errorf("histograms differ between stat modes")
+	}
+	if exact.Makespan != sk.Makespan {
+		t.Errorf("makespan %g vs %g", exact.Makespan, sk.Makespan)
+	}
+	if exact.Stream.Sets != sk.Stream.Sets || exact.Stream.Throughput != sk.Stream.Throughput ||
+		exact.Stream.MaxLatency != sk.Stream.MaxLatency {
+		t.Errorf("exact-fold stream fields differ:\n%+v\n%+v", exact.Stream, sk.Stream)
+	}
+	if !sk.Stream.Sketched || exact.Stream.Sketched {
+		t.Errorf("Sketched flags: exact=%v sketch=%v", exact.Stream.Sketched, sk.Stream.Sketched)
+	}
+	rel := func(a, b float64) float64 { return math.Abs(a-b) / math.Max(a, b) }
+	if rel(exact.Stream.Latency, sk.Stream.Latency) > 0.07 ||
+		rel(exact.Stream.LatencyP50, sk.Stream.LatencyP50) > 0.07 ||
+		rel(exact.Stream.LatencyP99, sk.Stream.LatencyP99) > 0.07 {
+		t.Errorf("latency stats more than one bin apart:\nexact  %+v\nsketch %+v", exact.Stream, sk.Stream)
+	}
+}
+
+// TestSketchStatsDeterministicAcrossEngines: the sketch-mode Result is an
+// exact virtual-time artifact — identical across engines despite Complete
+// calls arriving in host-scheduling order.
+func TestSketchStatsDeterministicAcrossEngines(t *testing.T) {
+	g := sketchRun(machine.Goroutine(), true)
+	c := sketchRun(machine.Coop(3), true)
+	if g.Stream != c.Stream {
+		t.Errorf("sketch-mode stream results differ across engines:\n%+v\n%+v", g.Stream, c.Stream)
+	}
+	if !reflect.DeepEqual(g.Hists, c.Hists) {
+		t.Errorf("histograms differ across engines")
+	}
+}

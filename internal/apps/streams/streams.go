@@ -7,10 +7,61 @@ package streams
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"fxpar/internal/fx"
 	"fxpar/internal/group"
 )
+
+// partCache memoizes the partition template by (parent group, sizes). Under
+// SPMD every processor of the group executes the same RunModules call, so
+// without sharing, each of P processors would build its own O(modules)
+// template — an O(P·modules) tax per region that dominated the P≥16384
+// telemetry soak. Partitions are immutable after construction, so one
+// template is safe to share across processors; construction happens on the
+// host side only and never touches virtual time.
+var partCache struct {
+	sync.Mutex
+	m map[partKey]*group.Partition
+}
+
+type partKey struct {
+	parent *group.Group
+	sizes  string
+}
+
+// sharedPartition returns the (possibly cached) partition of the current
+// group into module subgroups of the given sizes plus an optional idle tail.
+func sharedPartition(p *fx.Proc, sizes []int, idle int) *group.Partition {
+	var b strings.Builder
+	for i, s := range sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	key := partKey{parent: p.Group(), sizes: b.String()}
+	partCache.Lock()
+	defer partCache.Unlock()
+	if part, ok := partCache.m[key]; ok {
+		return part
+	}
+	if partCache.m == nil || len(partCache.m) >= 256 {
+		partCache.m = make(map[partKey]*group.Partition, 16)
+	}
+	specs := make([]group.Spec, 0, len(sizes)+1)
+	for i, s := range sizes {
+		specs = append(specs, group.Sub(ModuleName(i), s))
+	}
+	if idle > 0 {
+		specs = append(specs, group.Sub("idle", idle))
+	}
+	part := p.Partition(specs...)
+	partCache.m[key] = part
+	return part
+}
 
 // RunModules partitions the current group into one subgroup per entry of
 // sizes — sizes[i] processors for module i, not necessarily equal, so the
@@ -38,21 +89,19 @@ func RunModules(p *fx.Proc, sizes []int, body func(p *fx.Proc, module int)) {
 		body(p, 0)
 		return
 	}
-	specs := make([]group.Spec, 0, modules+1)
-	for i, s := range sizes {
-		specs = append(specs, group.Sub(ModuleName(i), s))
-	}
-	if idle > 0 {
-		specs = append(specs, group.Sub("idle", idle))
-	}
-	part := p.Partition(specs...)
+	part := sharedPartition(p, sizes, idle)
+	// Each processor enters only its own module's On block. Iterating every
+	// module would cost O(modules) per processor even though a non-member On
+	// is a no-op; an On entered by a non-member emits nothing and advances no
+	// virtual time, so dispatching directly leaves traces byte-identical.
+	module, ok := part.IndexOf(p.ID())
 	p.TaskRegion(part, func(r *fx.Region) {
-		for i := 0; i < modules; i++ {
-			i := i
-			r.On(ModuleName(i), func() {
-				body(p, i)
-			})
+		if !ok || module >= modules { // idle tail
+			return
 		}
+		r.On(ModuleName(module), func() {
+			body(p, module)
+		})
 	})
 }
 

@@ -24,7 +24,6 @@ package fx
 
 import (
 	"fmt"
-	"strings"
 
 	"fxpar/internal/comm"
 	"fxpar/internal/group"
@@ -41,9 +40,10 @@ import (
 // nested task parallelism is visible in the trace. All span work is guarded
 // by Tracing(); untraced runs pay nothing.
 
-// regionLabel builds the span label for a task region over part.
+// regionLabel returns the span label for a task region over part; the
+// partition caches it, so wide partitions build the joined name list once.
 func regionLabel(part *group.Partition) string {
-	return "region:" + strings.Join(part.Names(), "+") + ":" + part.Parent().String()
+	return part.SpanLabel()
 }
 
 // onLabel builds the span label for an On block entering subgroup name.

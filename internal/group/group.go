@@ -13,13 +13,25 @@ package group
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Group is an ordered set of physical processor ids. Rank r in the group is
 // virtual processor r. Groups are immutable after creation.
+//
+// The overwhelmingly common shape — the world group and every contiguous
+// subrange of it — maps virtual id r to physical id base+r, so those groups
+// carry no rank map at all: lookups are arithmetic, and Subrange/Equal are
+// O(1). That matters at scale: a P=65536 machine split into 1024 modules
+// would otherwise materialize a fresh O(P) rank map on every processor that
+// touches the partition, turning group bookkeeping into an O(P²) tax.
 type Group struct {
 	phys []int
-	rank map[int]int
+	// contig marks phys[i] == base+i for all i; rank is then nil.
+	contig bool
+	base   int
+	rank   map[int]int
 }
 
 // New creates a group over the given physical processors, in the given
@@ -29,7 +41,19 @@ func New(phys []int) (*Group, error) {
 	if len(phys) == 0 {
 		return nil, fmt.Errorf("group: empty processor list")
 	}
-	g := &Group{phys: append([]int(nil), phys...), rank: make(map[int]int, len(phys))}
+	g := &Group{phys: append([]int(nil), phys...)}
+	contig := true
+	for i, id := range g.phys {
+		if id != g.phys[0]+i {
+			contig = false
+			break
+		}
+	}
+	if contig {
+		g.contig, g.base = true, g.phys[0]
+		return g, nil
+	}
+	g.rank = make(map[int]int, len(phys))
 	for r, id := range g.phys {
 		if _, dup := g.rank[id]; dup {
 			return nil, fmt.Errorf("group: duplicate processor %d", id)
@@ -75,20 +99,32 @@ func (g *Group) PhysAll() []int { return append([]int(nil), g.phys...) }
 // RankOf returns the virtual id of physical processor id, or ok=false if the
 // processor is not a member.
 func (g *Group) RankOf(id int) (r int, ok bool) {
+	if g.contig {
+		r = id - g.base
+		if r < 0 || r >= len(g.phys) {
+			return 0, false
+		}
+		return r, true
+	}
 	r, ok = g.rank[id]
 	return
 }
 
 // Contains reports whether physical processor id is a member.
 func (g *Group) Contains(id int) bool {
-	_, ok := g.rank[id]
+	_, ok := g.RankOf(id)
 	return ok
 }
 
-// Subrange returns the subgroup of virtual processors [lo, hi).
+// Subrange returns the subgroup of virtual processors [lo, hi). Groups are
+// immutable, so the subgroup shares the parent's backing storage; for
+// contiguous groups this is allocation-free.
 func (g *Group) Subrange(lo, hi int) *Group {
 	if lo < 0 || hi > len(g.phys) || lo >= hi {
 		panic(fmt.Sprintf("group: invalid subrange [%d,%d) of group of size %d", lo, hi, len(g.phys)))
+	}
+	if g.contig {
+		return &Group{phys: g.phys[lo:hi], contig: true, base: g.base + lo}
 	}
 	return MustNew(g.phys[lo:hi])
 }
@@ -96,8 +132,14 @@ func (g *Group) Subrange(lo, hi int) *Group {
 // Equal reports whether two groups contain the same processors in the same
 // virtual order.
 func (g *Group) Equal(h *Group) bool {
+	if g == h {
+		return true
+	}
 	if len(g.phys) != len(h.phys) {
 		return false
+	}
+	if g.contig && h.contig {
+		return g.base == h.base
 	}
 	for i, id := range g.phys {
 		if h.phys[i] != id {
@@ -155,8 +197,14 @@ type Partition struct {
 	specs  []Spec
 	groups map[string]*Group
 	order  []string
-	// byPhys maps a physical id to the index (in order) of its subgroup.
-	byPhys map[int]int
+	// cum[i] is the first parent rank of subgroup i (cum[len(specs)] is the
+	// parent size): membership resolves by rank lookup plus binary search,
+	// with no per-processor table.
+	cum []int
+	// labelOnce/label cache the span label (see SpanLabel) so tracing a
+	// wide partition does not rebuild the joined name list per processor.
+	labelOnce sync.Once
+	label     string
 }
 
 // NewPartition builds a partition of parent from the given specs. Every
@@ -192,17 +240,15 @@ func NewPartition(parent *Group, specs ...Spec) (*Partition, error) {
 		parent: parent,
 		specs:  append([]Spec(nil), specs...),
 		groups: make(map[string]*Group, len(specs)),
-		byPhys: make(map[int]int, parent.Size()),
+		cum:    make([]int, 1, len(specs)+1),
 	}
 	lo := 0
-	for i, s := range specs {
+	for _, s := range specs {
 		sub := parent.Subrange(lo, lo+s.Size)
 		p.groups[s.Name] = sub
 		p.order = append(p.order, s.Name)
-		for _, id := range sub.phys {
-			p.byPhys[id] = i
-		}
 		lo += s.Size
+		p.cum = append(p.cum, lo)
 	}
 	return p, nil
 }
@@ -235,12 +281,34 @@ func (p *Partition) Group(name string) *Group {
 // SubgroupOf returns the name and group of the subgroup containing physical
 // processor id, or ok=false if id is not in the parent group.
 func (p *Partition) SubgroupOf(id int) (name string, g *Group, ok bool) {
-	i, ok := p.byPhys[id]
+	i, ok := p.IndexOf(id)
 	if !ok {
 		return "", nil, false
 	}
 	name = p.order[i]
 	return name, p.groups[name], true
+}
+
+// IndexOf returns the declaration-order index of the subgroup containing
+// physical processor id, or ok=false if id is not in the parent group.
+func (p *Partition) IndexOf(id int) (int, bool) {
+	r, ok := p.parent.RankOf(id)
+	if !ok {
+		return 0, false
+	}
+	// Subgroup i covers parent ranks [cum[i], cum[i+1]).
+	return sort.SearchInts(p.cum[1:], r+1), true
+}
+
+// SpanLabel returns the partition's task-region span label
+// ("region:<names joined by +>:<parent>"), computed once and cached — a
+// wide partition's label is O(subgroups) to build, and every traced
+// processor brackets the region with it.
+func (p *Partition) SpanLabel() string {
+	p.labelOnce.Do(func() {
+		p.label = "region:" + strings.Join(p.order, "+") + ":" + p.parent.String()
+	})
+	return p.label
 }
 
 // EqualSplit partitions parent into k equally sized subgroups named

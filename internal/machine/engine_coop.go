@@ -325,12 +325,8 @@ func (e *coopEngine) senderTerminated(p *Proc) {
 		return
 	}
 	r := cp.run
-	m, src := p.m, p.id
-	for dst := 0; dst < m.n; dst++ {
-		mb := m.mail[dst*m.n+src].Load()
-		if mb == nil {
-			continue
-		}
+	for _, e := range p.m.mailboxesFrom(p.id) {
+		mb := e.mb
 		if r.lockMail {
 			mb.mu.Lock()
 		}

@@ -65,17 +65,16 @@ func (goroutineEngine) peek(_ *Proc, mb *mailbox) (Message, bool) {
 // Broadcasting under the mailbox mutex orders the wakeup against a receiver
 // that checked the flag just before it was set — by the time we hold the
 // mutex, that receiver has either parked in cond.Wait (and gets the
-// Broadcast) or not yet entered its check (and will see the flag).
+// Broadcast) or not yet entered its check (and will see the flag). The
+// per-source registry makes the walk O(out-degree); a mailbox created by a
+// receiver concurrently with this termination is either in the snapshot or
+// registered after it, in which case that receiver's wait observes the
+// termination flag before parking (see Machine.mailboxFor).
 func (goroutineEngine) senderTerminated(p *Proc) {
-	m, src := p.m, p.id
-	for dst := 0; dst < m.n; dst++ {
-		mb := m.mail[dst*m.n+src].Load()
-		if mb == nil {
-			continue
-		}
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
+	for _, e := range p.m.mailboxesFrom(p.id) {
+		e.mb.mu.Lock()
+		e.mb.cond.Broadcast()
+		e.mb.mu.Unlock()
 	}
 }
 

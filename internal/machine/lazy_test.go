@@ -95,14 +95,24 @@ func TestTryRecvMatchesRecvAccounting(t *testing.T) {
 
 // TestLargeMachineConstructionIsLazy guards the lazy-mailbox allocation:
 // constructing a 1024-processor machine must not materialize the ~1M
-// per-ordered-pair mailboxes up front. The pointer-slice allocation plus the
-// Machine header itself stay within a handful of allocations.
+// per-ordered-pair mailboxes up front. The directory, per-source registry,
+// and termination slices plus the Machine header itself stay within a
+// handful of O(n) allocations.
 func TestLargeMachineConstructionIsLazy(t *testing.T) {
 	allocs := testing.AllocsPerRun(10, func() {
 		_ = New(1024, testCost())
 	})
-	if allocs > 4 {
-		t.Errorf("New(1024) performs %.0f allocations, want <= 4 (mailboxes must be lazy)", allocs)
+	if allocs > 5 {
+		t.Errorf("New(1024) performs %.0f allocations, want <= 5 (mailboxes must be lazy)", allocs)
+	}
+	// Above the dense-directory threshold even the O(n^2) pointer slice is
+	// disallowed: a 65536-processor machine must construct in O(n).
+	allocs = testing.AllocsPerRun(3, func() {
+		_ = New(denseMailProcs+1, testCost())
+	})
+	if allocs > 5 {
+		t.Errorf("New(%d) performs %.0f allocations, want <= 5 (sparse directory must be O(n))",
+			denseMailProcs+1, allocs)
 	}
 }
 

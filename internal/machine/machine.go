@@ -17,6 +17,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -225,21 +226,74 @@ type BlockTracer interface {
 	RecordBlocked(proc, src int, now float64)
 }
 
+// EventSampler decides, per event, whether a traced run records it. The
+// machine consults it (when installed) on every emit with the event's
+// identity — (proc, seq, kind) — before building the Event value, so a
+// rejected event costs one virtual-time-free callback and nothing else.
+// Implementations must be pure functions of their inputs plus their own
+// immutable configuration (they are called from processor goroutines
+// concurrently, in host-schedule-dependent order) so that the set of kept
+// events is byte-identical across engines and host parallelism; see
+// internal/trace.Sampler for the canonical counter-based implementation.
+type EventSampler interface {
+	SampleEvent(proc int, seq int64, kind EventKind) bool
+}
+
+// denseMailProcs is the largest machine that keeps the O(n^2) dense mailbox
+// directory (a flat pointer slice, one atomic load per lookup). Above it the
+// machine switches to the sharded sparse directory: a 65536-processor dense
+// directory alone would be ~34 GB, while real programs touch O(active pairs).
+const denseMailProcs = 2048
+
+// mailDirShards is the shard count of the sparse mailbox directory. A power
+// of two so the shard index is a mask of the destination processor.
+const mailDirShards = 256
+
+// mailShard is one shard of the sparse mailbox directory, keyed on the
+// flattened pair index dst*n+src.
+type mailShard struct {
+	mu sync.Mutex
+	m  map[int64]*mailbox
+}
+
+// srcList registers every mailbox sourced at one processor, appended at
+// mailbox creation. It is what lets senderTerminated and drainReport touch
+// only the pairs that exist — O(out-degree) — instead of scanning all n
+// destinations (O(n) per termination, O(n^2) per run, which dominated large
+// machines).
+type srcList struct {
+	mu   sync.Mutex
+	dsts []srcMailbox
+}
+
+type srcMailbox struct {
+	dst int
+	mb  *mailbox
+}
+
 // Machine is a simulated multicomputer with a fixed number of processors.
 type Machine struct {
-	n      int
-	cost   sim.CostModel
-	tracer Tracer
-	eng    Engine
-	faults FaultPlan
+	n       int
+	cost    sim.CostModel
+	tracer  Tracer
+	sampler EventSampler
+	eng     Engine
+	faults  FaultPlan
 	// hops returns the network distance between two physical processors;
 	// nil models a flat (distance-free) network.
 	hops func(a, b int) int
 	// mail[dst*n+src] is the FIFO from src to dst, allocated lazily on the
 	// first send or receive touching the pair: a machine of n processors has
 	// n^2 ordered pairs, but real programs use a tiny fraction of them, and
-	// eager allocation made New(1024, ...) materialize ~1M mailboxes.
+	// eager allocation made New(1024, ...) materialize ~1M mailboxes. nil on
+	// machines larger than denseMailProcs, which use mailSparse instead.
 	mail []atomic.Pointer[mailbox]
+	// mailSparse is the sharded sparse pair directory of large machines:
+	// memory is O(active pairs), lookups take one shard mutex (amortized
+	// away by the per-Proc mailbox cache on the hot path).
+	mailSparse []mailShard
+	// bySrc[src] lists every mailbox sourced at src, in creation order.
+	bySrc []srcList
 	// term[i]/termAt[i] record whether and when processor i's SPMD body
 	// terminated in the current Run, so a receiver blocked on it can fail
 	// with DeadSenderError instead of waiting forever.
@@ -249,19 +303,66 @@ type Machine struct {
 
 // mailboxFor returns the FIFO from src to dst, creating it on first use.
 // The sender and the receiver may race to create the same pair's mailbox;
-// CompareAndSwap lets exactly one instance win, so all messages of an
-// ordered pair flow through one queue and the per-pair FIFO guarantee is
-// preserved.
+// CompareAndSwap (dense directory) or the shard mutex (sparse directory)
+// lets exactly one instance win, so all messages of an ordered pair flow
+// through one queue and the per-pair FIFO guarantee is preserved.
+//
+// Every created mailbox is registered in bySrc[src] before mailboxFor
+// returns. That ordering is what senderTerminated's registry walk relies
+// on: a mailbox created by the sender is registered on the sender's own
+// program path (before its termination), and a mailbox created by the
+// receiver is registered — under bySrc[src].mu — before the receiver can
+// park on it, so the terminating sender either snapshots it (registration
+// first) or the receiver's wait observes the termination flag (snapshot
+// first: the flag store precedes the snapshot's mutex critical section,
+// which precedes the receiver's registration under the same mutex).
 func (m *Machine) mailboxFor(dst, src int) *mailbox {
-	slot := &m.mail[dst*m.n+src]
-	if mb := slot.Load(); mb != nil {
+	if m.mail != nil {
+		slot := &m.mail[dst*m.n+src]
+		if mb := slot.Load(); mb != nil {
+			return mb
+		}
+		mb := m.eng.newMailbox()
+		if slot.CompareAndSwap(nil, mb) {
+			m.registerMailbox(src, dst, mb)
+			return mb
+		}
+		return slot.Load()
+	}
+	key := int64(dst)*int64(m.n) + int64(src)
+	sh := &m.mailSparse[dst&(mailDirShards-1)]
+	sh.mu.Lock()
+	if mb, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
 		return mb
 	}
 	mb := m.eng.newMailbox()
-	if slot.CompareAndSwap(nil, mb) {
-		return mb
+	if sh.m == nil {
+		sh.m = make(map[int64]*mailbox)
 	}
-	return slot.Load()
+	sh.m[key] = mb
+	sh.mu.Unlock()
+	m.registerMailbox(src, dst, mb)
+	return mb
+}
+
+// registerMailbox appends a freshly created mailbox to its source's list.
+func (m *Machine) registerMailbox(src, dst int, mb *mailbox) {
+	l := &m.bySrc[src]
+	l.mu.Lock()
+	l.dsts = append(l.dsts, srcMailbox{dst: dst, mb: mb})
+	l.mu.Unlock()
+}
+
+// mailboxesFrom snapshots the mailboxes sourced at src, for termination
+// broadcast and post-run drain checks. The copy keeps the per-src mutex
+// critical section free of nested mailbox locks.
+func (m *Machine) mailboxesFrom(src int) []srcMailbox {
+	l := &m.bySrc[src]
+	l.mu.Lock()
+	out := append([]srcMailbox(nil), l.dsts...)
+	l.mu.Unlock()
+	return out
 }
 
 // Hops returns the network distance between two processors (0 on a flat
@@ -276,6 +377,15 @@ func (m *Machine) Hops(a, b int) int {
 // SetTracer installs a tracer; it must be called before Run. A nil tracer
 // (the default) disables tracing.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// SetSampler installs an event sampler consulted on every traced emit; it
+// must be called before Run. A nil sampler (the default) keeps every event.
+// Sampling only filters which events reach the tracer — per-processor
+// sequence numbers and per-pair FIFO counters advance for every event,
+// kept or dropped, so the identities sampling is keyed on (and fault-plan
+// decisions) are unchanged by the rate. With no tracer installed the
+// sampler is never consulted.
+func (m *Machine) SetSampler(s EventSampler) { m.sampler = s }
 
 // SetEngine installs the execution engine Run will use; it must be called
 // before the first Send, Recv, or Run (mailboxes are engine-specific). A nil
@@ -301,12 +411,18 @@ func New(n int, cost sim.CostModel) *Machine {
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{
+	m := &Machine{
 		n: n, cost: cost, eng: defaultEngine,
-		mail:   make([]atomic.Pointer[mailbox], n*n),
+		bySrc:  make([]srcList, n),
 		term:   make([]atomic.Uint32, n),
 		termAt: make([]float64, n),
 	}
+	if n <= denseMailProcs {
+		m.mail = make([]atomic.Pointer[mailbox], n*n)
+	} else {
+		m.mailSparse = make([]mailShard, mailDirShards)
+	}
+	return m
 }
 
 // NewMesh creates a machine whose cols*rows processors are arranged in a 2D
@@ -361,6 +477,10 @@ type Proc struct {
 	// untraced hot path stays allocation-free.
 	seq   int64
 	spans []string
+	// mbCache memoizes sparse-directory lookups for this processor's own
+	// pairs, so steady-state sends and receives on a large machine skip the
+	// shard mutex. nil on dense machines.
+	mbCache map[int64]*mailbox
 	// slow (> 1) multiplies all local time, and deathAt (> 0) is the virtual
 	// time this processor fails. Both are set by Run from the fault plan and
 	// stay zero — inert single-compare guards — on healthy machines.
@@ -394,13 +514,48 @@ func (p *Proc) BytesSent() int64 { return p.bytes }
 // does no work (and no allocation).
 func (p *Proc) Tracing() bool { return p.m.tracer != nil }
 
+// mailbox resolves the FIFO for an ordered pair on this processor's hot
+// path: the dense directory's atomic load on small machines, the per-Proc
+// cache (falling back to the sharded directory) on large ones.
+func (p *Proc) mailbox(dst, src int) *mailbox {
+	m := p.m
+	if m.mail != nil {
+		return m.mailboxFor(dst, src)
+	}
+	key := int64(dst)*int64(m.n) + int64(src)
+	if mb, ok := p.mbCache[key]; ok {
+		return mb
+	}
+	mb := m.mailboxFor(dst, src)
+	if p.mbCache == nil {
+		p.mbCache = make(map[int64]*mailbox)
+	}
+	p.mbCache[key] = mb
+	return mb
+}
+
+// keep advances the per-processor event sequence and consults the sampler.
+// The sequence advances for every event — kept or dropped — so the
+// (proc, seq) identity a sampling decision is keyed on is independent of
+// the sampling rate; a sampled trace has gaps in Seq where events were
+// dropped, but every recorded Seq means the same operation it would in the
+// unsampled trace. Callers have already checked that a tracer is installed.
+func (p *Proc) keep(kind EventKind) (int64, bool) {
+	p.seq++
+	if s := p.m.sampler; s != nil && !s.SampleEvent(p.id, p.seq, kind) {
+		return p.seq, false
+	}
+	return p.seq, true
+}
+
 // trace records an interval of duration t starting at the current clock if
 // the machine has a tracer installed. t is recorded verbatim as Event.Dur.
 func (p *Proc) trace(kind EventKind, t float64) {
 	if p.m.tracer != nil && t > 0 {
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock + t,
-			Seq: p.seq, Peer: -1, Dur: t})
+		if seq, ok := p.keep(kind); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock + t,
+				Seq: seq, Peer: -1, Dur: t})
+		}
 	}
 }
 
@@ -408,9 +563,10 @@ func (p *Proc) trace(kind EventKind, t float64) {
 // clock if a tracer is installed.
 func (p *Proc) marker(kind EventKind, peer, bytes int, label string) {
 	if p.m.tracer != nil {
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock,
-			Seq: p.seq, Peer: peer, Bytes: bytes, Label: label})
+		if seq, ok := p.keep(kind); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: kind, Start: p.clock, End: p.clock,
+				Seq: seq, Peer: peer, Bytes: bytes, Label: label})
+		}
 	}
 }
 
@@ -460,9 +616,10 @@ func (p *Proc) BeginSpan(label string) {
 	if p.m.tracer == nil {
 		return
 	}
-	p.seq++
-	p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanBegin, Start: p.clock, End: p.clock,
-		Seq: p.seq, Peer: -1, Label: label, Depth: len(p.spans)})
+	if seq, ok := p.keep(EvSpanBegin); ok {
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanBegin, Start: p.clock, End: p.clock,
+			Seq: seq, Peer: -1, Label: label, Depth: len(p.spans)})
+	}
 	p.spans = append(p.spans, label)
 }
 
@@ -476,9 +633,10 @@ func (p *Proc) EndSpan() {
 	}
 	label := p.spans[len(p.spans)-1]
 	p.spans = p.spans[:len(p.spans)-1]
-	p.seq++
-	p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanEnd, Start: p.clock, End: p.clock,
-		Seq: p.seq, Peer: -1, Label: label, Depth: len(p.spans)})
+	if seq, ok := p.keep(EvSpanEnd); ok {
+		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSpanEnd, Start: p.clock, End: p.clock,
+			Seq: seq, Peer: -1, Label: label, Depth: len(p.spans)})
+	}
 }
 
 // SpanDepth returns the number of currently open spans (0 when untraced).
@@ -525,9 +683,10 @@ func (p *Proc) IO(n int) {
 	p.checkAlive()
 	t := p.scale(p.m.cost.IOTime(n))
 	if p.m.tracer != nil && t > 0 {
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: EvIO, Start: p.clock, End: p.clock + t,
-			Seq: p.seq, Peer: -1, Bytes: n, Dur: t})
+		if seq, ok := p.keep(EvIO); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: EvIO, Start: p.clock, End: p.clock + t,
+				Seq: seq, Peer: -1, Bytes: n, Dur: t})
+		}
 	}
 	p.clock += t
 	p.busy += t
@@ -550,7 +709,7 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 	if p.m.hops != nil {
 		wire += float64(p.m.hops(p.id, dst)) * p.m.cost.PerHop
 	}
-	mb := p.m.mailboxFor(dst, p.id)
+	mb := p.mailbox(dst, p.id)
 	var mf MessageFault
 	var seq int64
 	if p.m.tracer != nil || p.m.faults != nil {
@@ -566,10 +725,11 @@ func (p *Proc) Send(dst int, data any, bytes int) {
 	if p.m.tracer != nil {
 		// Recorded even when SendOverhead is zero: trace analysis matches
 		// send events to recv markers to reconstruct dependency edges.
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
-			End: p.clock + overhead, Seq: p.seq, Peer: dst, Bytes: bytes,
-			Dur: overhead, Wire: wire, PairSeq: seq})
+		if eseq, ok := p.keep(EvSend); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: EvSend, Start: p.clock,
+				End: p.clock + overhead, Seq: eseq, Peer: dst, Bytes: bytes,
+				Dur: overhead, Wire: wire, PairSeq: seq})
+		}
 	}
 	p.clock += overhead
 	p.busy += overhead
@@ -606,7 +766,7 @@ func (p *Proc) Recv(src int) Message {
 		panic(fmt.Sprintf("machine: Recv from invalid processor %d (machine has %d)", src, p.m.n))
 	}
 	p.checkAlive()
-	mb := p.m.mailboxFor(p.id, src)
+	mb := p.mailbox(p.id, src)
 	for {
 		msg, ok := p.waitMsg(mb, src)
 		if !ok {
@@ -660,7 +820,7 @@ func (p *Proc) dropDup(src int, msg Message) {
 // EvWait/EvRecv markers trace analysis matches against EvSend events.
 func (p *Proc) TryRecv(src int) (Message, bool) {
 	p.checkAlive()
-	mb := p.m.mailboxFor(p.id, src)
+	mb := p.mailbox(p.id, src)
 	for {
 		msg, ok := p.m.eng.tryGet(p, mb)
 		if !ok {
@@ -720,7 +880,7 @@ func (p *Proc) RecvTimeout(src int, timeout float64) (Message, RecvOutcome) {
 	}
 	p.checkAlive()
 	deadline := p.clock + timeout
-	mb := p.m.mailboxFor(p.id, src)
+	mb := p.mailbox(p.id, src)
 	for {
 		if msg, ok := p.m.eng.peek(p, mb); ok {
 			if msg.Dup {
@@ -749,9 +909,10 @@ func (p *Proc) RecvTimeout(src int, timeout float64) (Message, RecvOutcome) {
 // as the event's Dur.
 func (p *Proc) timeoutAdvance(src int, deadline, timeout float64) {
 	if p.m.tracer != nil && deadline > p.clock {
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: EvTimeout, Start: p.clock,
-			End: deadline, Seq: p.seq, Peer: src, Dur: timeout})
+		if seq, ok := p.keep(EvTimeout); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: EvTimeout, Start: p.clock,
+				End: deadline, Seq: seq, Peer: src, Dur: timeout})
+		}
 	}
 	if deadline > p.clock {
 		p.idle += deadline - p.clock
@@ -765,19 +926,24 @@ func (p *Proc) timeoutAdvance(src int, deadline, timeout float64) {
 func (p *Proc) finishRecv(mb *mailbox, src int, msg Message) {
 	if msg.ArriveAt > p.clock {
 		if p.m.tracer != nil {
-			p.seq++
-			p.m.tracer.Record(Event{Proc: p.id, Kind: EvWait, Start: p.clock,
-				End: msg.ArriveAt, Seq: p.seq, Peer: src, Bytes: msg.Bytes})
+			if seq, ok := p.keep(EvWait); ok {
+				p.m.tracer.Record(Event{Proc: p.id, Kind: EvWait, Start: p.clock,
+					End: msg.ArriveAt, Seq: seq, Peer: src, Bytes: msg.Bytes})
+			}
 		}
 		p.idle += msg.ArriveAt - p.clock
 		p.clock = msg.ArriveAt
 	}
 	if p.m.tracer != nil {
+		// The pair's FIFO counter advances for every receive, sampled or
+		// not, so a kept EvRecv always carries the PairSeq its matching
+		// EvSend recorded.
 		seq := mb.recvSeq
 		mb.recvSeq++
-		p.seq++
-		p.m.tracer.Record(Event{Proc: p.id, Kind: EvRecv, Start: p.clock, End: p.clock,
-			Seq: p.seq, Peer: src, Bytes: msg.Bytes, PairSeq: seq})
+		if eseq, ok := p.keep(EvRecv); ok {
+			p.m.tracer.Record(Event{Proc: p.id, Kind: EvRecv, Start: p.clock, End: p.clock,
+				Seq: eseq, Peer: src, Bytes: msg.Bytes, PairSeq: seq})
+		}
 	}
 	p.recvd++
 }
@@ -893,34 +1059,47 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 	return stats
 }
 
-// drainReport scans every mailbox after a run and, if any message was left
-// unconsumed, formats a diagnostic naming each offending src->dst pair with
-// its leftover count (capped at eight pairs so an all-to-all protocol bug
-// stays readable). Returns "" when the machine drained cleanly.
+// drainReport walks every created mailbox after a run (via the per-source
+// registry, so the check is O(active pairs), not O(n^2)) and, if any message
+// was left unconsumed, formats a diagnostic naming each offending src->dst
+// pair with its leftover count (capped at eight pairs so an all-to-all
+// protocol bug stays readable). Pairs are reported in (dst, src) order —
+// registry order is creation order, which is host-schedule-dependent, so the
+// collected pairs are sorted to keep the diagnostic deterministic. Returns
+// "" when the machine drained cleanly.
 func (m *Machine) drainReport() string {
 	const maxPairs = 8
-	total, pairs := 0, 0
-	var list []string
-	for dst := 0; dst < m.n; dst++ {
-		for src := 0; src < m.n; src++ {
-			q := m.mail[dst*m.n+src].Load()
-			if q == nil || q.pending() == 0 {
-				continue
-			}
-			total += q.pending()
-			pairs++
-			if len(list) < maxPairs {
-				list = append(list, fmt.Sprintf("%d from %d to %d", q.pending(), src, dst))
+	type leftover struct{ dst, src, count int }
+	total := 0
+	var pairs []leftover
+	for src := 0; src < m.n; src++ {
+		for _, e := range m.bySrc[src].dsts {
+			if n := e.mb.pending(); n > 0 {
+				total += n
+				pairs = append(pairs, leftover{dst: e.dst, src: src, count: n})
 			}
 		}
 	}
 	if total == 0 {
 		return ""
 	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].dst != pairs[j].dst {
+			return pairs[i].dst < pairs[j].dst
+		}
+		return pairs[i].src < pairs[j].src
+	})
+	var list []string
+	for i, p := range pairs {
+		if i == maxPairs {
+			break
+		}
+		list = append(list, fmt.Sprintf("%d from %d to %d", p.count, p.src, p.dst))
+	}
 	msg := fmt.Sprintf("machine: %d unconsumed message(s) at program exit: %s",
 		total, strings.Join(list, ", "))
-	if pairs > maxPairs {
-		msg += fmt.Sprintf(", ... (%d more pair(s))", pairs-maxPairs)
+	if len(pairs) > maxPairs {
+		msg += fmt.Sprintf(", ... (%d more pair(s))", len(pairs)-maxPairs)
 	}
 	return msg
 }

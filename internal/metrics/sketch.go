@@ -1,0 +1,35 @@
+package metrics
+
+// The quantile sketch lives in the dependency-free internal/sketch package so
+// that low-level consumers (internal/stats) can use it without importing
+// metrics — which imports trace, and would otherwise close an import cycle
+// through trace's in-package tests. These aliases keep metrics.Sketch the
+// canonical name for report-level code and for the scale-tier API surface.
+
+import (
+	"strings"
+
+	"fxpar/internal/sketch"
+)
+
+// Sketch is the mergeable deterministic quantile sketch; see the sketch
+// package for binning and merge-invariance details.
+type Sketch = sketch.Sketch
+
+// SketchBins is the sketch's fixed bin count.
+const SketchBins = sketch.SketchBins
+
+// ExactQuantile computes the reference order statistic the sketch
+// approximates (1-based ceil(q*n) rank over the raw values).
+func ExactQuantile(values []float64, q float64) float64 {
+	return sketch.ExactQuantile(values, q)
+}
+
+// SameBin reports whether two values land in the same sketch bin — the
+// "within one bin" acceptance predicate for sketch-vs-exact comparisons.
+func SameBin(a, b float64) bool { return sketch.SameBin(a, b) }
+
+// WriteSketchText renders a labeled one-line digest of a sketch.
+func WriteSketchText(w *strings.Builder, name string, s *Sketch) {
+	sketch.WriteSketchText(w, name, s)
+}

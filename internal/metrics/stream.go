@@ -180,13 +180,125 @@ func mergeInto(out *Registry, st *procState) {
 	}
 }
 
-// mergeStates folds per-processor partial registries (ascending processor
-// order) into one registry.
-func mergeStates(states []*procState) *Registry {
-	out := NewRegistry()
-	for _, st := range states {
-		mergeInto(out, st)
+// The merge topology. A flat left fold over P partials costs O(P) sequential
+// registry merges on the snapshot path; at P=65536 that dominates snapshot
+// latency. Instead both pipelines merge through the same fixed tree: the
+// partials of processors that saw events are compacted (ascending processor
+// order), folded sequentially into leaves of mergeChunk consecutive partials,
+// and the leaves are merged pairwise until one registry remains — O(log P)
+// levels, with the pair merges of wide levels running in parallel. The
+// topology is a pure function of the compacted partial sequence, never of
+// processor count, host parallelism, or which level ran on which goroutine,
+// so float sums group identically online (StreamSink.Registry) and post-hoc
+// (FromTrace) and the byte-identity contract between them survives scale.
+const (
+	// mergeChunk is the leaf width: partials per sequential leaf fold.
+	mergeChunk = 8
+	// mergeParallelMin is the leaf count above which tree levels fan out to
+	// goroutines; below it the coordination costs more than the merges.
+	mergeParallelMin = 16
+)
+
+// mergeRegistries folds src into dst: per-key cell additions plus totals.
+// Makespan folds by max, so it commutes and associates exactly; the float
+// sums are grouped by the fixed tree.
+func mergeRegistries(dst, src *Registry) {
+	for k, m := range src.ops {
+		d := dst.ops[k]
+		if d == nil {
+			d = &OpMetrics{Group: m.Group, Op: m.Op}
+			dst.ops[k] = d
+		}
+		d.Spans += m.Spans
+		d.Time += m.Time
+		d.Compute += m.Compute
+		d.Wait += m.Wait
+		d.Send += m.Send
+		d.IO += m.IO
+		d.MsgsSent += m.MsgsSent
+		d.BytesSent += m.BytesSent
+		d.MsgsRecvd += m.MsgsRecvd
+		d.BytesRecvd += m.BytesRecvd
+		d.Faults += m.Faults
+		d.Timeouts += m.Timeouts
+		d.Retries += m.Retries
+		for i := range d.Dur.Buckets {
+			d.Dur.Buckets[i] += m.Dur.Buckets[i]
+		}
 	}
+	dst.totals.Compute += src.totals.Compute
+	dst.totals.Wait += src.totals.Wait
+	dst.totals.Send += src.totals.Send
+	dst.totals.IO += src.totals.IO
+	dst.totals.Msgs += src.totals.Msgs
+	dst.totals.Bytes += src.totals.Bytes
+	dst.totals.Faults += src.totals.Faults
+	dst.totals.Timeouts += src.totals.Timeouts
+	dst.totals.Retries += src.totals.Retries
+	dst.totals.Events += src.totals.Events
+	dst.totals.Procs += src.totals.Procs
+	if src.totals.Makespan > dst.totals.Makespan {
+		dst.totals.Makespan = src.totals.Makespan
+	}
+}
+
+// mergeTree reduces leaf registries pairwise — leaf i merges with leaf i+1,
+// the winners pair again — until one remains. Pairs within a level are
+// independent, so wide levels run them concurrently; the grouping (and hence
+// every float sum) is fixed by leaf position alone.
+func mergeTree(leaves []*Registry) *Registry {
+	if len(leaves) == 0 {
+		return NewRegistry()
+	}
+	for len(leaves) > 1 {
+		next := make([]*Registry, 0, (len(leaves)+1)/2)
+		pairs := len(leaves) / 2
+		if pairs >= mergeParallelMin/2 {
+			var wg sync.WaitGroup
+			wg.Add(pairs)
+			for i := 0; i < pairs; i++ {
+				go func(i int) {
+					defer wg.Done()
+					mergeRegistries(leaves[2*i], leaves[2*i+1])
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < pairs; i++ {
+				mergeRegistries(leaves[2*i], leaves[2*i+1])
+			}
+		}
+		for i := 0; i < pairs; i++ {
+			next = append(next, leaves[2*i])
+		}
+		if len(leaves)%2 == 1 {
+			next = append(next, leaves[len(leaves)-1])
+		}
+		leaves = next
+	}
+	return leaves[0]
+}
+
+// mergeStates folds per-processor partial registries (ascending processor
+// order, unseen processors skipped) through the shared merge tree.
+func mergeStates(states []*procState) *Registry {
+	var leaves []*Registry
+	var leaf *Registry
+	inLeaf := 0
+	for _, st := range states {
+		if st == nil || !st.seen {
+			continue
+		}
+		if inLeaf == 0 {
+			leaf = NewRegistry()
+			leaves = append(leaves, leaf)
+		}
+		mergeInto(leaf, st)
+		if inLeaf++; inLeaf == mergeChunk {
+			inLeaf = 0
+		}
+	}
+	out := mergeTree(leaves)
 	out.totals.SpanKinds = len(out.ops)
 	return out
 }
@@ -239,14 +351,28 @@ func (s *StreamSink) Dropped() int64 { return s.dropped.Load() }
 // Registry merges the per-processor partials into a full registry. Safe to
 // call mid-run: each processor's partial is read under its lock (the result
 // is then a causally consistent per-processor prefix, not a global cut).
+// The leaf folds and the pairwise tree above them are the same fixed
+// topology FromTrace uses, so the two pipelines stay byte-identical.
 func (s *StreamSink) Registry() *Registry {
-	out := NewRegistry()
+	var leaves []*Registry
+	var leaf *Registry
+	inLeaf := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		mergeInto(out, sh.st)
+		if sh.st.seen {
+			if inLeaf == 0 {
+				leaf = NewRegistry()
+				leaves = append(leaves, leaf)
+			}
+			mergeInto(leaf, sh.st)
+			if inLeaf++; inLeaf == mergeChunk {
+				inLeaf = 0
+			}
+		}
 		sh.mu.Unlock()
 	}
+	out := mergeTree(leaves)
 	out.totals.SpanKinds = len(out.ops)
 	return out
 }

@@ -1,0 +1,183 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sketchValues is a deterministic spread of awkward inputs: several octaves,
+// bin-boundary values, underflow, duplicates.
+func sketchValues() []float64 {
+	r := rand.New(rand.NewSource(42))
+	vals := []float64{0, 1e-12, 1e-9, 2e-9, 1, 1, 1, 2, 4, 1 << 20, 0.125, 0.1251}
+	for i := 0; i < 500; i++ {
+		vals = append(vals, math.Exp(r.Float64()*20-10)) // ~e^-10 .. e^10
+	}
+	return vals
+}
+
+func TestSketchQuantileWithinOneBinOfExact(t *testing.T) {
+	vals := sketchValues()
+	var s Sketch
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(vals))
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		exact := ExactQuantile(vals, q)
+		est := s.Quantile(q)
+		if !SameBin(exact, est) {
+			t.Errorf("Quantile(%g) = %g not in the same bin as exact %g", q, est, exact)
+		}
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %g, want Max %g", got, s.Max)
+	}
+	// The clamped-midpoint estimate never leaves the observed range.
+	for _, q := range []float64{0, 0.5, 1} {
+		if est := s.Quantile(q); est < s.Min || est > s.Max {
+			t.Errorf("Quantile(%g) = %g outside [%g, %g]", q, est, s.Min, s.Max)
+		}
+	}
+}
+
+func TestSketchMeanWithinBinWidthOfExact(t *testing.T) {
+	vals := sketchValues()[4:] // drop underflow values, which bias the mean bin
+	var s Sketch
+	var sum float64
+	for _, v := range vals {
+		s.Add(v)
+		sum += v
+	}
+	exact := sum / float64(len(vals))
+	if got := s.Mean(); math.Abs(got-exact)/exact > 1.0/sketchSub {
+		t.Errorf("Mean() = %g, exact %g: error beyond one bin width", got, exact)
+	}
+}
+
+// TestSketchMergePermutationInvariant is the satellite property test at the
+// sketch level: sharding the same values across 64 sketches and merging the
+// shards in every one of a batch of random permutations (plus identity and
+// reversal) must produce byte-identical results.
+func TestSketchMergePermutationInvariant(t *testing.T) {
+	vals := sketchValues()
+	const shards = 64
+	parts := make([]Sketch, shards)
+	for i, v := range vals {
+		parts[i%shards].Add(v)
+	}
+	merge := func(order []int) []byte {
+		var total Sketch
+		for _, i := range order {
+			total.Merge(&parts[i])
+		}
+		b, err := json.Marshal(&total)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	identity := make([]int, shards)
+	for i := range identity {
+		identity[i] = i
+	}
+	want := merge(identity)
+	reversed := make([]int, shards)
+	for i := range reversed {
+		reversed[i] = shards - 1 - i
+	}
+	r := rand.New(rand.NewSource(7))
+	orders := [][]int{reversed}
+	for k := 0; k < 50; k++ {
+		p := r.Perm(shards)
+		orders = append(orders, p)
+	}
+	for k, order := range orders {
+		if got := merge(order); !bytes.Equal(got, want) {
+			t.Fatalf("merge order %d produced different bytes:\n got %s\nwant %s", k, got, want)
+		}
+	}
+	// Hierarchical (tree) merge must equal the flat fold too.
+	var left, right Sketch
+	for i := 0; i < shards/2; i++ {
+		left.Merge(&parts[i])
+	}
+	for i := shards / 2; i < shards; i++ {
+		right.Merge(&parts[i])
+	}
+	left.Merge(&right)
+	b, _ := json.Marshal(&left)
+	if !bytes.Equal(b, want) {
+		t.Fatalf("tree merge produced different bytes:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestSketchUnderflowAndOverflow(t *testing.T) {
+	var s Sketch
+	s.Add(math.NaN())
+	s.Add(-1)
+	s.Add(0)
+	s.Add(1e-15)
+	if s.Bins[0] != 4 {
+		t.Errorf("underflow bin = %d, want 4", s.Bins[0])
+	}
+	huge := math.Ldexp(1, 40)
+	s.Add(huge)
+	if s.Bins[SketchBins-1] != 1 {
+		t.Errorf("overflow bin = %d, want 1", s.Bins[SketchBins-1])
+	}
+	if s.Max != huge {
+		t.Errorf("Max = %g, want %g", s.Max, huge)
+	}
+	if got := s.Quantile(1); got != huge {
+		t.Errorf("Quantile(1) = %g, want %g (overflow estimate clamps to Max)", got, huge)
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	var s Sketch
+	for _, v := range sketchValues() {
+		s.Add(v)
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Sketch
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip mismatch")
+	}
+	b2, _ := json.Marshal(&back)
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("re-marshal differs: %s vs %s", b, b2)
+	}
+	var empty Sketch
+	if got := empty.Summary(); got != "empty" {
+		t.Errorf("empty Summary = %q", got)
+	}
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty sketch quantile/mean not zero")
+	}
+}
+
+func TestSketchBinBoundsConsistent(t *testing.T) {
+	// Every bin's bounds must contain exactly the values that index to it.
+	for i := 1; i < SketchBins-1; i++ {
+		lo, hi := sketchBinBounds(i)
+		if got := sketchIndex(lo); got != i {
+			t.Fatalf("bin %d: lower bound %g indexes to %d", i, lo, got)
+		}
+		mid := lo + (hi-lo)/2
+		if got := sketchIndex(mid); got != i {
+			t.Fatalf("bin %d: midpoint %g indexes to %d", i, mid, got)
+		}
+	}
+}

@@ -13,20 +13,51 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"fxpar/internal/sketch"
 )
 
 // Stream records the injection and completion virtual times of each data
-// set in a stream.
+// set in a stream. It has two modes:
+//
+//   - Retaining (NewStream): per-set times are kept, duplicates tolerated
+//     (earliest injection, latest completion win), latency statistics exact.
+//     Memory is O(sets).
+//   - Sketch (NewSketchStream): the scale tier. Latencies fold into a
+//     mergeable fixed-bin quantile sketch at completion time and the
+//     injection entry is deleted, so memory is O(in-flight sets) — flat for
+//     a stream of any length. The mode demands the exactly-once metering
+//     contract every mapping in this codebase already obeys (one processor —
+//     group rank 0 — records each set's injection and completion); a second
+//     Complete for a set panics like a never-injected set does.
 type Stream struct {
 	mu       sync.Mutex
 	inject   map[int]float64
-	complete map[int]float64
+	complete map[int]float64 // nil in sketch mode
+
+	// Sketch-mode accumulators. The sketch's integer bins make the latency
+	// statistics order-independent; the scalar folds (count, min/max, first/
+	// last completion) are exact, so Summarize stays deterministic no matter
+	// how host scheduling interleaves Complete calls.
+	sketch        *sketch.Sketch
+	count         int
+	firstC, lastC float64
+	maxLat        float64
 }
 
-// NewStream returns an empty stream meter.
+// NewStream returns an empty stream meter in retaining mode.
 func NewStream() *Stream {
 	return &Stream{inject: make(map[int]float64), complete: make(map[int]float64)}
 }
+
+// NewSketchStream returns an empty stream meter in sketch mode: O(in-flight)
+// memory, latency quantiles from a fixed-bin sketch.
+func NewSketchStream() *Stream {
+	return &Stream{inject: make(map[int]float64), sketch: &sketch.Sketch{}, firstC: math.Inf(1)}
+}
+
+// Sketched reports whether the meter is in sketch mode.
+func (s *Stream) Sketched() bool { return s.sketch != nil }
 
 // Inject records that data set i entered the system at virtual time t.
 // Recording the same set twice keeps the earlier time (several processors
@@ -40,20 +71,56 @@ func (s *Stream) Inject(i int, t float64) {
 }
 
 // Complete records that data set i left the system at virtual time t.
-// Recording the same set twice keeps the later time.
+// In retaining mode, recording the same set twice keeps the later time; in
+// sketch mode the latency folds into the sketch immediately and the set's
+// injection entry is released, so each set must complete exactly once.
 func (s *Stream) Complete(i int, t float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.complete[i]; !ok || t > old {
-		s.complete[i] = t
+	if s.sketch == nil {
+		if old, ok := s.complete[i]; !ok || t > old {
+			s.complete[i] = t
+		}
+		return
 	}
+	inj, ok := s.inject[i]
+	if !ok {
+		panic(fmt.Sprintf("stats: data set %d completed but never injected (or completed twice in sketch mode)", i))
+	}
+	delete(s.inject, i)
+	lat := t - inj
+	if lat < 0 {
+		panic(fmt.Sprintf("stats: data set %d completed at %g before injection at %g", i, t, inj))
+	}
+	s.sketch.Add(lat)
+	if lat > s.maxLat {
+		s.maxLat = lat
+	}
+	if t < s.firstC {
+		s.firstC = t
+	}
+	if t > s.lastC {
+		s.lastC = t
+	}
+	s.count++
 }
 
 // Count returns the number of completed data sets.
 func (s *Stream) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sketch != nil {
+		return s.count
+	}
 	return len(s.complete)
+}
+
+// InFlight returns the number of injected-but-uncompleted data sets — the
+// sketch mode's memory footprint.
+func (s *Stream) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inject)
 }
 
 // Result summarizes a metered stream.
@@ -68,10 +135,19 @@ type Result struct {
 	// worth of pipeline occupancy. For a single-set stream there is no
 	// steady state at all, and by convention Throughput = 1 / Latency.
 	Throughput float64
-	// Latency is the mean completion-minus-injection time.
+	// Latency is the mean completion-minus-injection time. In sketch mode it
+	// is the sketch's bin-weighted mean (within one bin width of exact).
 	Latency float64
-	// MaxLatency is the worst per-set latency.
+	// MaxLatency is the worst per-set latency (exact in both modes).
 	MaxLatency float64
+	// LatencyP50/LatencyP99 are per-set latency quantiles: exact order
+	// statistics in retaining mode, sketch bin estimates in sketch mode
+	// (within one log-linear bin of exact — the equivalence the tests pin).
+	LatencyP50 float64
+	LatencyP99 float64
+	// Sketched reports that the latency figures came from the fixed-bin
+	// sketch, so consumers can mark them as estimates.
+	Sketched bool
 }
 
 // Summarize computes the stream's Result. It panics if a completed set was
@@ -80,6 +156,9 @@ type Result struct {
 func (s *Stream) Summarize() Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sketch != nil {
+		return s.summarizeSketch()
+	}
 	n := len(s.complete)
 	if n == 0 {
 		return Result{}
@@ -95,6 +174,7 @@ func (s *Stream) Summarize() Result {
 		sets = append(sets, i)
 	}
 	sort.Ints(sets)
+	lats := make([]float64, 0, n)
 	for _, i := range sets {
 		c := s.complete[i]
 		inj, ok := s.inject[i]
@@ -106,6 +186,7 @@ func (s *Stream) Summarize() Result {
 			panic(fmt.Sprintf("stats: data set %d completed at %g before injection at %g", i, c, inj))
 		}
 		sumLat += lat
+		lats = append(lats, lat)
 		if lat > maxLat {
 			maxLat = lat
 		}
@@ -116,7 +197,11 @@ func (s *Stream) Summarize() Result {
 			lastC = c
 		}
 	}
-	r := Result{Sets: n, Latency: sumLat / float64(n), MaxLatency: maxLat}
+	r := Result{
+		Sets: n, Latency: sumLat / float64(n), MaxLatency: maxLat,
+		LatencyP50: sketch.ExactQuantile(lats, 0.5),
+		LatencyP99: sketch.ExactQuantile(lats, 0.99),
+	}
 	switch {
 	case n > 1 && lastC > firstC:
 		r.Throughput = float64(n-1) / (lastC - firstC)
@@ -131,6 +216,44 @@ func (s *Stream) Summarize() Result {
 		r.Throughput = 1 / r.Latency
 	}
 	return r
+}
+
+// summarizeSketch derives the Result from the sketch-mode accumulators.
+// Caller holds s.mu. Every input is either an exact scalar fold (count,
+// max latency, completion extrema) or a pure function of the sketch's
+// integer bins, so the result is deterministic regardless of the order
+// Complete calls arrived in.
+func (s *Stream) summarizeSketch() Result {
+	n := s.count
+	if n == 0 {
+		return Result{Sketched: true}
+	}
+	r := Result{
+		Sets: n, Latency: s.sketch.Mean(), MaxLatency: s.maxLat,
+		LatencyP50: s.sketch.Quantile(0.5),
+		LatencyP99: s.sketch.Quantile(0.99),
+		Sketched:   true,
+	}
+	switch {
+	case n > 1 && s.lastC > s.firstC:
+		r.Throughput = float64(n-1) / (s.lastC - s.firstC)
+	case n > 1 && r.Latency > 0:
+		r.Throughput = float64(n) / r.Latency
+	case r.Latency > 0:
+		r.Throughput = 1 / r.Latency
+	}
+	return r
+}
+
+// LatencySketch returns a copy of the sketch-mode latency sketch (zero-value
+// sketch in retaining mode), for merging module-level meters upward.
+func (s *Stream) LatencySketch() sketch.Sketch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sketch == nil {
+		return sketch.Sketch{}
+	}
+	return *s.sketch
 }
 
 func (r Result) String() string {

@@ -136,6 +136,9 @@ func RenderText(w io.Writer, s MonitorSnapshot) {
 		fmt.Fprintf(w, "  chaos %s", s.Chaos)
 	}
 	fmt.Fprintln(w)
+	if s.Telemetry != nil {
+		fmt.Fprintf(w, "telemetry: %s\n", s.Telemetry.Line)
+	}
 	if len(s.Campaigns) == 0 {
 		fmt.Fprintln(w, "(no campaigns yet)")
 		return

@@ -115,6 +115,45 @@ type MonitorSnapshot struct {
 	// without digging through driver flags.
 	Chaos     string             `json:"chaos,omitempty"`
 	Campaigns []CampaignSnapshot `json:"campaigns"`
+	// Telemetry is the live observability self-accounting of the process
+	// (sink cost share, sample rates, dropped-event estimate); nil when the
+	// driver never registered a source. See SetTelemetrySource.
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+}
+
+// TelemetrySnapshot is the monitor's view of the process's observability
+// cost, fed by trace.OverheadBudget through SetTelemetrySource. The sweep
+// package deliberately holds strings and scalars only — it must not import
+// the trace package, which would drag machine internals into every driver
+// that just wants campaign progress bars.
+type TelemetrySnapshot struct {
+	// Line is the compact one-line budget rendering (sink share percent,
+	// per-sink breakdown, sample rates, dropped count) fxtop prints verbatim.
+	Line string `json:"line"`
+	// SinkSharePct is the sinks' estimated share of host wall time.
+	SinkSharePct float64 `json:"sinkSharePct"`
+	// SampleRates is the active sampling configuration ("compute=1/64 ..."
+	// or "unsampled").
+	SampleRates string `json:"sampleRates,omitempty"`
+	// DroppedEvents counts events the sampler has thinned away so far; the
+	// unsampled estimate of any kept count is count / rate.
+	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+}
+
+// telemetrySource is polled at Snapshot time; same process-global
+// atomic.Pointer pattern as the engine/chaos labels.
+var telemetrySource atomic.Pointer[func() TelemetrySnapshot]
+
+// SetTelemetrySource registers a callback that yields the process's current
+// telemetry self-accounting; nil unregisters. Drivers with an active
+// trace.OverheadBudget call it once so fxtop and the HTTP snapshot show the
+// live overhead-budget line.
+func SetTelemetrySource(fn func() TelemetrySnapshot) {
+	if fn == nil {
+		telemetrySource.Store(nil)
+		return
+	}
+	telemetrySource.Store(&fn)
 }
 
 // engineLabel is the process-global engine name surfaced in snapshots.
@@ -180,6 +219,10 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	}
 	if lbl := chaosLabel.Load(); lbl != nil {
 		out.Chaos = *lbl
+	}
+	if src := telemetrySource.Load(); src != nil {
+		t := (*src)()
+		out.Telemetry = &t
 	}
 	for _, c := range cs {
 		out.Campaigns = append(out.Campaigns, c.snapshot(now))

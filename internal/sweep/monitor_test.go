@@ -219,3 +219,32 @@ func TestSetChaosLabelReachesSnapshot(t *testing.T) {
 		t.Errorf("snapshot chaos = %q, want 42:havoc", snap.Chaos)
 	}
 }
+
+// TestTelemetrySourceReachesSnapshotAndRender: a registered telemetry source
+// is polled into snapshots and its budget line appears in the fxtop view;
+// unregistering removes it again.
+func TestTelemetrySourceReachesSnapshotAndRender(t *testing.T) {
+	SetTelemetrySource(func() TelemetrySnapshot {
+		return TelemetrySnapshot{
+			Line:          "sinks 1.2% host (collector 0.8%, metrics 0.4%)  sampled compute=1/64  dropped 12345",
+			SinkSharePct:  1.2,
+			SampleRates:   "compute=1/64",
+			DroppedEvents: 12345,
+		}
+	})
+	defer SetTelemetrySource(nil)
+	m := NewMonitor()
+	snap := m.Snapshot()
+	if snap.Telemetry == nil || snap.Telemetry.SinkSharePct != 1.2 || snap.Telemetry.DroppedEvents != 12345 {
+		t.Fatalf("snapshot telemetry = %+v", snap.Telemetry)
+	}
+	var sb strings.Builder
+	RenderText(&sb, snap)
+	if !strings.Contains(sb.String(), "telemetry: sinks 1.2% host") {
+		t.Errorf("render missing telemetry line:\n%s", sb.String())
+	}
+	SetTelemetrySource(nil)
+	if after := m.Snapshot(); after.Telemetry != nil {
+		t.Errorf("telemetry survived unregistration: %+v", after.Telemetry)
+	}
+}

@@ -13,12 +13,50 @@ package trace
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"fxpar/internal/machine"
 )
+
+// parallelSnapshotMin is the processor count above which sink snapshots
+// fold their per-processor cells with a parallel range merge. All folded
+// quantities are integers or min/max, so the grouping cannot change the
+// result — parallelism here is free of determinism risk.
+const parallelSnapshotMin = 4096
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker, runs f
+// on each chunk concurrently, and returns the partial results in ascending
+// range order (so callers that fold them sequentially keep a fixed fold
+// topology).
+func parallelRanges[T any](n int, f func(lo, hi int) T) []T {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 16 {
+		workers = 16
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	parts := make([]T, 0, workers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		parts = append(parts, *new(T))
+		wg.Add(1)
+		go func(slot int, lo, hi int) {
+			defer wg.Done()
+			parts[slot] = f(lo, hi)
+		}(len(parts)-1, lo, hi)
+	}
+	wg.Wait()
+	return parts
+}
 
 // ProcUtil is one processor's accumulated virtual time per activity.
 type ProcUtil struct {
@@ -97,29 +135,56 @@ type UtilSnapshot struct {
 	Dropped int64 `json:"dropped"`
 }
 
+// utilExtent is one shard range's virtual-time extent.
+type utilExtent struct {
+	start, end float64
+	seen       bool
+}
+
+func (a *utilExtent) fold(b utilExtent) {
+	if !b.seen {
+		return
+	}
+	if !a.seen {
+		*a = b
+		return
+	}
+	if b.start < a.start {
+		a.start = b.start
+	}
+	if b.end > a.end {
+		a.end = b.end
+	}
+}
+
 // Snapshot merges the per-processor cells in processor order. Safe to call
-// mid-run; a mid-run snapshot is internally consistent per processor.
+// mid-run; a mid-run snapshot is internally consistent per processor. At
+// parallelSnapshotMin processors and beyond the per-cell copies run as a
+// parallel range merge — each processor's row is independent and the
+// trace extent is a min/max fold, so the result is identical either way.
 func (s *UtilSink) Snapshot() UtilSnapshot {
 	out := UtilSnapshot{PerProc: make([]ProcUtil, len(s.cells)), Dropped: s.dropped.Load()}
-	first := true
-	for i := range s.cells {
-		c := &s.cells[i]
-		c.mu.Lock()
-		out.PerProc[i] = c.u
-		if c.seen {
-			if first {
-				out.Start, out.End = c.start, c.end
-				first = false
-			} else {
-				if c.start < out.Start {
-					out.Start = c.start
-				}
-				if c.end > out.End {
-					out.End = c.end
-				}
-			}
+	copyRange := func(lo, hi int) utilExtent {
+		var ext utilExtent
+		for i := lo; i < hi; i++ {
+			c := &s.cells[i]
+			c.mu.Lock()
+			out.PerProc[i] = c.u
+			ext.fold(utilExtent{start: c.start, end: c.end, seen: c.seen})
+			c.mu.Unlock()
 		}
-		c.mu.Unlock()
+		return ext
+	}
+	var total utilExtent
+	if len(s.cells) >= parallelSnapshotMin {
+		for _, ext := range parallelRanges(len(s.cells), copyRange) {
+			total.fold(ext)
+		}
+	} else {
+		total = copyRange(0, len(s.cells))
+	}
+	if total.seen {
+		out.Start, out.End = total.start, total.end
 	}
 	return out
 }
@@ -153,18 +218,29 @@ type commCounts struct {
 	msgsSent, bytesSent, msgsRecvd, bytesRecvd int64
 }
 
+// commDenseProcs is the largest machine for which a recording shard uses a
+// dense per-peer array (two commCounts per possible peer — at 128 procs,
+// ~8KB per active shard) instead of a map. The array is faster to record
+// into; above the threshold only the map path is allowed, keeping total
+// matrix memory O(active pairs) instead of O(P^2) — the property the
+// P=4096 memory guard test pins.
+const commDenseProcs = 128
+
 // commShard holds the matrix cells recorded by one processor: sends keyed by
 // (proc, peer), receive markers keyed by (peer, proc). One pair's sent and
 // received counts may live in different shards (sender's and receiver's);
-// Snapshot merges them.
+// Snapshot merges them. Small machines use the dense array (sends at
+// [peer], receives at [procs+peer]); large ones the sparse map.
 type commShard struct {
 	mu    sync.Mutex
 	cells map[[2]int]*commCounts
+	dense []commCounts
 }
 
 // CommMatrix streams the (src, dst) communication matrix — message and byte
 // counts per ordered processor pair — in O(pairs actually used) memory.
 type CommMatrix struct {
+	procs   int
 	shards  []commShard
 	dropped atomic.Int64
 }
@@ -173,27 +249,43 @@ var _ machine.Tracer = (*CommMatrix)(nil)
 
 // NewCommMatrix returns a matrix sink for a machine of the given size.
 func NewCommMatrix(procs int) *CommMatrix {
-	return &CommMatrix{shards: make([]commShard, procs)}
+	return &CommMatrix{procs: procs, shards: make([]commShard, procs)}
 }
 
 // Record implements machine.Tracer. Only EvSend and EvRecv events touch the
 // matrix; everything else is ignored.
 func (m *CommMatrix) Record(e machine.Event) {
-	var key [2]int
-	switch e.Kind {
-	case machine.EvSend:
-		key = [2]int{e.Proc, e.Peer}
-	case machine.EvRecv:
-		key = [2]int{e.Peer, e.Proc}
-	default:
+	if e.Kind != machine.EvSend && e.Kind != machine.EvRecv {
 		return
 	}
-	if e.Proc < 0 || e.Proc >= len(m.shards) {
+	if e.Proc < 0 || e.Proc >= len(m.shards) || e.Peer < 0 || e.Peer >= m.procs {
 		m.dropped.Add(1)
 		return
 	}
 	sh := &m.shards[e.Proc]
 	sh.mu.Lock()
+	if m.procs <= commDenseProcs {
+		if sh.dense == nil {
+			sh.dense = make([]commCounts, 2*m.procs)
+		}
+		if e.Kind == machine.EvSend {
+			c := &sh.dense[e.Peer]
+			c.msgsSent++
+			c.bytesSent += int64(e.Bytes)
+		} else {
+			c := &sh.dense[m.procs+e.Peer]
+			c.msgsRecvd++
+			c.bytesRecvd += int64(e.Bytes)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	var key [2]int
+	if e.Kind == machine.EvSend {
+		key = [2]int{e.Proc, e.Peer}
+	} else {
+		key = [2]int{e.Peer, e.Proc}
+	}
 	if sh.cells == nil {
 		sh.cells = make(map[[2]int]*commCounts)
 	}
@@ -212,25 +304,68 @@ func (m *CommMatrix) Record(e machine.Event) {
 	sh.mu.Unlock()
 }
 
+// mergeInto folds one shard's cells into the accumulator map.
+func (sh *commShard) mergeInto(procs, owner int, merged map[[2]int]*CommEdge) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fold := func(key [2]int, c *commCounts) {
+		e := merged[key]
+		if e == nil {
+			e = &CommEdge{Src: key[0], Dst: key[1]}
+			merged[key] = e
+		}
+		e.MsgsSent += c.msgsSent
+		e.BytesSent += c.bytesSent
+		e.MsgsRecvd += c.msgsRecvd
+		e.BytesRecvd += c.bytesRecvd
+	}
+	for peer := range sh.dense {
+		c := &sh.dense[peer]
+		if c.msgsSent == 0 && c.msgsRecvd == 0 && c.bytesSent == 0 && c.bytesRecvd == 0 {
+			continue
+		}
+		if peer < procs {
+			fold([2]int{owner, peer}, c)
+		} else {
+			fold([2]int{peer - procs, owner}, c)
+		}
+	}
+	for key, c := range sh.cells {
+		fold(key, c)
+	}
+}
+
 // Snapshot merges the shards into edges sorted by (src, dst). Counts are
-// integers, so the result is exact regardless of recording interleaving.
+// integers, so the result is exact regardless of recording interleaving —
+// and regardless of merge grouping, which lets large matrices merge their
+// shards as a parallel range tree (each worker folds a contiguous shard
+// range, the partial maps fold pairwise) with no effect on the output.
 func (m *CommMatrix) Snapshot() []CommEdge {
 	merged := map[[2]int]*CommEdge{}
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.Lock()
-		for key, c := range sh.cells {
-			e := merged[key]
-			if e == nil {
-				e = &CommEdge{Src: key[0], Dst: key[1]}
-				merged[key] = e
+	if len(m.shards) >= parallelSnapshotMin {
+		for _, part := range parallelRanges(len(m.shards), func(lo, hi int) map[[2]int]*CommEdge {
+			local := map[[2]int]*CommEdge{}
+			for i := lo; i < hi; i++ {
+				m.shards[i].mergeInto(m.procs, i, local)
 			}
-			e.MsgsSent += c.msgsSent
-			e.BytesSent += c.bytesSent
-			e.MsgsRecvd += c.msgsRecvd
-			e.BytesRecvd += c.bytesRecvd
+			return local
+		}) {
+			for key, c := range part {
+				e := merged[key]
+				if e == nil {
+					merged[key] = c
+					continue
+				}
+				e.MsgsSent += c.MsgsSent
+				e.BytesSent += c.BytesSent
+				e.MsgsRecvd += c.MsgsRecvd
+				e.BytesRecvd += c.BytesRecvd
+			}
 		}
-		sh.mu.Unlock()
+	} else {
+		for i := range m.shards {
+			m.shards[i].mergeInto(m.procs, i, merged)
+		}
 	}
 	out := make([]CommEdge, 0, len(merged))
 	for _, e := range merged {
@@ -243,6 +378,29 @@ func (m *CommMatrix) Snapshot() []CommEdge {
 		return out[i].Dst < out[j].Dst
 	})
 	return out
+}
+
+// TopCommEdges returns the k heaviest edges by total byte traffic
+// (sent + received), ties broken by (src, dst) so the selection is
+// deterministic. k <= 0 or k >= len(edges) returns all edges (re-ordered).
+// fxprof uses it to render a bounded matrix at large P.
+func TopCommEdges(edges []CommEdge, k int) []CommEdge {
+	ordered := append([]CommEdge(nil), edges...)
+	sort.Slice(ordered, func(i, j int) bool {
+		bi := ordered[i].BytesSent + ordered[i].BytesRecvd
+		bj := ordered[j].BytesSent + ordered[j].BytesRecvd
+		if bi != bj {
+			return bi > bj
+		}
+		if ordered[i].Src != ordered[j].Src {
+			return ordered[i].Src < ordered[j].Src
+		}
+		return ordered[i].Dst < ordered[j].Dst
+	})
+	if k > 0 && k < len(ordered) {
+		ordered = ordered[:k]
+	}
+	return ordered
 }
 
 // CommFromEvents computes the same communication matrix post-hoc from a

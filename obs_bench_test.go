@@ -1,19 +1,22 @@
 // BenchmarkTraceOverhead measures what observing a simulation costs the
-// host, across the three tracing configurations a user can choose:
+// host, across the tracing configurations a user can choose:
 //
 //   - untraced: the nil-tracer hot path (the baseline every simulation pays);
 //   - streaming: the online sinks of the telemetry layer (metrics.StreamSink
 //     + trace.UtilSink + trace.CommMatrix behind a trace.Tee), which fold
 //     each event into O(procs + groups) state and never retain events;
+//   - sampled: the same streaming sinks behind deterministic 1-in-16 event
+//     sampling (structural events always kept) — the scale tier's posture;
 //   - collector: the full trace.Collector retaining every event, plus the
 //     post-hoc metrics.FromTrace pass — what fxprof pays for its Gantt and
 //     critical-path views.
 //
 // Each configuration times the same traced pipeline run *including* snapshot
 // production, so the comparison is end to end: fold-as-you-go versus
-// retain-then-scan. The numbers land in BENCH_obs.json; the streaming
-// configuration's overhead must not exceed the full collector's, which CI
-// checks from the committed snapshot.
+// retain-then-scan. The numbers land in BENCH_obs.json; tools/checkobs
+// gates the committed snapshot: streaming must not exceed the collector,
+// exact streaming must stay under its overhead ceiling, and the sampled
+// configuration must stay near free.
 package fxpar_test
 
 import (
@@ -37,9 +40,17 @@ type obsBenchFile struct {
 	UntracedSec  float64
 	StreamingSec float64
 	CollectorSec float64
+	// SampledSec is the streaming configuration under deterministic 1-in-16
+	// event sampling — the scale tier's default posture.
+	SampledSec float64
 	// Overheads relative to untraced (x: 1.0 = free).
 	StreamingOverhead float64
 	CollectorOverhead float64
+	SampledOverhead   float64
+	// SampledKept/SampledDropped are the sampler's deterministic event
+	// counts (identical on every host, engine and -j).
+	SampledKept    int64
+	SampledDropped int64
 	// Virtual-time spot check, identical on every host.
 	Makespan float64
 }
@@ -54,10 +65,13 @@ const (
 )
 
 // obsRun executes one neighbour-exchange run under the given tracer (nil =
-// untraced) and returns its makespan.
-func obsRun(tr machine.Tracer) float64 {
+// untraced) and sampler (nil = keep everything) and returns its makespan.
+func obsRun(tr machine.Tracer, s *trace.Sampler) float64 {
 	m := machine.New(obsProcs, sim.Paragon())
 	m.SetTracer(tr)
+	if s != nil {
+		m.SetSampler(s)
+	}
 	st := m.Run(func(p *machine.Proc) {
 		r := p.ID()
 		for it := 0; it < obsIters; it++ {
@@ -95,14 +109,14 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 
 	var makespan float64
-	untraced := timeRuns(runs, func() { makespan = obsRun(nil) })
+	untraced := timeRuns(runs, func() { makespan = obsRun(nil, nil) })
 
 	var sinkEvents int64
 	streaming := timeRuns(runs, func() {
 		sink := metrics.NewStreamSink(procs)
 		util := trace.NewUtilSink(procs)
 		comm := trace.NewCommMatrix(procs)
-		obsRun(trace.Tee(sink, util, comm))
+		obsRun(trace.Tee(sink, util, comm), nil)
 		snap := sink.Snapshot()
 		usnap := util.Snapshot()
 		edges := comm.Snapshot()
@@ -113,7 +127,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	events := 0
 	collector := timeRuns(runs, func() {
 		col := &trace.Collector{}
-		obsRun(col)
+		obsRun(col, nil)
 		evs := col.Events()
 		snap := metrics.FromTrace(evs).Snapshot()
 		util := col.BusyByKind(procs)
@@ -125,16 +139,41 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.Fatalf("streaming sink saw %d events, collector %d", sinkEvents, events)
 	}
 
+	// Sampled: same streaming sinks behind deterministic 1-in-16 event
+	// sampling — the scale tier's posture. The sampler is fresh per run so
+	// the kept/dropped counts are per-run and deterministic.
+	var sampSnap trace.SampleSnapshot
+	sampled := timeRuns(runs, func() {
+		sampler := trace.NewSampler(procs, trace.UniformSampleConfig(1.0/16, 1))
+		sink := metrics.NewStreamSink(procs)
+		util := trace.NewUtilSink(procs)
+		comm := trace.NewCommMatrix(procs)
+		obsRun(trace.Tee(sink, util, comm), sampler)
+		snap := sink.Snapshot()
+		usnap := util.Snapshot()
+		edges := comm.Snapshot()
+		sampSnap = sampler.Snapshot()
+		_, _, _ = snap, usnap, edges
+	})
+	if kept := sampSnap.Kept + sampSnap.Dropped; kept != int64(events) {
+		b.Fatalf("sampler decided on %d events, unsampled run emits %d", kept, events)
+	}
+
 	b.ReportMetric(streaming/untraced, "stream-x")
 	b.ReportMetric(collector/untraced, "collector-x")
+	b.ReportMetric(sampled/untraced, "sampled-x")
 
 	snap := obsBenchFile{
 		Procs: procs, Iters: obsIters, Events: events,
 		UntracedSec:       untraced,
 		StreamingSec:      streaming,
 		CollectorSec:      collector,
+		SampledSec:        sampled,
 		StreamingOverhead: streaming / untraced,
 		CollectorOverhead: collector / untraced,
+		SampledOverhead:   sampled / untraced,
+		SampledKept:       sampSnap.Kept,
+		SampledDropped:    sampSnap.Dropped,
 		Makespan:          makespan,
 	}
 	f, err := os.Create("BENCH_obs.json")

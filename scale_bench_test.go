@@ -1,0 +1,206 @@
+// BenchmarkScaleTelemetry measures what always-on observability costs at
+// large P, the regime the scale tier exists for: an FFT-Hist campaign of
+// 64-processor data-parallel modules is replicated up to P=65536, run once
+// untraced and once under the full scale telemetry stack — deterministic
+// 1-in-64 event sampling, sharded streaming sinks folding into sketches, a
+// sparse comm matrix, and the self-accounting overhead budget metering all
+// of it. The point of the exercise is the per-processor telemetry cost
+// column: it must stay flat as P grows 64x, which is what "scale-ready"
+// means for the telemetry layer.
+//
+// The numbers land in BENCH_scale.json. Virtual-time fields (makespan,
+// kept/dropped event counts, latency quantiles) are deterministic and CI
+// exact-diffs them; host-time fields (seconds, overhead, per-proc cost) are
+// skipped. CI regenerates up to FXPAR_SCALE_MAX=16384; the committed
+// P=65536 point comes from a soak run (see EXPERIMENTS.md) and is excluded
+// from the CI diff by path.
+package fxpar_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"fxpar/internal/apps/ffthist"
+	"fxpar/internal/machine"
+	"fxpar/internal/metrics"
+	"fxpar/internal/sim"
+	"fxpar/internal/trace"
+)
+
+// Scale workload shape: each module is a 64-processor data-parallel FFT-Hist
+// worker chewing through two data sets, so total work scales linearly with P
+// and the per-processor event rate is constant — any growth in per-proc
+// telemetry cost is the telemetry's fault, not the workload's.
+const (
+	scaleModuleProcs   = 64
+	scaleSetsPerModule = 2
+	scaleN             = 64
+	scaleBins          = 64
+	scaleSampleSpec    = "1/64:1"
+	scaleCoopWorkers   = 8
+)
+
+// scaleProcs are the machine sizes of the sweep; FXPAR_SCALE_MAX caps the
+// largest point (CI sets 16384 so the job stays fast; the soak covers 65536).
+var scaleProcs = []int{1024, 4096, 16384, 65536}
+
+type scalePoint struct {
+	// Workload shape at this point.
+	Procs   int
+	Modules int
+	Sets    int
+	// Deterministic virtual-time results: identical on every host, engine
+	// and -j, exact-diffed by CI.
+	Makespan      float64
+	KeptEvents    int64
+	DroppedEvents int64
+	LatencyP50    float64
+	LatencyP99    float64
+	// Host-time results (skipped in CI diffs): seconds per run untraced and
+	// under the sampled scale telemetry stack, and the ratio. The telemetry
+	// stack is cheap enough that the wall-clock difference is noise, so the
+	// per-processor cost — the flatness deliverable — comes from the overhead
+	// budget's own self-accounted sink estimate, not the difference.
+	NilSec             float64
+	SampledSec         float64
+	OverheadX          float64
+	PerProcTelemetryUS float64
+	SinkSharePct       float64
+}
+
+type scaleBenchFile struct {
+	ModuleProcs   int
+	SetsPerModule int
+	N             int
+	Bins          int
+	SampleSpec    string
+	CoopWorkers   int
+	Points        map[string]scalePoint
+}
+
+// scaleMax reads the FXPAR_SCALE_MAX cap (largest P to measure).
+func scaleMax() int {
+	if v := os.Getenv("FXPAR_SCALE_MAX"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return scaleProcs[len(scaleProcs)-1]
+}
+
+func scaleConfig(procs int) (ffthist.Config, ffthist.Mapping) {
+	modules := procs / scaleModuleProcs
+	cfg := ffthist.Config{
+		N: scaleN, Sets: scaleSetsPerModule * modules, Bins: scaleBins,
+		SketchStats: true,
+	}
+	mp := ffthist.Mapping{Modules: modules, Stages: []int{scaleModuleProcs}}
+	return cfg, mp
+}
+
+// scaleRunNil runs the workload with telemetry off (the baseline cost).
+func scaleRunNil(procs int) ffthist.Result {
+	cfg, mp := scaleConfig(procs)
+	m := machine.New(procs, sim.Paragon())
+	m.SetEngine(machine.Coop(scaleCoopWorkers))
+	return ffthist.Run(m, cfg, mp)
+}
+
+// scaleRunSampled runs the workload under the scale telemetry stack and
+// returns the app result plus the sampler and budget snapshots.
+func scaleRunSampled(procs int) (ffthist.Result, trace.SampleSnapshot, trace.BudgetReport) {
+	cfg, mp := scaleConfig(procs)
+	scfg, err := trace.ParseSampleSpec(scaleSampleSpec)
+	if err != nil {
+		panic(err)
+	}
+	sampler := trace.NewSampler(procs, scfg)
+	budget := trace.NewOverheadBudget()
+	sink := metrics.NewStreamSink(procs)
+	util := trace.NewUtilSink(procs)
+	comm := trace.NewCommMatrix(procs)
+	m := machine.New(procs, sim.Paragon())
+	m.SetEngine(machine.Coop(scaleCoopWorkers))
+	m.SetTracer(trace.Tee(
+		budget.Meter("metrics", sink),
+		budget.Meter("util", util),
+		budget.Meter("comm", comm),
+	))
+	m.SetSampler(sampler)
+	budget.SetSampler(sampler)
+	budget.Start()
+	res := ffthist.Run(m, cfg, mp)
+	// Snapshot production is part of the telemetry cost, like obs_bench.
+	_ = sink.Snapshot()
+	_ = metrics.UtilDistribution(util.Snapshot())
+	_ = trace.TopCommEdges(comm.Snapshot(), 64)
+	budget.Finish()
+	return res, sampler.Snapshot(), budget.Report()
+}
+
+func BenchmarkScaleTelemetry(b *testing.B) {
+	maxP := scaleMax()
+	out := scaleBenchFile{
+		ModuleProcs:   scaleModuleProcs,
+		SetsPerModule: scaleSetsPerModule,
+		N:             scaleN,
+		Bins:          scaleBins,
+		SampleSpec:    scaleSampleSpec,
+		CoopWorkers:   scaleCoopWorkers,
+		Points:        map[string]scalePoint{},
+	}
+	for _, procs := range scaleProcs {
+		if procs > maxP {
+			b.Logf("skipping P=%d (FXPAR_SCALE_MAX=%d)", procs, maxP)
+			continue
+		}
+		cfg, mp := scaleConfig(procs)
+		pt := scalePoint{Procs: procs, Modules: mp.Modules, Sets: cfg.Sets}
+
+		start := time.Now()
+		nilRes := scaleRunNil(procs)
+		pt.NilSec = time.Since(start).Seconds()
+
+		res, samp, rep := scaleRunSampled(procs)
+		pt.SampledSec = float64(rep.WallNS) / 1e9
+
+		if res.Makespan != nilRes.Makespan {
+			b.Fatalf("P=%d: sampled makespan %.9g != untraced %.9g — telemetry perturbed the simulation",
+				procs, res.Makespan, nilRes.Makespan)
+		}
+		pt.Makespan = res.Makespan
+		pt.KeptEvents = samp.Kept
+		pt.DroppedEvents = samp.Dropped
+		pt.LatencyP50 = res.Stream.LatencyP50
+		pt.LatencyP99 = res.Stream.LatencyP99
+		if pt.NilSec > 0 {
+			pt.OverheadX = pt.SampledSec / pt.NilSec
+		}
+		pt.PerProcTelemetryUS = float64(rep.TotalEstNS) / 1e3 / float64(procs)
+		pt.SinkSharePct = rep.SinkSharePct
+
+		out.Points[fmt.Sprintf("P%d", procs)] = pt
+		b.Logf("P=%d: nil %.3fs sampled %.3fs (%.2fx, %.3f us/proc)  kept %d dropped %d",
+			procs, pt.NilSec, pt.SampledSec, pt.OverheadX, pt.PerProcTelemetryUS,
+			samp.Kept, samp.Dropped)
+		b.ReportMetric(pt.OverheadX, fmt.Sprintf("P%d-x", procs))
+	}
+
+	f, err := os.Create("BENCH_scale.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Scale soak: drive the full scale telemetry stack — deterministic
+// sampling, sharded sketch-folding sinks, sparse comm matrix, overhead
+// budget — through one large FFT-Hist campaign and check the invariants
+// that must hold at any P:
+//
+//   - telemetry never perturbs virtual time (sampled makespan == untraced);
+//   - the sampler's decisions are a pure function of (proc, seq), so the
+//     kept/dropped split is reproducible run to run;
+//   - sketch-mode stream metering keeps only in-flight entries and its
+//     quantiles are ordered;
+//   - the budget accounts every sink it metered.
+//
+// The always-on test runs a modest P=512 so the race-enabled CI suite stays
+// fast; setting FXPAR_SCALE_SOAK=1 raises it to the full P=65536 soak that
+// produced the committed BENCH_scale.json point (see EXPERIMENTS.md).
+package fxpar_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestScaleTelemetrySoak(t *testing.T) {
+	procs := 512
+	if os.Getenv("FXPAR_SCALE_SOAK") != "" {
+		procs = 65536
+	}
+
+	nilRes := scaleRunNil(procs)
+	res, samp, rep := scaleRunSampled(procs)
+
+	if res.Makespan != nilRes.Makespan {
+		t.Fatalf("sampled makespan %.12g != untraced %.12g — telemetry perturbed the simulation",
+			res.Makespan, nilRes.Makespan)
+	}
+	if !reflect.DeepEqual(res.Hists, nilRes.Hists) {
+		t.Fatal("sampled run produced different histograms than untraced")
+	}
+	if samp.Kept == 0 || samp.Dropped == 0 {
+		t.Fatalf("sampler kept %d dropped %d: expected both nonzero at rate %s",
+			samp.Kept, samp.Dropped, scaleSampleSpec)
+	}
+
+	// Second sampled run: every deterministic output must reproduce exactly —
+	// the kept set is a pure function of (proc, seq, kind), not of host
+	// scheduling.
+	res2, samp2, _ := scaleRunSampled(procs)
+	if !reflect.DeepEqual(samp, samp2) {
+		t.Fatalf("sampler snapshots differ across identical runs:\n%+v\n%+v", samp, samp2)
+	}
+	if res.Stream != res2.Stream {
+		t.Fatalf("stream stats differ across identical runs:\n%+v\n%+v", res.Stream, res2.Stream)
+	}
+
+	// Sketch-mode stream invariants.
+	if !res.Stream.Sketched {
+		t.Fatal("scale config did not run in sketch-stats mode")
+	}
+	if p50, p99 := res.Stream.LatencyP50, res.Stream.LatencyP99; !(p50 > 0 && p50 <= p99 && p99 <= res.Stream.MaxLatency) {
+		t.Fatalf("latency quantiles out of order: p50 %g p99 %g max %g", p50, p99, res.Stream.MaxLatency)
+	}
+
+	// The budget metered all three sinks and saw every kept event.
+	if len(rep.Sinks) != 3 {
+		t.Fatalf("budget metered %d sinks, want 3: %+v", len(rep.Sinks), rep.Sinks)
+	}
+	for _, s := range rep.Sinks {
+		if s.Events != samp.Kept {
+			t.Fatalf("sink %s saw %d events, sampler kept %d", s.Name, s.Events, samp.Kept)
+		}
+	}
+	if rep.Sample == nil || rep.Sample.Kept != samp.Kept {
+		t.Fatalf("budget report sample = %+v, want kept %d", rep.Sample, samp.Kept)
+	}
+	t.Logf("P=%d: kept %d dropped %d, %s", procs, samp.Kept, samp.Dropped, rep.Line())
+}
