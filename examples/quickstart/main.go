@@ -7,8 +7,10 @@
 // the paper's first example.
 //
 // Run with: go run ./examples/quickstart
-// (add -engine coop to run on the cooperative execution engine; the
-// simulated results are identical, only host time changes)
+// (add -engine coop to run on the cooperative execution engine, or
+// -engine coop:4 for the sharded multi-worker scheduler; add -p 4096 to
+// grow the machine — the "many" subgroup absorbs the extra processors and
+// the gathered array is unchanged, only host time moves)
 package main
 
 import (
@@ -25,13 +27,18 @@ import (
 
 func main() {
 	engine := flag.String("engine", machine.DefaultEngineName(), "execution engine: goroutine, coop, or coop:N")
+	procs := flag.Int("p", 8, "simulated processors (>= 4: 3 for the some subgroup, the rest for many)")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(2)
 	}
-	mach := machine.New(8, sim.Paragon())
+	if *procs < 4 {
+		fmt.Fprintln(os.Stderr, "quickstart: -p must be at least 4 (the some subgroup takes 3)")
+		os.Exit(2)
+	}
+	mach := machine.New(*procs, sim.Paragon())
 	mach.SetEngine(eng)
 
 	stats := fx.Run(mach, func(p *fx.Proc) {
@@ -80,8 +87,17 @@ func main() {
 
 	fmt.Printf("\nvirtual makespan: %.6f s over %d processors (%s engine)\n",
 		stats.MakespanTime(), len(stats.Procs), mach.Engine().Name())
-	for _, ps := range stats.Procs {
+	// At large -p the per-processor table would drown the output; show the
+	// first processors of each subgroup and elide the rest.
+	shown := len(stats.Procs)
+	if shown > 8 {
+		shown = 8
+	}
+	for _, ps := range stats.Procs[:shown] {
 		fmt.Printf("  proc %d: finish %.6f s, busy %.6f s, sent %d msgs\n",
 			ps.ID, ps.Finish, ps.Busy, ps.MsgsSent)
+	}
+	if len(stats.Procs) > shown {
+		fmt.Printf("  ... and %d more processors\n", len(stats.Procs)-shown)
 	}
 }

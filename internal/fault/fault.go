@@ -241,6 +241,27 @@ func (pl *Plan) DeathTime(proc int) (float64, bool) {
 	return pr.KillFrom + pl.u01(sKillAt, uint64(proc), 0, 0)*(pr.KillUntil-pr.KillFrom), true
 }
 
+// ProcFaults implements machine.ProcFaultLister: it visits exactly the
+// processors this plan slows or kills, so Run's fault pre-scan skips the
+// 2n hook probes when the profile touches neither class (delay/dup/drop
+// profiles make the scan O(1)) and otherwise reports only the victims. The
+// underlying draws are the same counter-based hashes SlowFactor and
+// DeathTime perform, so the visited set matches the probe loop decision
+// for decision.
+func (pl *Plan) ProcFaults(n int, visit func(proc int, slow, deathAt float64)) {
+	pr := &pl.Prof
+	if pr.SlowProb <= 0 && pr.KillProb <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		slow := pl.SlowFactor(i)
+		death, killed := pl.DeathTime(i)
+		if slow > 1 || killed {
+			visit(i, slow, death)
+		}
+	}
+}
+
 // Victims returns the processors the plan kills on a machine of n
 // processors, with their death times — the ground truth chaos reports and
 // tests compare observed failures against.

@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Allocation guards for the scale-tier machine core: the panics bookkeeping
+// must cost nothing on a clean run, the SPSC mailbox must recycle its nodes
+// at steady state, and whole-run allocations must stay proportional to P
+// (flat per processor) so a P=1M machine is P=16K times a constant, not
+// something worse.
+
+// TestPanicBookkeepingAllocationFree: the healthy path through the panic
+// recorder — a deferred capture that finds no panic, then the post-run
+// failed() check — performs zero allocations. The seed implementation
+// allocated an O(P) []any slice per Run even when nothing panicked.
+func TestPanicBookkeepingAllocationFree(t *testing.T) {
+	var rec panicRecorder
+	sawFailure := false
+	allocs := testing.AllocsPerRun(200, func() {
+		func() { defer rec.capture(7) }()
+		if rec.failed() != nil {
+			sawFailure = true
+		}
+	})
+	if sawFailure {
+		t.Fatal("healthy recorder reported failures")
+	}
+	if allocs != 0 {
+		t.Errorf("healthy panic bookkeeping allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestPanicRecorderCapturesAndSorts: the recorder still does its job when
+// processors do panic — every value captured, returned in ascending
+// processor order regardless of capture order.
+func TestPanicRecorderCapturesAndSorts(t *testing.T) {
+	var rec panicRecorder
+	boom := func(id int) {
+		defer rec.capture(id)
+		panic(id * 10)
+	}
+	for _, id := range []int{9, 2, 5} {
+		func() {
+			defer func() { recover() }() // capture re-panics through; absorb here
+			boom(id)
+		}()
+	}
+	failed := rec.failed()
+	if len(failed) != 3 {
+		t.Fatalf("recorded %d panics, want 3: %+v", len(failed), failed)
+	}
+	for i, want := range []int{2, 5, 9} {
+		if failed[i].Proc != want || failed[i].Value != want*10 {
+			t.Fatalf("failed[%d] = %+v, want proc %d value %d", i, failed[i], want, want*10)
+		}
+	}
+}
+
+// TestSPSCMailboxSteadyStateAllocFree: after the chain has grown to a
+// cycle's depth once, a send/receive cycle through a multi-worker coop
+// mailbox recycles consumed nodes instead of allocating — the lock-free
+// representation keeps the slice representation's zero-alloc steady state.
+func TestSPSCMailboxSteadyStateAllocFree(t *testing.T) {
+	m := New(2, testCost())
+	m.SetEngine(Coop(2))
+	p0 := &Proc{m: m, id: 0}
+	p1 := &Proc{m: m, id: 1}
+	cycle := func() {
+		for i := 0; i < 3; i++ {
+			p0.Send(1, nil, 8)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := p1.TryRecv(0); !ok {
+				t.Fatal("deposited message missing")
+			}
+		}
+	}
+	cycle() // warmup: grow the chain to the cycle's max depth
+	if !m.mailboxFor(1, 0).spsc {
+		t.Fatal("multi-worker coop mailbox did not use the SPSC representation")
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("SPSC steady-state send/receive cycle allocates %.1f, want 0", allocs)
+	}
+}
+
+// runMallocs runs the ring workload untraced on a P-processor machine under
+// the deterministic single-worker coop engine and returns the host
+// allocation count of the whole Run.
+func runMallocs(n int) float64 {
+	m := New(n, testCost())
+	m.SetEngine(Coop(1))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	m.Run(ringBody(n))
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs - before.Mallocs)
+}
+
+// TestRunAllocsPerProcFlat: allocations per processor must not grow with P
+// across the sparse-directory regime — the arena proc state, mailbox slabs,
+// inline pair caches, and allocation-free panics bookkeeping exist to make a
+// clean large run cost a flat number of allocations per processor. The 1.25
+// ceiling matches the checkobs -machine gate on the committed benchmark
+// tier.
+func TestRunAllocsPerProcFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation changes allocation counts")
+	}
+	small := runMallocs(4096) / 4096
+	big := runMallocs(16384) / 16384
+	t.Logf("allocs/proc: P=4096 %.2f, P=16384 %.2f", small, big)
+	if big > small*1.25 {
+		t.Errorf("allocs per proc grew from %.2f (P=4096) to %.2f (P=16384): spread %.2f > 1.25",
+			small, big, big/small)
+	}
+}

@@ -24,15 +24,20 @@ type Engine interface {
 	// "coop:4"), as accepted by EngineByName.
 	Name() string
 
-	// run executes body on every processor to completion. Each processor's
-	// panic (if any) is captured into panics[proc.id]; run returns only
-	// after every processor has finished or panicked.
-	run(m *Machine, procs []*Proc, body func(*Proc), panics []any)
+	// run executes body on every processor of the arena to completion,
+	// spawning host goroutines tree-style (see tree.go). Each processor's
+	// panic (if any) is captured into rec; run returns only after every
+	// processor has finished or panicked.
+	run(m *Machine, procs []Proc, body func(*Proc), rec *panicRecorder)
 
-	// newMailbox allocates a mailbox with the blocking machinery this
-	// engine needs (the goroutine engine attaches a condvar; the coop
-	// engine parks receivers centrally and needs none).
-	newMailbox() *mailbox
+	// initMailbox equips a zeroed mailbox with the representation and
+	// blocking machinery this engine needs: the goroutine engine attaches a
+	// condvar, the single-worker coop engine uses the bare slice queue, and
+	// the multi-worker coop engine switches it to the lock-free SPSC chain.
+	// The machine layer owns allocation (sparse-directory mailboxes come
+	// from per-shard slabs) and calls this exactly once per mailbox, before
+	// any other goroutine can observe it.
+	initMailbox(mb *mailbox)
 
 	// put deposits msg into mb and wakes a blocked receiver if there is
 	// one. p is the sending processor.

@@ -19,10 +19,8 @@ func Goroutine() Engine { return goroutineSingleton }
 
 func (goroutineEngine) Name() string { return "goroutine" }
 
-func (goroutineEngine) newMailbox() *mailbox {
-	mb := &mailbox{}
+func (goroutineEngine) initMailbox(mb *mailbox) {
 	mb.cond = sync.NewCond(&mb.mu)
-	return mb
 }
 
 func (goroutineEngine) put(_ *Proc, mb *mailbox, msg Message) {
@@ -78,19 +76,14 @@ func (goroutineEngine) senderTerminated(p *Proc) {
 	}
 }
 
-func (goroutineEngine) run(_ *Machine, procs []*Proc, body func(*Proc), panics []any) {
+func (goroutineEngine) run(_ *Machine, procs []Proc, body func(*Proc), rec *panicRecorder) {
 	var wg sync.WaitGroup
-	for _, p := range procs {
-		wg.Add(1)
-		go func(p *Proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[p.id] = r
-				}
-			}()
-			body(p)
-		}(p)
-	}
+	wg.Add(len(procs))
+	treeSpawn(len(procs), func(i int) {
+		p := &procs[i]
+		defer wg.Done()
+		defer rec.capture(p.id)
+		body(p)
+	})
 	wg.Wait()
 }

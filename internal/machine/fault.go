@@ -56,6 +56,19 @@ type FaultPlan interface {
 	DeathTime(proc int) (float64, bool)
 }
 
+// ProcFaultLister is an optional interface a FaultPlan may implement to
+// enumerate its per-processor faults directly. Run prefers it over probing
+// SlowFactor and DeathTime for all n processors: visit is called — in any
+// order, from the Run goroutine only — for each processor the plan actually
+// perturbs, with slow <= 1 meaning no slowdown and deathAt <= 0 meaning no
+// death, so a plan whose profile touches neither hook makes Run's fault
+// pre-scan O(1) instead of O(P). The visited set must be exactly the
+// processors for which the probe loop would have recorded something (the
+// golden cross-check test holds implementations to that).
+type ProcFaultLister interface {
+	ProcFaults(n int, visit func(proc int, slow, deathAt float64))
+}
+
 // SetFaults installs a fault plan; it must be called before Run. A nil plan
 // (the default) disables fault injection; the healthy hot path then costs
 // one pointer test per operation and allocates nothing.

@@ -43,19 +43,37 @@ type Message struct {
 	Dup bool
 }
 
-// mailbox is an unbounded FIFO queue for one ordered (src,dst) pair. The
-// consumed prefix is tracked with a head index (rather than re-slicing), so
-// the backing array is reused once drained and a steady-state send/receive
-// cycle allocates nothing. Blocking machinery is engine-specific: the
-// goroutine engine parks receivers on cond, the coop engine parks them in
-// its central scheduler and records them in waiter (and skips the mutex
-// entirely when it runs on a single worker slot).
+// mailbox is an unbounded FIFO queue for one ordered (src,dst) pair, in one
+// of two representations chosen by the engine at creation (initMailbox):
+//
+//   - Slice (goroutine engine, single-worker coop): queue/head, with the
+//     consumed prefix tracked by a head index (rather than re-slicing) so the
+//     backing array is reused once drained and a steady-state send/receive
+//     cycle allocates nothing. The goroutine engine guards it with mu and
+//     parks receivers on cond; the single-worker coop engine needs neither.
+//
+//   - SPSC chain (multi-worker coop): the lock-free node queue in spsc.go.
+//     Each pair has exactly one producer and one consumer, so deposits and
+//     consumes are single atomic publishes with pooled nodes — the coop
+//     engine's mailboxes stay mutex-free at every worker count.
+//
+// Blocked coop receivers park in the scheduler and register themselves in
+// waiter, claimed atomically (Swap) by the depositor or terminating sender.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	head   int
-	waiter *coopProc
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+	head  int
+	// waiter is the parked coop receiver, if any (see coopEngine.wait).
+	waiter atomic.Pointer[coopProc]
+	// spsc selects the chain representation; qhead is the consumer's stub
+	// position, qtail/qfirst the producer's append point and oldest
+	// recyclable node, stub the embedded initial node (see spsc.go).
+	spsc   bool
+	qhead  atomic.Pointer[msgNode]
+	qtail  *msgNode
+	qfirst *msgNode
+	stub   msgNode
 	// sendSeq counts messages sent through this pair, in sender program
 	// order. Written only by the sending processor's goroutine, and only
 	// while a fault plan or a tracer is installed: it is the deterministic
@@ -90,6 +108,9 @@ func (mb *mailbox) take() Message {
 // pair's real traffic without necessarily touching trailing duplicates, and
 // leftovers of the transport layer are not a protocol bug.
 func (mb *mailbox) pending() int {
+	if mb.spsc {
+		return mb.spscPending()
+	}
 	n := 0
 	for i := mb.head; i < len(mb.queue); i++ {
 		if !mb.queue[i].Dup {
@@ -249,11 +270,21 @@ const denseMailProcs = 2048
 // of two so the shard index is a mask of the destination processor.
 const mailDirShards = 256
 
+// mailSlabSize is the number of mailboxes one sparse-directory slab chunk
+// holds. Large machines materialize millions of pairs; carving them out of
+// per-shard slabs amortizes the allocator to one malloc per mailSlabSize
+// pairs instead of one each, which is most of what keeps allocs/proc flat
+// as P grows.
+const mailSlabSize = 64
+
 // mailShard is one shard of the sparse mailbox directory, keyed on the
-// flattened pair index dst*n+src.
+// flattened pair index dst*n+src. slab is the shard's current allocation
+// chunk; mailboxes are handed out from it sequentially (under mu) and are
+// never moved or freed — the directory map pins them.
 type mailShard struct {
-	mu sync.Mutex
-	m  map[int64]*mailbox
+	mu   sync.Mutex
+	m    map[int64]*mailbox
+	slab []mailbox
 }
 
 // srcList registers every mailbox sourced at one processor, appended at
@@ -322,7 +353,8 @@ func (m *Machine) mailboxFor(dst, src int) *mailbox {
 		if mb := slot.Load(); mb != nil {
 			return mb
 		}
-		mb := m.eng.newMailbox()
+		mb := &mailbox{}
+		m.eng.initMailbox(mb)
 		if slot.CompareAndSwap(nil, mb) {
 			m.registerMailbox(src, dst, mb)
 			return mb
@@ -336,7 +368,12 @@ func (m *Machine) mailboxFor(dst, src int) *mailbox {
 		sh.mu.Unlock()
 		return mb
 	}
-	mb := m.eng.newMailbox()
+	if len(sh.slab) == 0 {
+		sh.slab = make([]mailbox, mailSlabSize)
+	}
+	mb := &sh.slab[0]
+	sh.slab = sh.slab[1:]
+	m.eng.initMailbox(mb)
 	if sh.m == nil {
 		sh.m = make(map[int64]*mailbox)
 	}
@@ -477,10 +514,17 @@ type Proc struct {
 	// untraced hot path stays allocation-free.
 	seq   int64
 	spans []string
-	// mbCache memoizes sparse-directory lookups for this processor's own
+	// mbFew/mbMore memoize sparse-directory lookups for this processor's own
 	// pairs, so steady-state sends and receives on a large machine skip the
-	// shard mutex. nil on dense machines.
-	mbCache map[int64]*mailbox
+	// shard mutex. The first mbFewSize distinct pairs live in the inline
+	// array (most processors of a structured program talk to O(1) peers:
+	// butterfly partners, stage neighbours); only a processor that touches
+	// more pairs — a scatter root, say — allocates the overflow map. The
+	// previous per-proc map cost one allocation plus bucket memory on every
+	// processor of a large machine; the array costs neither. Unused on dense
+	// machines.
+	mbFew  [mbFewSize]pairCacheEnt
+	mbMore map[int64]*mailbox
 	// slow (> 1) multiplies all local time, and deathAt (> 0) is the virtual
 	// time this processor fails. Both are set by Run from the fault plan and
 	// stay zero — inert single-compare guards — on healthy machines.
@@ -514,6 +558,18 @@ func (p *Proc) BytesSent() int64 { return p.bytes }
 // does no work (and no allocation).
 func (p *Proc) Tracing() bool { return p.m.tracer != nil }
 
+// mbFewSize is the inline pair-cache capacity of a Proc. Sized for the
+// reproduced apps' structured communication: log2(module size) butterfly
+// partners plus a scatter source and a reduction peer all fit.
+const mbFewSize = 8
+
+// pairCacheEnt is one inline pair-cache entry; mb is nil while unused
+// (pair key 0 is valid, so presence is keyed on the pointer).
+type pairCacheEnt struct {
+	key int64
+	mb  *mailbox
+}
+
 // mailbox resolves the FIFO for an ordered pair on this processor's hot
 // path: the dense directory's atomic load on small machines, the per-Proc
 // cache (falling back to the sharded directory) on large ones.
@@ -523,14 +579,26 @@ func (p *Proc) mailbox(dst, src int) *mailbox {
 		return m.mailboxFor(dst, src)
 	}
 	key := int64(dst)*int64(m.n) + int64(src)
-	if mb, ok := p.mbCache[key]; ok {
+	for i := range p.mbFew {
+		e := &p.mbFew[i]
+		if e.mb == nil {
+			// First miss on a fresh slot: resolve and cache inline.
+			e.key = key
+			e.mb = m.mailboxFor(dst, src)
+			return e.mb
+		}
+		if e.key == key {
+			return e.mb
+		}
+	}
+	if mb, ok := p.mbMore[key]; ok {
 		return mb
 	}
 	mb := m.mailboxFor(dst, src)
-	if p.mbCache == nil {
-		p.mbCache = make(map[int64]*mailbox)
+	if p.mbMore == nil {
+		p.mbMore = make(map[int64]*mailbox)
 	}
-	p.mbCache[key] = mb
+	p.mbMore[key] = mb
 	return mb
 }
 
@@ -993,21 +1061,19 @@ func (s RunStats) TotalBusy() float64 {
 // dead-sender failures — Run panics with a *RunError aggregating every
 // processor's panic and naming the root cause.
 func (m *Machine) Run(fn func(*Proc)) RunStats {
-	procs := make([]*Proc, m.n)
-	panics := make([]any, m.n)
-	for i := 0; i < m.n; i++ {
-		procs[i] = &Proc{m: m, id: i}
-	}
-	if m.faults != nil {
-		for i, p := range procs {
-			if s := m.faults.SlowFactor(i); s > 1 {
-				p.slow = s
-			}
-			if t, ok := m.faults.DeathTime(i); ok && t > 0 {
-				p.deathAt = t
-			}
+	// All P processor states live in one arena slice: one allocation instead
+	// of P, initialized by a parallel fold instead of a serial O(P) loop.
+	// Engines index into the arena directly and RunStats streams out of it
+	// at the end, so no second O(P) pointer structure ever exists.
+	procs := make([]Proc, m.n)
+	parallelFor(m.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			procs[i].m = m
+			procs[i].id = i
 		}
-	}
+	})
+	m.applyProcFaults(procs)
+	var rec panicRecorder
 	m.eng.run(m, procs, func(p *Proc) {
 		// Mark termination — and wake every receiver blocked on this
 		// processor — whether the body returns or panics; the re-panic
@@ -1036,50 +1102,96 @@ func (m *Machine) Run(fn func(*Proc)) RunStats {
 			panic(fmt.Sprintf("machine: processor %d finished with %d unclosed span(s), innermost %q",
 				p.id, len(p.spans), p.spans[len(p.spans)-1]))
 		}
-	}, panics)
-	var failed []ProcPanic
-	for id, r := range panics {
-		if r != nil {
-			failed = append(failed, ProcPanic{Proc: id, Value: r})
-		}
-	}
-	if failed != nil {
+	}, &rec)
+	if failed := rec.failed(); failed != nil {
 		panic(&RunError{Panics: failed})
 	}
 	if msg := m.drainReport(); msg != "" {
 		panic(msg)
 	}
-	stats := RunStats{Procs: make([]ProcStats, m.n)}
-	for i, p := range procs {
-		stats.Procs[i] = ProcStats{
-			ID: i, Finish: p.clock, Busy: p.busy, Idle: p.idle,
-			MsgsSent: p.sent, BytesSent: p.bytes,
+	return m.foldStats(procs)
+}
+
+// applyProcFaults sets the per-processor slowdown and death time from the
+// fault plan. A plan that can enumerate its victims (ProcFaultLister) is
+// asked for exactly those — O(victims + plan scan) instead of 2*P hook
+// probes; other plans fall back to the seed probe loop. serialCore forces
+// the probe loop so the golden cross-check exercises both paths.
+func (m *Machine) applyProcFaults(procs []Proc) {
+	if m.faults == nil {
+		return
+	}
+	if fl, ok := m.faults.(ProcFaultLister); ok && !serialCore {
+		fl.ProcFaults(m.n, func(i int, slow, deathAt float64) {
+			if slow > 1 {
+				procs[i].slow = slow
+			}
+			if deathAt > 0 {
+				procs[i].deathAt = deathAt
+			}
+		})
+		return
+	}
+	for i := range procs {
+		if s := m.faults.SlowFactor(i); s > 1 {
+			procs[i].slow = s
+		}
+		if t, ok := m.faults.DeathTime(i); ok && t > 0 {
+			procs[i].deathAt = t
 		}
 	}
+}
+
+// foldStats streams RunStats out of the proc arena with a parallel fold.
+// Every element is index-addressed, so the result is byte-identical to the
+// seed's serial copy loop.
+func (m *Machine) foldStats(procs []Proc) RunStats {
+	stats := RunStats{Procs: make([]ProcStats, m.n)}
+	parallelFor(m.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := &procs[i]
+			stats.Procs[i] = ProcStats{
+				ID: i, Finish: p.clock, Busy: p.busy, Idle: p.idle,
+				MsgsSent: p.sent, BytesSent: p.bytes,
+			}
+		}
+	})
 	return stats
 }
 
 // drainReport walks every created mailbox after a run (via the per-source
-// registry, so the check is O(active pairs), not O(n^2)) and, if any message
-// was left unconsumed, formats a diagnostic naming each offending src->dst
-// pair with its leftover count (capped at eight pairs so an all-to-all
-// protocol bug stays readable). Pairs are reported in (dst, src) order —
-// registry order is creation order, which is host-schedule-dependent, so the
-// collected pairs are sorted to keep the diagnostic deterministic. Returns
-// "" when the machine drained cleanly.
+// registry, so the check is O(active pairs), not O(n^2); source ranges are
+// folded in parallel on large machines) and, if any message was left
+// unconsumed, formats a diagnostic naming each offending src->dst pair with
+// its leftover count (capped at eight pairs so an all-to-all protocol bug
+// stays readable). Pairs are reported in (dst, src) order — collection
+// order is subrange- and host-schedule-dependent, so the collected pairs
+// are sorted to keep the diagnostic deterministic. Returns "" when the
+// machine drained cleanly.
 func (m *Machine) drainReport() string {
 	const maxPairs = 8
 	type leftover struct{ dst, src, count int }
 	total := 0
 	var pairs []leftover
-	for src := 0; src < m.n; src++ {
-		for _, e := range m.bySrc[src].dsts {
-			if n := e.mb.pending(); n > 0 {
-				total += n
-				pairs = append(pairs, leftover{dst: e.dst, src: src, count: n})
+	var mu sync.Mutex
+	parallelFor(m.n, func(lo, hi int) {
+		sub := 0
+		var local []leftover
+		for src := lo; src < hi; src++ {
+			for _, e := range m.bySrc[src].dsts {
+				if n := e.mb.pending(); n > 0 {
+					sub += n
+					local = append(local, leftover{dst: e.dst, src: src, count: n})
+				}
 			}
 		}
-	}
+		if sub > 0 {
+			mu.Lock()
+			total += sub
+			pairs = append(pairs, local...)
+			mu.Unlock()
+		}
+	})
 	if total == 0 {
 		return ""
 	}

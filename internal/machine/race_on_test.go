@@ -1,0 +1,8 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, so sweep-style property tests can trim their size ranges to the
+// detector's ~10x slowdown without losing boundary coverage.
+const raceEnabled = true

@@ -1,0 +1,97 @@
+package machine
+
+import "sync/atomic"
+
+// This file implements the compact lock-free mailbox representation the
+// multi-worker coop engine uses: an intrusive single-producer
+// single-consumer linked queue (Vyukov's node-recycling SPSC design). Each
+// ordered (src,dst) pair has exactly one producer (the sending processor)
+// and one consumer (the receiving processor), so the only synchronization
+// needed is one atomic release-store to publish a node and one atomic
+// acquire-load to observe it — no mutex, no condvar, no CAS.
+//
+// Nodes are pooled inside the queue itself: the producer recycles the
+// consumed prefix (every node strictly before the consumer's current stub)
+// instead of allocating, so a steady-state send/receive cycle performs zero
+// heap allocations — the property the slice-backed representation has under
+// a single worker, preserved here under many. The first node (the initial
+// stub) is embedded in the mailbox, so an idle pair costs no allocation at
+// all beyond the mailbox itself (which the sparse directory slab-allocates
+// in chunks).
+
+// msgNode is one link of the SPSC chain.
+type msgNode struct {
+	next atomic.Pointer[msgNode]
+	msg  Message
+}
+
+// spscInit switches the mailbox to the SPSC chain representation, pointing
+// the chain at the embedded stub node. Called once at mailbox creation by
+// the multi-worker coop engine, before any producer or consumer touches it.
+func (mb *mailbox) spscInit() {
+	mb.spsc = true
+	mb.qhead.Store(&mb.stub)
+	mb.qtail = &mb.stub
+	mb.qfirst = &mb.stub
+}
+
+// spscPut appends msg. Producer-only. The oldest consumed node is recycled
+// when available: qfirst trails the consumer's stub position, and any node
+// strictly before it has been released by the consumer's qhead advance (an
+// acquire-load of qhead observing the advance orders every consumer access
+// to the node before our reuse).
+func (mb *mailbox) spscPut(msg Message) {
+	var n *msgNode
+	if f := mb.qfirst; f != mb.qhead.Load() {
+		mb.qfirst = f.next.Load()
+		f.next.Store(nil)
+		n = f
+	} else {
+		n = &msgNode{}
+	}
+	n.msg = msg
+	mb.qtail.next.Store(n) // publish: release-store pairs with spscPop's load
+	mb.qtail = n
+}
+
+// spscPop removes and returns the next message. Consumer-only. The popped
+// node's payload is cleared before it becomes the new stub so the payload
+// is released for GC and a recycled node never resurrects it.
+func (mb *mailbox) spscPop() (Message, bool) {
+	h := mb.qhead.Load()
+	n := h.next.Load()
+	if n == nil {
+		return Message{}, false
+	}
+	msg := n.msg
+	n.msg = Message{}
+	mb.qhead.Store(n)
+	return msg, true
+}
+
+// spscPeek returns a copy of the next message without consuming it.
+// Consumer-only.
+func (mb *mailbox) spscPeek() (Message, bool) {
+	n := mb.qhead.Load().next.Load()
+	if n == nil {
+		return Message{}, false
+	}
+	return n.msg, true
+}
+
+// spscAny reports whether a message is deposited. Consumer-side.
+func (mb *mailbox) spscAny() bool {
+	return mb.qhead.Load().next.Load() != nil
+}
+
+// spscPending counts unconsumed non-duplicate messages. Only valid when no
+// processor goroutines are running (Run's drain check).
+func (mb *mailbox) spscPending() int {
+	n := 0
+	for node := mb.qhead.Load().next.Load(); node != nil; node = node.next.Load() {
+		if !node.msg.Dup {
+			n++
+		}
+	}
+	return n
+}

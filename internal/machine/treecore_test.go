@@ -1,0 +1,322 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// This file is the golden cross-check of the machine core's parallel
+// setup/teardown machinery (tree.go): every spawn/fold tree, the arena proc
+// state, the fault pre-scan via ProcFaultLister, and the SPSC mailbox
+// representation must produce results byte-identical to the retained
+// seed-loop reference implementations selected by the serialCore switch.
+// "Byte-identical" means: the same RunStats, the same traced event values
+// (compared after a canonical (proc, seq) sort — arrival order at the tracer
+// is host-dependent, content is not), and the same failure text when a run
+// panics (drain reports, RunError aggregates).
+
+// golden is one run's complete observable output.
+type golden struct {
+	stats   RunStats
+	events  []Event
+	failure string
+}
+
+// goldenRun executes body on a fresh machine and captures everything a
+// caller can observe. serial selects the seed-loop reference implementations
+// for the duration of the run.
+func goldenRun(t *testing.T, e Engine, n int, serial bool, fp FaultPlan, body func(*Proc)) golden {
+	t.Helper()
+	if serial {
+		serialCore = true
+		defer func() { serialCore = false }()
+	}
+	var g golden
+	tr := &sliceTracer{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.failure = failureString(r)
+			}
+		}()
+		m := New(n, testCost())
+		m.SetEngine(e)
+		m.SetTracer(tr)
+		if fp != nil {
+			m.SetFaults(fp)
+		}
+		g.stats = m.Run(body)
+	}()
+	g.events = tr.evs
+	sort.Slice(g.events, func(i, j int) bool {
+		if g.events[i].Proc != g.events[j].Proc {
+			return g.events[i].Proc < g.events[j].Proc
+		}
+		return g.events[i].Seq < g.events[j].Seq
+	})
+	return g
+}
+
+// failureString renders a Run panic deterministically: RunError aggregates
+// are expanded to every per-processor panic (already in ascending proc
+// order), other panics (the drain report string) print as-is.
+func failureString(r any) string {
+	if re, ok := r.(*RunError); ok {
+		parts := []string{re.Error()}
+		for _, p := range re.Panics {
+			parts = append(parts, fmt.Sprintf("proc %d: %v", p.Proc, p.Value))
+		}
+		return strings.Join(parts, "; ")
+	}
+	return fmt.Sprint(r)
+}
+
+func compareGolden(t *testing.T, label string, want, got golden) {
+	t.Helper()
+	if got.failure != want.failure {
+		t.Fatalf("%s: failure diverges from reference:\n got: %q\nwant: %q", label, got.failure, want.failure)
+	}
+	if !reflect.DeepEqual(got.stats, want.stats) {
+		for i := range want.stats.Procs {
+			if i < len(got.stats.Procs) && got.stats.Procs[i] != want.stats.Procs[i] {
+				t.Fatalf("%s: ProcStats[%d] = %+v, reference %+v", label, i, got.stats.Procs[i], want.stats.Procs[i])
+			}
+		}
+		t.Fatalf("%s: RunStats shape diverges: %d procs vs reference %d",
+			label, len(got.stats.Procs), len(want.stats.Procs))
+	}
+	if len(got.events) != len(want.events) {
+		t.Fatalf("%s: %d events, reference %d", label, len(got.events), len(want.events))
+	}
+	for i := range want.events {
+		if got.events[i] != want.events[i] {
+			t.Fatalf("%s: event %d = %+v, reference %+v", label, i, got.events[i], want.events[i])
+		}
+	}
+}
+
+// ringBody is the cross-check workload: every processor opens a span, does
+// id-dependent compute, sends to its successor, receives from its
+// predecessor (a self-send-then-receive when n == 1), and does id-dependent
+// IO — exercising spans, compute, send/recv wait accounting, and IO events
+// with per-processor variation so index mixups cannot cancel out.
+func ringBody(n int) func(*Proc) {
+	return func(p *Proc) {
+		next := (p.ID() + 1) % n
+		prev := (p.ID() + n - 1) % n
+		p.BeginSpan("ring")
+		p.Compute(float64(40 + p.ID()%7))
+		p.Send(next, p.ID(), 16+p.ID()%9)
+		p.Recv(prev)
+		p.IO(64 + p.ID()%5)
+		p.EndSpan()
+	}
+}
+
+// treeCheckEngines are the execution cores the tree mode is checked under:
+// the condvar engine, the single-worker coop scheduler (slice mailboxes),
+// and the sharded multi-worker coop scheduler (SPSC mailboxes).
+func treeCheckEngines() []Engine {
+	return []Engine{Goroutine(), Coop(1), Coop(4)}
+}
+
+// treeCheckSizes is the property test's P sweep: every size in [1, 257] —
+// covering off-by-one splits, odd sizes, and every boundary of the small
+// regime — plus 1<<10 (past spawnGrain, so treeSpawn actually forks) and
+// 1<<14 (past initGrain, so the parallelFor trees and the parallel drain
+// fold actually run parallel). Under the race detector the small range is
+// decimated (the detector's ~10x slowdown times the CI engine matrix would
+// dominate the suite) while every boundary and both tree-activating sizes
+// are kept.
+func treeCheckSizes() []int {
+	var sizes []int
+	if raceEnabled {
+		sizes = append(sizes, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+			85, 127, 128, 129, 171, 255, 256, 257)
+	} else {
+		for n := 1; n <= 257; n++ {
+			sizes = append(sizes, n)
+		}
+	}
+	return append(sizes, 1<<10, 1<<14)
+}
+
+// TestTreeCoreMatchesSerialReference is the golden cross-check: for every
+// machine size, a run under the spawn/fold trees (each engine) must be
+// byte-identical — events, RunStats — to the seed-loop reference run. The
+// serial spawn loop is also exercised once per size band under the SPSC
+// mailboxes, so both (core mode) x (mailbox representation) combinations
+// hold.
+func TestTreeCoreMatchesSerialReference(t *testing.T) {
+	for _, n := range treeCheckSizes() {
+		body := ringBody(n)
+		ref := goldenRun(t, Goroutine(), n, true, nil, body)
+		if ref.failure != "" {
+			t.Fatalf("P=%d: reference run failed: %s", n, ref.failure)
+		}
+		if len(ref.events) == 0 {
+			t.Fatalf("P=%d: reference run recorded no events", n)
+		}
+		for _, e := range treeCheckEngines() {
+			got := goldenRun(t, e, n, false, nil, body)
+			compareGolden(t, fmt.Sprintf("P=%d %s/tree", n, e.Name()), ref, got)
+		}
+		if n%64 == 1 || n >= 1<<10 {
+			got := goldenRun(t, Coop(4), n, true, nil, body)
+			compareGolden(t, fmt.Sprintf("P=%d coop:4/serial", n), ref, got)
+		}
+	}
+}
+
+// drainBody leaves messages unconsumed: every third processor sends its
+// successor an extra message nobody receives, so Run must panic with the
+// drain report. The report's text (sorted pairs, capped listing, total) must
+// be identical whether the drain walk ran serially or as a parallel fold.
+func drainBody(n int) func(*Proc) {
+	return func(p *Proc) {
+		next := (p.ID() + 1) % n
+		p.Send(next, nil, 8)
+		if p.ID()%3 == 0 {
+			p.Send(next, nil, 8)
+		}
+		p.Recv((p.ID() + n - 1) % n)
+	}
+}
+
+func TestTreeDrainReportMatchesSerial(t *testing.T) {
+	sizes := []int{3, 17, 130}
+	if !raceEnabled {
+		// Past initGrain the drain walk actually forks and merges.
+		sizes = append(sizes, 1<<14)
+	}
+	for _, n := range sizes {
+		body := drainBody(n)
+		ref := goldenRun(t, Goroutine(), n, true, nil, body)
+		if !strings.Contains(ref.failure, "unconsumed message(s) at program exit") {
+			t.Fatalf("P=%d: reference run did not hit the drain report: %q", n, ref.failure)
+		}
+		for _, e := range treeCheckEngines() {
+			got := goldenRun(t, e, n, false, nil, body)
+			compareGolden(t, fmt.Sprintf("P=%d %s/tree drain", n, e.Name()), ref, got)
+		}
+	}
+}
+
+// slowTestPlan is an in-package fault plan implementing both FaultPlan and
+// ProcFaultLister: processors congruent to 3 mod 11 run 2.5x slow, some
+// messages are delayed or duplicated, nobody dies. probes counts SlowFactor
+// and DeathTime consultations so the test can assert which pre-scan path Run
+// took.
+type slowTestPlan struct {
+	probes atomic.Int64
+}
+
+func (tp *slowTestPlan) MessageFault(src, dst int, seq int64) MessageFault {
+	var mf MessageFault
+	if (src+dst+int(seq))%5 == 0 {
+		mf.Delay = 3e-4
+	}
+	if (src*2+dst)%7 == 0 {
+		mf.Duplicate = true
+	}
+	return mf
+}
+
+func (tp *slowTestPlan) SlowFactor(proc int) float64 {
+	tp.probes.Add(1)
+	if proc%11 == 3 {
+		return 2.5
+	}
+	return 1
+}
+
+func (tp *slowTestPlan) DeathTime(proc int) (float64, bool) {
+	tp.probes.Add(1)
+	return 0, false
+}
+
+func (tp *slowTestPlan) ProcFaults(n int, visit func(proc int, slow, deathAt float64)) {
+	for i := 3; i < n; i += 11 {
+		visit(i, 2.5, 0)
+	}
+}
+
+// TestFaultPreScanListerMatchesProbeLoop: a plan that can enumerate its
+// victims must produce exactly the run the 2n-probe loop produces — and Run
+// must actually use the lister (zero probes) in tree mode while the serial
+// reference still probes every processor.
+func TestFaultPreScanListerMatchesProbeLoop(t *testing.T) {
+	for _, n := range []int{5, 64, 257, 1 << 10} {
+		body := ringBody(n)
+		refPlan := &slowTestPlan{}
+		ref := goldenRun(t, Goroutine(), n, true, refPlan, body)
+		if ref.failure != "" {
+			t.Fatalf("P=%d: reference chaos run failed: %s", n, ref.failure)
+		}
+		if got := refPlan.probes.Load(); got != int64(2*n) {
+			t.Fatalf("P=%d: serial reference made %d hook probes, want %d", n, got, 2*n)
+		}
+		for _, e := range treeCheckEngines() {
+			plan := &slowTestPlan{}
+			got := goldenRun(t, e, n, false, plan, body)
+			if p := plan.probes.Load(); p != 0 {
+				t.Errorf("P=%d %s: Run probed the hooks %d times despite the lister", n, e.Name(), p)
+			}
+			compareGolden(t, fmt.Sprintf("P=%d %s/tree lister", n, e.Name()), ref, got)
+		}
+	}
+}
+
+// killTestPlan adds a single death to slowTestPlan: the victim dies at its
+// first post-compute operation, so its successor fails with DeadSenderError
+// and Run panics with a two-panic RunError.
+type killTestPlan struct {
+	slowTestPlan
+	victim int
+}
+
+func (tp *killTestPlan) DeathTime(proc int) (float64, bool) {
+	tp.probes.Add(1)
+	if proc == tp.victim {
+		return 1e-7, true
+	}
+	return 0, false
+}
+
+func (tp *killTestPlan) ProcFaults(n int, visit func(proc int, slow, deathAt float64)) {
+	for i := 0; i < n; i++ {
+		slow, death := 0.0, 0.0
+		if i%11 == 3 {
+			slow = 2.5
+		}
+		if i == tp.victim {
+			death = 1e-7
+		}
+		if slow > 0 || death > 0 {
+			visit(i, slow, death)
+		}
+	}
+}
+
+// TestTreeCoreKillCascadeMatchesSerial: the failure path — death marker,
+// panic capture, RunError aggregation and root-cause ordering — must be
+// byte-identical between the tree core and the serial reference on every
+// engine.
+func TestTreeCoreKillCascadeMatchesSerial(t *testing.T) {
+	for _, n := range []int{8, 130, 1 << 10} {
+		plan := func() *killTestPlan { return &killTestPlan{victim: n / 2} }
+		body := ringBody(n)
+		ref := goldenRun(t, Goroutine(), n, true, plan(), body)
+		if !strings.Contains(ref.failure, "died at virtual time") {
+			t.Fatalf("P=%d: reference kill run did not fail with a death: %q", n, ref.failure)
+		}
+		for _, e := range treeCheckEngines() {
+			got := goldenRun(t, e, n, false, plan(), body)
+			compareGolden(t, fmt.Sprintf("P=%d %s/tree kill", n, e.Name()), ref, got)
+		}
+	}
+}

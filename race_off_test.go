@@ -1,0 +1,5 @@
+//go:build !race
+
+package fxpar_test
+
+const raceEnabledRoot = false
