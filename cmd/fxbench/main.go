@@ -136,6 +136,7 @@ func main() {
 	replaySweep := flag.Bool("replaysweep", false, "standalone mode: one traced FFT-Hist capture (healthy + chaotic), a machine-parameter campaign answered entirely by analytic replay with bitwise cross-checks against fresh simulations, and a replay-backed mapping search across machine variants")
 	replayJSON := flag.String("replayjson", "BENCH_replay.json", "with -replaysweep: write the replay campaign report as machine-readable JSON to this file ('' disables)")
 	skeletons := flag.String("skeletons", "", "standalone mode: diff two serialized skeletons 'baseline.json:current.json' for regression attribution and exit (0 identical, 1 changed, 2 missing/malformed input)")
+	serveURL := flag.String("serve", "", "client mode: run the Table 1 campaigns against a running fxserve daemon at this base URL instead of simulating locally (with -chaossweep N, the chaos campaign runs remotely too)")
 	flag.Parse()
 	eng, err := machine.EngineByName(*engine)
 	if err != nil {
@@ -155,6 +156,12 @@ func main() {
 	// this names the spans and edges that moved.
 	if *skeletons != "" {
 		os.Exit(skeletonsMain(*skeletons, os.Stdout, os.Stderr))
+	}
+
+	// Client mode: the campaigns run inside an fxserve daemon; this process
+	// only posts requests and renders responses.
+	if *serveURL != "" {
+		os.Exit(serveMain(*serveURL, *quick, *chaosSweep, *chaos, os.Stdout, os.Stderr))
 	}
 
 	plan, err := fault.Parse(*chaos)

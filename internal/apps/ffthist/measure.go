@@ -124,6 +124,21 @@ func replayCells(r *mapping.ReplayOptions, cost sim.CostModel, cfg Config, eng m
 	return rStage, rDP
 }
 
+// Spec returns the content-keyed table spec MeasuredModel memoizes its cost
+// tables under. It is exported so the serving layer (internal/serve) can
+// dedupe identical optimize requests on exactly the key the cache uses —
+// the stream length (Sets) is deliberately absent, so requests differing
+// only in stream length share one table build.
+func Spec(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) mapping.TableSpec {
+	return mapping.TableSpec{
+		App:    "ffthist",
+		Params: fmt.Sprintf("N=%d,Bins=%d", cfg.N, cfg.Bins) + opt.Replay.SpecSuffix(cost),
+		P:      maxP,
+		Stages: BuildModel(cost, cfg, maxP).StageNames,
+		Cost:   cost,
+	}
+}
+
 // MeasuredModel builds the mapper's cost model for FFT-Hist by simulating
 // every stage at every candidate processor count (and the data-parallel
 // whole program), instead of using BuildModel's closed forms. The
@@ -139,13 +154,7 @@ func replayCells(r *mapping.ReplayOptions, cost sim.CostModel, cfg Config, eng m
 // every build after it.
 func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
 	closed := BuildModel(cost, cfg, maxP) // reuse caps and transfer-cost structure
-	spec := mapping.TableSpec{
-		App:    "ffthist",
-		Params: fmt.Sprintf("N=%d,Bins=%d", cfg.N, cfg.Bins) + opt.Replay.SpecSuffix(cost),
-		P:      maxP,
-		Stages: closed.StageNames,
-		Cost:   cost,
-	}
+	spec := Spec(cost, cfg, maxP, opt)
 	stage := func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) }
 	dp := func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) }
 	if opt.Replay != nil && opt.Replay.Store != nil {

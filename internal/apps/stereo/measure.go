@@ -118,18 +118,25 @@ func replayCells(r *mapping.ReplayOptions, cost sim.CostModel, cfg Config, eng m
 	return rStage, rDP
 }
 
+// Spec returns the content-keyed table spec MeasuredModel memoizes its cost
+// tables under; exported for the serving layer's request dedupe (see
+// ffthist.Spec).
+func Spec(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) mapping.TableSpec {
+	return mapping.TableSpec{
+		App:    "stereo",
+		Params: fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window) + opt.Replay.SpecSuffix(cost),
+		P:      maxP,
+		Stages: BuildModel(cost, cfg, maxP).StageNames,
+		Cost:   cost,
+	}
+}
+
 // MeasuredModel builds the stereo cost model from isolated stage
 // simulations memoized by content key; see ffthist.MeasuredModel for the
 // contract (including the replay-first path under opt.Replay).
 func MeasuredModel(cost sim.CostModel, cfg Config, maxP int, opt mapping.BuildOptions) (mapping.Model, mapping.TableSource, error) {
 	closed := BuildModel(cost, cfg, maxP)
-	spec := mapping.TableSpec{
-		App:    "stereo",
-		Params: fmt.Sprintf("W=%d,H=%d,D=%d,Win=%d", cfg.W, cfg.H, cfg.Disparities, cfg.Window) + opt.Replay.SpecSuffix(cost),
-		P:      maxP,
-		Stages: closed.StageNames,
-		Cost:   cost,
-	}
+	spec := Spec(cost, cfg, maxP, opt)
 	stage := func(s, p int) float64 { return measureStage(cost, cfg, s, p, opt.Engine) }
 	dp := func(p int) float64 { return measureDP(cost, cfg, p, opt.Engine) }
 	if opt.Replay != nil && opt.Replay.Store != nil {

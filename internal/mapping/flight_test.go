@@ -1,0 +1,100 @@
+package mapping
+
+// Concurrency contract of the shared cost-table store: when many goroutines
+// (a serving process's request handlers) build the same spec at once, the
+// measurement campaign runs exactly once — the flight group makes the rest
+// wait for the leader's tables instead of re-simulating.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func flightSpec(name string) TableSpec {
+	return TableSpec{
+		App:    "flight-test-" + name,
+		Params: "unit",
+		P:      4,
+		Stages: []string{"a", "b"},
+	}
+}
+
+// TestBuildTablesSingleflight: N concurrent builds of one spec measure each
+// cell exactly once and all return identical tables.
+func TestBuildTablesSingleflight(t *testing.T) {
+	spec := flightSpec("dedupe")
+	var cells atomic.Int64
+	gate := make(chan struct{})
+	stage := func(s, p int) float64 {
+		cells.Add(1)
+		<-gate // hold the leader's campaign open until all joiners queued
+		return float64(s*10 + p)
+	}
+	dp := func(p int) float64 {
+		cells.Add(1)
+		<-gate
+		return float64(100 + p)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	results := make([]Tables, clients)
+	sources := make([]TableSource, clients)
+	launched := make(chan struct{}, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			launched <- struct{}{}
+			tab, src, err := BuildTables(spec, BuildOptions{Workers: 2}, stage, dp)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i], sources[i] = tab, src
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		<-launched
+	}
+	close(gate)
+	wg.Wait()
+
+	// 2 stages x 4 procs + 4 DP cells, each measured exactly once.
+	if n := cells.Load(); n != 12 {
+		t.Errorf("measured %d cells, want 12 (duplicated campaign)", n)
+	}
+	computed := 0
+	for i := range results {
+		if sources[i] == SourceComputed {
+			computed++
+		}
+		if results[i].Key != results[0].Key || results[i].DPT[4] != 104 || results[i].StageT[1][3] != 13 {
+			t.Errorf("client %d tables = %+v", i, results[i])
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d clients report SourceComputed, want exactly 1", computed)
+	}
+}
+
+// TestBuildTablesFlightError: a failing build must not wedge the flight
+// slot — joiners see the error, and a later retry runs afresh.
+func TestBuildTablesFlightError(t *testing.T) {
+	spec := flightSpec("error")
+	boom := func(s, p int) float64 { panic("cell failure") }
+	dp := func(p int) float64 { return 1 }
+	if _, _, err := BuildTables(spec, BuildOptions{Workers: 1}, boom, dp); err == nil {
+		t.Fatal("failing build returned nil error")
+	}
+	// The flight slot is free again and a healthy retry computes.
+	tab, src, err := BuildTables(spec, BuildOptions{Workers: 1},
+		func(s, p int) float64 { return 1 }, dp)
+	if err != nil || src != SourceComputed {
+		t.Fatalf("retry after failure: src=%v err=%v", src, err)
+	}
+	if tab.StageT[0][1] != 1 {
+		t.Errorf("retry tables = %+v", tab)
+	}
+}

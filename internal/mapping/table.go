@@ -197,6 +197,22 @@ func (r *ReplayOptions) Eval(key skeleton.StoreKey, target sim.CostModel,
 // tableMemo is the in-process cache, shared by every build in the process.
 var tableMemo sync.Map // key string -> Tables
 
+// tableFlight dedupes concurrent in-flight builds of the same spec: when a
+// serving process fields many simultaneous requests over one application,
+// only the first runs the measurement campaign — the rest wait for its
+// tables instead of each re-simulating the full nStages·P grid.
+var (
+	tableFlightMu sync.Mutex
+	tableFlight   = map[string]*tableCall{}
+)
+
+// tableCall is one in-flight build; done closes when the leader finishes.
+type tableCall struct {
+	done chan struct{}
+	t    Tables
+	err  error
+}
+
 // cachePath maps a spec key to its cache file. FNV-64a keeps filenames
 // short; the stored Key field guards against collisions.
 func cachePath(dir, key string) string {
@@ -259,6 +275,44 @@ func BuildTables(spec TableSpec, opt BuildOptions,
 	if nStages == 0 || spec.P < 1 {
 		return Tables{}, SourceComputed, fmt.Errorf("mapping: bad table spec %q", key)
 	}
+	if v, ok := tableMemo.Load(key); ok {
+		return v.(Tables), SourceMemory, nil
+	}
+
+	// Singleflight on the content key: join an in-flight build of the same
+	// spec rather than duplicating its simulation campaign. Joiners report
+	// SourceMemory — they did not compute anything.
+	tableFlightMu.Lock()
+	if c, ok := tableFlight[key]; ok {
+		tableFlightMu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return Tables{}, SourceComputed, c.err
+		}
+		return c.t, SourceMemory, nil
+	}
+	call := &tableCall{done: make(chan struct{})}
+	tableFlight[key] = call
+	tableFlightMu.Unlock()
+
+	t, src, err := buildTablesUncached(key, spec, opt, stage, dp)
+	call.t, call.err = t, err
+	tableFlightMu.Lock()
+	delete(tableFlight, key)
+	tableFlightMu.Unlock()
+	close(call.done)
+	return t, src, err
+}
+
+// buildTablesUncached is the memo-miss path of BuildTables: disk cache, then
+// the measurement campaign. Exactly one caller per content key runs it at a
+// time (the flight group above).
+func buildTablesUncached(key string, spec TableSpec, opt BuildOptions,
+	stage func(s, p int) float64, dp func(p int) float64) (Tables, TableSource, error) {
+	nStages := len(spec.Stages)
+	// Re-check the memo now that this call holds the flight slot: a
+	// previous leader may have stored the tables between our memo miss and
+	// flight acquisition.
 	if v, ok := tableMemo.Load(key); ok {
 		return v.(Tables), SourceMemory, nil
 	}

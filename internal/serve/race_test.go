@@ -1,0 +1,88 @@
+package serve_test
+
+// The concurrent-clients contract, run under -race in CI: N goroutines
+// posting a mix of identical and distinct /optimize bodies must trigger
+// exactly one campaign per content key, and every response for one key must
+// be byte-identical — the singleflight is the server's core invariant.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"fxpar/internal/serve"
+)
+
+func TestConcurrentClientsSingleCampaign(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 4})
+
+	// 4 distinct request bodies, 4 clients each: 16 concurrent requests,
+	// 4 campaigns, 12 dedupe hits.
+	bodies := []map[string]any{
+		{"app": "ffthist", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.05},
+		{"app": "ffthist", "p": 16, "sets": 6, "quick": true, "goalRatio": 1.01},
+		{"app": "radar", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.14},
+		{"app": "stereo", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.05},
+	}
+	const perBody = 4
+	type reply struct {
+		group int
+		code  int
+		body  []byte
+	}
+	replies := make([]reply, len(bodies)*perBody)
+	var wg sync.WaitGroup
+	for g := range bodies {
+		data, err := json.Marshal(bodies[g])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < perBody; c++ {
+			wg.Add(1)
+			go func(g, c int) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(data))
+				if err != nil {
+					t.Errorf("group %d client %d: %v", g, c, err)
+					return
+				}
+				defer resp.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body) //nolint:errcheck
+				replies[g*perBody+c] = reply{g, resp.StatusCode, buf.Bytes()}
+			}(g, c)
+		}
+	}
+	wg.Wait()
+
+	// Byte-identical responses within each group, distinct across groups.
+	for g := range bodies {
+		first := replies[g*perBody]
+		if first.code != http.StatusOK {
+			t.Fatalf("group %d: status %d body %s", g, first.code, first.body)
+		}
+		for c := 1; c < perBody; c++ {
+			r := replies[g*perBody+c]
+			if r.code != first.code || !bytes.Equal(r.body, first.body) {
+				t.Errorf("group %d client %d: response differs from client 0:\n%s\nvs\n%s",
+					g, c, r.body, first.body)
+			}
+		}
+		for h := 0; h < g; h++ {
+			if bytes.Equal(first.body, replies[h*perBody].body) {
+				t.Errorf("groups %d and %d returned identical bodies for distinct requests", g, h)
+			}
+		}
+	}
+
+	// Exactly one campaign per distinct body; every other request deduped.
+	st := s.Stats()
+	if st.Campaigns != int64(len(bodies)) {
+		t.Errorf("campaigns = %d, want %d (one per distinct request)", st.Campaigns, len(bodies))
+	}
+	if want := int64(len(bodies) * (perBody - 1)); st.DedupHits != want {
+		t.Errorf("dedupHits = %d, want %d", st.DedupHits, want)
+	}
+}

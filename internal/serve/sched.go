@@ -1,0 +1,137 @@
+package serve
+
+// The campaign pool bounds how many jobs simulate at once and decides which
+// queued job runs next. Dispatch order is priority-first, then round-robin
+// across clients, then FIFO within a client: one client posting a hundred
+// requests cannot starve another client's single request — the ring hands
+// each waiting client one job per revolution — while an urgent job (higher
+// Priority) overtakes the ring entirely.
+
+import (
+	"sync"
+
+	"fxpar/internal/sweep"
+)
+
+// Pool runs jobs on a bounded set of workers with per-client fairness.
+type Pool struct {
+	run func(*Job)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]*Job // per-client FIFO of queued jobs
+	ring   []string          // clients with queued work, round-robin order
+	rr     int               // next ring slot to serve
+	queued int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewPool starts workers goroutines executing run; workers <= 0 means one
+// per CPU (sweep.Workers).
+func NewPool(workers int, run func(*Job)) *Pool {
+	p := &Pool{run: run, queues: make(map[string][]*Job)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < sweep.Workers(workers); i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job. Submitting after Close panics (the server rejects
+// requests first, so this indicates a caller bug).
+func (p *Pool) Submit(j *Job) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("serve: Submit on closed pool")
+	}
+	if _, ok := p.queues[j.Client]; !ok {
+		p.ring = append(p.ring, j.Client)
+	}
+	p.queues[j.Client] = append(p.queues[j.Client], j)
+	p.queued++
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close stops accepting new jobs, drains everything already queued (each
+// queued job has waiters owed a response), and returns when every worker
+// has exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		j := p.next()
+		if j == nil {
+			return
+		}
+		p.run(j)
+	}
+}
+
+// next blocks until a job is available and returns the one dispatch order
+// picks; nil means the pool is closed and drained.
+func (p *Pool) next() *Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.queued == 0 {
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
+	}
+
+	// Highest priority present anywhere wins; the ring breaks ties.
+	maxPrio := p.queues[p.ring[0]][0].Priority
+	for _, client := range p.ring {
+		for _, j := range p.queues[client] {
+			if j.Priority > maxPrio {
+				maxPrio = j.Priority
+			}
+		}
+	}
+
+	for i := 0; i < len(p.ring); i++ {
+		ci := (p.rr + i) % len(p.ring)
+		client := p.ring[ci]
+		q := p.queues[client]
+		pick := -1
+		for k, j := range q {
+			if j.Priority == maxPrio {
+				pick = k // earliest max-priority job of this client (FIFO)
+				break
+			}
+		}
+		if pick < 0 {
+			continue
+		}
+		j := q[pick]
+		q = append(q[:pick:pick], q[pick+1:]...)
+		p.queued--
+		if len(q) == 0 {
+			delete(p.queues, client)
+			p.ring = append(p.ring[:ci:ci], p.ring[ci+1:]...)
+			if len(p.ring) == 0 {
+				p.rr = 0
+			} else {
+				p.rr = ci % len(p.ring)
+			}
+		} else {
+			p.queues[client] = q
+			p.rr = (ci + 1) % len(p.ring)
+		}
+		return j
+	}
+	// Unreachable: maxPrio was computed from the queues just scanned.
+	panic("serve: no job matched the computed max priority")
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// schedJob builds a queued job for scheduler tests (no HTTP involved).
+func schedJob(id, client string, prio int, seq uint64) *Job {
+	return &Job{ID: id, Kind: "test", Key: id, Client: client, Priority: prio, seq: seq, done: make(chan struct{})}
+}
+
+// runOrder drives a 1-worker pool over jobs submitted while the worker is
+// held on a plug job, so dispatch order is decided with every job queued —
+// the scenario fairness is about.
+func runOrder(t *testing.T, jobs []*Job) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	pool := NewPool(1, func(j *Job) {
+		if j.ID == "plug" {
+			<-release // hold the only worker until everything is queued
+			return
+		}
+		mu.Lock()
+		order = append(order, j.ID)
+		mu.Unlock()
+	})
+	pool.Submit(schedJob("plug", "plug-client", 0, 0))
+	for _, j := range jobs {
+		pool.Submit(j)
+	}
+	close(release)
+	pool.Close() // drains the queue
+	return order
+}
+
+// TestPoolRoundRobinAcrossClients: with one worker and three clients whose
+// requests are all equal priority, dispatch interleaves clients one job per
+// revolution instead of draining the first client's queue.
+func TestPoolRoundRobinAcrossClients(t *testing.T) {
+	order := runOrder(t, []*Job{
+		schedJob("A1", "A", 0, 1),
+		schedJob("A2", "A", 0, 2),
+		schedJob("B1", "B", 0, 3),
+		schedJob("B2", "B", 0, 4),
+		schedJob("C1", "C", 0, 5),
+	})
+	want := []string{"A1", "B1", "C1", "A2", "B2"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolPriorityOvertakesRing: a high-priority job runs before every
+// queued equal-priority job, regardless of where its client sits in the
+// ring.
+func TestPoolPriorityOvertakesRing(t *testing.T) {
+	order := runOrder(t, []*Job{
+		schedJob("A1", "A", 0, 1),
+		schedJob("B1", "B", 0, 2),
+		schedJob("C1", "C", 5, 3), // submitted last, dispatched first
+		schedJob("A2", "A", 0, 4),
+	})
+	if order[0] != "C1" {
+		t.Fatalf("dispatch order %v, want C1 first", order)
+	}
+	// The rest still round-robins: A, B, A.
+	want := []string{"C1", "A1", "B1", "A2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolFIFOWithinClient: one client's equal-priority jobs run in
+// submission order.
+func TestPoolFIFOWithinClient(t *testing.T) {
+	order := runOrder(t, []*Job{
+		schedJob("A1", "A", 0, 1),
+		schedJob("A2", "A", 0, 2),
+		schedJob("A3", "A", 0, 3),
+	})
+	want := []string{"A1", "A2", "A3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolCloseDrains: Close returns only after every queued job ran.
+func TestPoolCloseDrains(t *testing.T) {
+	var mu sync.Mutex
+	ran := 0
+	pool := NewPool(2, func(*Job) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		pool.Submit(schedJob(string(rune('a'+i)), "c", 0, uint64(i)))
+	}
+	pool.Close()
+	if ran != n {
+		t.Fatalf("Close returned with %d/%d jobs run", ran, n)
+	}
+}
+
+// TestRegistrySingleflight: the second request for one key attaches to the
+// first request's job.
+func TestRegistrySingleflight(t *testing.T) {
+	reg := newRegistry(0)
+	j1, created := reg.getOrCreate("optimize", "k1", "A", 0)
+	if !created {
+		t.Fatal("first request did not create the job")
+	}
+	j2, created := reg.getOrCreate("optimize", "k1", "B", 0)
+	if created || j2 != j1 {
+		t.Fatal("duplicate key created a second job")
+	}
+	if j1.dedup.Load() != 1 || reg.dedupHits.Load() != 1 || reg.campaigns.Load() != 1 {
+		t.Fatalf("counters: dedup=%d hits=%d campaigns=%d, want 1/1/1",
+			j1.dedup.Load(), reg.dedupHits.Load(), reg.campaigns.Load())
+	}
+	if _, created := reg.getOrCreate("optimize", "k2", "A", 0); !created {
+		t.Fatal("distinct key did not create a job")
+	}
+}
+
+// TestRegistryPrunesFinished: finished jobs beyond keep are evicted
+// oldest-first; running jobs are never evicted.
+func TestRegistryPrunesFinished(t *testing.T) {
+	reg := newRegistry(2)
+	a, _ := reg.getOrCreate("measure", "ka", "c", 0)
+	a.finish([]byte("{}\n"), nil)
+	b, _ := reg.getOrCreate("measure", "kb", "c", 0)
+	b.setRunning() // never evictable
+	c, _ := reg.getOrCreate("measure", "kc", "c", 0)
+	c.finish([]byte("{}\n"), nil)
+	// Admitting a fourth job exceeds keep=2: the oldest finished job (a)
+	// goes; the running job stays.
+	reg.getOrCreate("measure", "kd", "c", 0)
+	if _, ok := reg.get(a.ID); ok {
+		t.Error("oldest finished job survived pruning")
+	}
+	if _, ok := reg.get(b.ID); !ok {
+		t.Error("running job was evicted")
+	}
+	// A re-request of the evicted key runs a fresh campaign (cache miss).
+	if _, created := reg.getOrCreate("measure", "ka", "c", 0); !created {
+		t.Error("evicted key did not re-create its job")
+	}
+}

@@ -1,0 +1,377 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fxpar/internal/serve"
+)
+
+// newTestServer stands up a Server behind httptest and tears both down.
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends a JSON body and returns status + response bytes.
+func post(t *testing.T, url, path string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestOptimizeEndToEnd: a quick /optimize request returns a feasible
+// mapping whose simulated task throughput meets the requested goal, and an
+// identical second request is a dedupe hit with byte-identical bytes.
+func TestOptimizeEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 2})
+	body := map[string]any{"app": "ffthist", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.05}
+
+	code, first := post(t, ts.URL, "/optimize", body)
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %s", code, first)
+	}
+	var res serve.OptimizeResult
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatalf("bad response %s: %v", first, err)
+	}
+	if res.App != "ffthist" || res.Best == "" || res.Goal <= 0 {
+		t.Fatalf("response %+v", res)
+	}
+	if res.TaskThroughput < res.Goal {
+		t.Errorf("chosen mapping misses the goal: %g < %g", res.TaskThroughput, res.Goal)
+	}
+	if res.TaskThroughput <= res.DPThroughput {
+		t.Errorf("task parallelism did not beat data-parallel: %g <= %g", res.TaskThroughput, res.DPThroughput)
+	}
+
+	code, second := post(t, ts.URL, "/optimize", body)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate optimize: %d %s", code, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("duplicate response differs:\n%s\nvs\n%s", first, second)
+	}
+	st := s.Stats()
+	if st.Campaigns != 1 || st.DedupHits != 1 {
+		t.Errorf("stats: campaigns=%d dedupHits=%d, want 1 and 1", st.Campaigns, st.DedupHits)
+	}
+}
+
+// TestMeasureEndToEnd: /measure simulates an explicit mapping, defaults to
+// data-parallel, and keys chaotic runs separately from healthy ones.
+func TestMeasureEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 2})
+
+	dp := map[string]any{"app": "radar", "p": 8, "sets": 6, "quick": true}
+	code, dpBody := post(t, ts.URL, "/measure", dp)
+	if code != http.StatusOK {
+		t.Fatalf("measure dp: %d %s", code, dpBody)
+	}
+	var dpRes serve.MeasureResult
+	if err := json.Unmarshal(dpBody, &dpRes); err != nil {
+		t.Fatal(err)
+	}
+	if dpRes.Throughput <= 0 || dpRes.Latency <= 0 || dpRes.Makespan <= 0 {
+		t.Fatalf("degenerate result %+v", dpRes)
+	}
+	if !strings.Contains(dpRes.Mapping, "data-parallel") {
+		t.Errorf("default mapping = %q, want data-parallel", dpRes.Mapping)
+	}
+
+	pipe := map[string]any{"app": "radar", "p": 8, "sets": 6, "quick": true,
+		"mapping": map[string]any{"modules": 1, "stages": []int{2, 2, 2, 2}}}
+	code, pipeBody := post(t, ts.URL, "/measure", pipe)
+	if code != http.StatusOK {
+		t.Fatalf("measure pipeline: %d %s", code, pipeBody)
+	}
+
+	chaotic := map[string]any{"app": "radar", "p": 8, "sets": 6, "quick": true, "chaos": "42:delay"}
+	code, chBody := post(t, ts.URL, "/measure", chaotic)
+	if code != http.StatusOK {
+		t.Fatalf("measure chaos: %d %s", code, chBody)
+	}
+	var chRes serve.MeasureResult
+	if err := json.Unmarshal(chBody, &chRes); err != nil {
+		t.Fatal(err)
+	}
+	if chRes.Chaos != "42:delay" {
+		t.Errorf("chaos label %q", chRes.Chaos)
+	}
+	if chRes.Makespan <= dpRes.Makespan {
+		t.Errorf("injected delays did not slow the run: %g <= %g", chRes.Makespan, dpRes.Makespan)
+	}
+
+	// Three distinct keys, zero dedupe.
+	if st := s.Stats(); st.Campaigns != 3 || st.DedupHits != 0 {
+		t.Errorf("stats: campaigns=%d dedupHits=%d, want 3 and 0", st.Campaigns, st.DedupHits)
+	}
+}
+
+// TestChaosSweepEndToEnd: /chaossweep returns the deterministic campaign
+// report with every seed accounted for.
+func TestChaosSweepEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	code, body := post(t, ts.URL, "/chaossweep", map[string]any{"quick": true, "seeds": 4, "profile": "delay"})
+	if code != http.StatusOK {
+		t.Fatalf("chaossweep: %d %s", code, body)
+	}
+	var rep struct {
+		Profile  string
+		Seeds    int
+		Survived int
+		Failed   int
+		Outcomes []struct{ Seed uint64 }
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile != "delay" || rep.Seeds != 4 || len(rep.Outcomes) != 4 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Survived+rep.Failed != 4 {
+		t.Fatalf("outcomes unaccounted: %+v", rep)
+	}
+}
+
+// TestBadRequests: malformed bodies, unknown apps and oversubscribed
+// mappings fail with 400 and a JSON error, never a panic or a campaign.
+func TestBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 1})
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/optimize", `{"app":"nope","p":8}`},
+		{"/optimize", `{"app":"ffthist"}`},                             // p < 1
+		{"/optimize", `{"app":"ffthist","p":8,"bogusField":1}`},        // unknown field
+		{"/optimize", `not json`},
+		{"/measure", `{"app":"radar","p":4,"quick":true,"mapping":{"modules":1,"stages":[8,8,8,8]}}`}, // oversubscribed
+		{"/measure", `{"app":"radar","p":8,"quick":true,"mapping":{"modules":1,"stages":[2,2]}}`},     // wrong stage count
+		{"/measure", `{"app":"radar","p":8,"quick":true,"chaos":"x:y"}`},                              // bad chaos spec
+		{"/chaossweep", `{"profile":"nope"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400 (%s)", tc.path, tc.body, resp.StatusCode, out)
+		}
+		if !json.Valid(out) {
+			t.Errorf("%s: non-JSON error body %q", tc.path, out)
+		}
+	}
+	if st := s.Stats(); st.Campaigns != 0 {
+		t.Errorf("bad requests scheduled %d campaigns", st.Campaigns)
+	}
+}
+
+// TestAsyncAndJobEvents: an async submission returns 202 with the job, the
+// job is streamable over SSE until a clean EOF whose final frame says done,
+// and the result is then fetchable by re-posting the same body.
+func TestAsyncAndJobEvents(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	body := map[string]any{"app": "stereo", "p": 8, "sets": 6, "quick": true, "async": true}
+
+	code, sub := post(t, ts.URL, "/measure", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", code, sub)
+	}
+	var snap serve.JobSnapshot
+	if err := json.Unmarshal(sub, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID == "" {
+		t.Fatalf("no job ID in %s", sub)
+	}
+
+	// Stream the job's events to EOF: the final frame must say done.
+	resp, err := http.Get(ts.URL + "/jobs/" + snap.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last serve.JobSnapshot
+	frames := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		frames++
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if frames == 0 || last.State != "done" {
+		t.Fatalf("stream ended after %d frames in state %q, want done", frames, last.State)
+	}
+
+	// The job is visible in the listings…
+	code, jb := get(t, ts.URL, "/jobs/"+snap.ID)
+	if code != http.StatusOK {
+		t.Fatalf("job lookup: %d %s", code, jb)
+	}
+	code, list := get(t, ts.URL, "/jobs")
+	if code != http.StatusOK || !strings.Contains(string(list), snap.ID) {
+		t.Fatalf("job listing: %d %s", code, list)
+	}
+	// …and a blocking duplicate of the same body (async off) returns the
+	// cached result immediately.
+	sync := map[string]any{"app": "stereo", "p": 8, "sets": 6, "quick": true}
+	code, res := post(t, ts.URL, "/measure", sync)
+	if code != http.StatusOK {
+		t.Fatalf("cached fetch: %d %s", code, res)
+	}
+	var mres serve.MeasureResult
+	if err := json.Unmarshal(res, &mres); err != nil || mres.Makespan <= 0 {
+		t.Fatalf("cached result %s: %v", res, err)
+	}
+
+	if _, err := http.Get(ts.URL + "/jobs/j-nope/events"); err != nil {
+		t.Fatal(err)
+	}
+	code, _ = get(t, ts.URL, "/jobs/j-nope")
+	if code != http.StatusNotFound {
+		t.Errorf("missing job lookup: %d, want 404", code)
+	}
+}
+
+// TestMonitorEmbedded: the campaign monitor rides along — /healthz,
+// /snapshot and the text front page answer on the same mux.
+func TestMonitorEmbedded(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	if code, body := get(t, ts.URL, "/healthz"); code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	code, body := get(t, ts.URL, "/snapshot")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("snapshot: %d %s", code, body)
+	}
+	if code, body := get(t, ts.URL, "/"); code != http.StatusOK || !strings.Contains(string(body), "campaign monitor") {
+		t.Fatalf("front page: %d %s", code, body)
+	}
+}
+
+// TestFailedJobIs500: an infeasible goal fails the job; waiters get a 500
+// with the error, and the failure is cached like any result.
+func TestFailedJobIs500(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 1})
+	// A goal far beyond anything 8 processors can deliver.
+	body := map[string]any{"app": "ffthist", "p": 8, "sets": 6, "quick": true, "goal": 1e12}
+	code, first := post(t, ts.URL, "/optimize", body)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("infeasible optimize: %d %s", code, first)
+	}
+	if !strings.Contains(string(first), "infeasible") {
+		t.Errorf("error body %s", first)
+	}
+	code, second := post(t, ts.URL, "/optimize", body)
+	if code != http.StatusInternalServerError || !bytes.Equal(first, second) {
+		t.Errorf("cached failure: %d %s", code, second)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Campaigns != 1 {
+		t.Errorf("stats after failure: %+v", st)
+	}
+}
+
+// TestServerCloseRejectsNewWork: submissions after Close get 503.
+func TestServerCloseRejectsNewWork(t *testing.T) {
+	s, err := serve.New(serve.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	data, _ := json.Marshal(map[string]any{"app": "ffthist", "p": 4, "quick": true})
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post after Close: %d, want 503", resp.StatusCode)
+	}
+	s.Close() // idempotent
+}
+
+// TestStatsShape: /stats returns the counters as JSON.
+func TestStatsShape(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1, ReplayDir: "mem"})
+	code, body := get(t, ts.URL, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var st serve.StatsSnapshot
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers < 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Skeletons == nil {
+		t.Errorf("replay enabled but no skeleton stats: %s", body)
+	}
+}
+
+// TestEngineOption: a named engine is accepted and an unknown one refused.
+func TestEngineOption(t *testing.T) {
+	s, err := serve.New(serve.Options{Workers: 1, Engine: "coop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := serve.New(serve.Options{Engine: "warpdrive"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

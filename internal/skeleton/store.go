@@ -102,9 +102,22 @@ type Store struct {
 	dir string
 	mem sync.Map // key string -> *Skeleton
 
+	// flight dedupes concurrent GetOrCapture misses on one key: the first
+	// caller runs the traced simulation, the rest wait for its skeleton.
+	flightMu sync.Mutex
+	flight   map[string]*captureCall
+
 	memHits  atomic.Int64
 	diskHits atomic.Int64
 	captures atomic.Int64
+}
+
+// captureCall is one in-flight capture; done closes when the leader's traced
+// run finishes (successfully or not).
+type captureCall struct {
+	done chan struct{}
+	sk   *Skeleton
+	err  error
 }
 
 // NewStore returns a store. dir is the on-disk cache directory; "" keeps
@@ -215,20 +228,55 @@ func (st *Store) Put(k StoreKey, sk *Skeleton) error {
 
 // GetOrCapture returns the stored skeleton for k, or runs capture — one
 // live traced simulation — on a miss and stores its result. Concurrent
-// misses on the same key may each capture; the runs are deterministic, so
-// every capture produces the identical skeleton and the duplicate work is
-// the only cost.
+// misses on the same key are deduped: exactly one caller captures (the runs
+// are deterministic, so this changes no result, only the work); the others
+// wait for its skeleton and report SourceMemory.
 func (st *Store) GetOrCapture(k StoreKey, capture func() (*Skeleton, error)) (*Skeleton, Source, error) {
 	if sk, src, ok := st.Get(k); ok {
 		return sk, src, nil
 	}
+	key := k.Key()
+	st.flightMu.Lock()
+	if st.flight == nil {
+		st.flight = make(map[string]*captureCall)
+	}
+	if c, ok := st.flight[key]; ok {
+		st.flightMu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, SourceCaptured, c.err
+		}
+		return c.sk, SourceMemory, nil
+	}
+	c := &captureCall{done: make(chan struct{})}
+	st.flight[key] = c
+	st.flightMu.Unlock()
+
+	c.sk, c.err = st.captureLocked(k, capture)
+	st.flightMu.Lock()
+	delete(st.flight, key)
+	st.flightMu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return nil, SourceCaptured, c.err
+	}
+	return c.sk, SourceCaptured, nil
+}
+
+// captureLocked is the flight leader's miss path: re-check the store (an
+// earlier leader may have filled it), then run the traced simulation and
+// store its skeleton.
+func (st *Store) captureLocked(k StoreKey, capture func() (*Skeleton, error)) (*Skeleton, error) {
+	if sk, _, ok := st.Get(k); ok {
+		return sk, nil
+	}
 	sk, err := capture()
 	if err != nil {
-		return nil, SourceCaptured, err
+		return nil, err
 	}
 	if err := st.Put(k, sk); err != nil {
-		return nil, SourceCaptured, err
+		return nil, err
 	}
 	st.captures.Add(1)
-	return sk, SourceCaptured, nil
+	return sk, nil
 }

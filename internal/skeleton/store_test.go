@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fxpar/internal/sim"
@@ -135,22 +136,32 @@ func TestStoreDiskTamperIsMiss(t *testing.T) {
 	}
 }
 
-// TestStoreConcurrentGetOrCapture: concurrent misses on one key may each
-// capture, but every caller must get an admissible skeleton and the store
-// must end up consistent.
+// TestStoreConcurrentGetOrCapture: concurrent misses on one key run exactly
+// one capture — the flight leader's — while every caller still gets an
+// admissible skeleton and the store ends up consistent. The gate holds the
+// leader's capture open until all callers have launched, so the dedupe is
+// exercised with the misses genuinely overlapping.
 func TestStoreConcurrentGetOrCapture(t *testing.T) {
 	sk, _, _ := smallRun(t)
 	st := skeleton.NewStore(t.TempDir())
 	k := storeKeyFor(sk, "")
 
 	const callers = 8
+	var captures atomic.Int64
+	gate := make(chan struct{})
+	launched := make(chan struct{}, callers)
 	var wg sync.WaitGroup
 	errs := make(chan error, callers)
 	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, _, err := st.GetOrCapture(k, func() (*skeleton.Skeleton, error) { return sk, nil })
+			launched <- struct{}{}
+			got, _, err := st.GetOrCapture(k, func() (*skeleton.Skeleton, error) {
+				captures.Add(1)
+				<-gate
+				return sk, nil
+			})
 			if err != nil {
 				errs <- err
 				return
@@ -160,10 +171,20 @@ func TestStoreConcurrentGetOrCapture(t *testing.T) {
 			}
 		}()
 	}
+	for i := 0; i < callers; i++ {
+		<-launched
+	}
+	close(gate)
 	wg.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	if n := captures.Load(); n != 1 {
+		t.Errorf("capture ran %d times across concurrent misses, want exactly 1", n)
+	}
+	if st.Stats().Captured != 1 {
+		t.Errorf("stats report %d captures, want 1", st.Stats().Captured)
 	}
 	if _, src, ok := st.Get(k); !ok || src != skeleton.SourceMemory {
 		t.Fatalf("store not settled after concurrent captures: ok %v source %v", ok, src)

@@ -12,11 +12,13 @@ package sweep
 // the experiment drivers prints so fxtop can attach.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -78,6 +80,12 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-m.done:
+			// Monitor shutting down: the stream ends here, between frames,
+			// so the client never sees a truncated data: line. Returning
+			// promptly is what lets http.Server.Shutdown drain instead of
+			// timing out on an infinite stream.
+			return
 		case <-ch:
 		case <-heartbeat.C:
 		}
@@ -90,7 +98,10 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 // StartMonitor creates a Monitor, serves it on addr (DefaultMonitorAddr when
 // empty; use ":0" for an ephemeral port), and installs it as the
 // process-global campaign observer. The returned stop func deactivates the
-// monitor and closes the server.
+// monitor and shuts the server down gracefully: live /events subscribers see
+// the monitor close, finish their current frame, and end the stream cleanly
+// before the listener goes away (srv.Close() is only the last resort for a
+// connection that never observes the close within the drain deadline).
 func StartMonitor(addr string) (m *Monitor, url string, stop func(), err error) {
 	if addr == "" {
 		addr = DefaultMonitorAddr
@@ -105,7 +116,12 @@ func StartMonitor(addr string) (m *Monitor, url string, stop func(), err error) 
 	prev := Activate(m)
 	stop = func() {
 		Activate(prev)
-		srv.Close()
+		m.Close() // subscribers end their streams between frames
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() // drain deadline passed: cut stragglers loose
+		}
 	}
 	return m, "http://" + ln.Addr().String(), stop, nil
 }
@@ -114,14 +130,31 @@ func StartMonitor(addr string) (m *Monitor, url string, stop func(), err error) 
 // "" leaves monitoring off (no-op stop), "auto" binds DefaultMonitorAddr,
 // anything else is a listen address. Callers print the returned URL so
 // fxtop users know where to attach.
+//
+// "auto" is a convenience, not a demand for one specific port: when the
+// default address is already bound (typically a second driver also run with
+// -monitor auto), the experiment run must not die over it — the monitor
+// falls back to an ephemeral port with a printed warning, and the returned
+// URL says where it actually listens.
 func MonitorFromFlag(value string) (url string, stop func(), err error) {
+	return monitorFromFlag(value, os.Stderr)
+}
+
+// monitorFromFlag is MonitorFromFlag with an injectable warning sink for
+// tests.
+func monitorFromFlag(value string, warn io.Writer) (url string, stop func(), err error) {
 	if value == "" {
 		return "", func() {}, nil
 	}
-	if value == "auto" {
+	auto := value == "auto"
+	if auto {
 		value = DefaultMonitorAddr
 	}
 	_, url, stop, err = StartMonitor(value)
+	if err != nil && auto {
+		fmt.Fprintf(warn, "sweep: monitor: %v; falling back to an ephemeral port\n", err)
+		_, url, stop, err = StartMonitor("127.0.0.1:0")
+	}
 	return url, stop, err
 }
 
@@ -159,6 +192,9 @@ func RenderText(w io.Writer, s MonitorSnapshot) {
 		if fill > barW {
 			fill = barW
 		}
+		if fill < 0 {
+			fill = 0
+		}
 		bar := make([]byte, barW)
 		for i := range bar {
 			if i < fill {
@@ -167,11 +203,16 @@ func RenderText(w io.Writer, s MonitorSnapshot) {
 				bar[i] = ' '
 			}
 		}
-		status := fmt.Sprintf("eta %s", fmtDur(c.ETASec))
+		// An unfinished campaign with a non-positive ETA has no usable
+		// estimate: negative means "no job finished yet", and exactly 0
+		// means the estimate stopped advancing (a stalled or retried
+		// campaign) — printing "eta 0.0s" forever would claim imminent
+		// completion that never comes.
+		status := "eta ?"
 		if c.Done {
 			status = "done"
-		} else if c.ETASec < 0 {
-			status = "eta ?"
+		} else if c.ETASec > 0 {
+			status = fmt.Sprintf("eta %s", fmtDur(c.ETASec))
 		}
 		fmt.Fprintf(w, "%-*s [%s] %d/%d  run %d  fail %d  %s  %s\n",
 			wn, c.Name, bar, c.Finished, c.Total, c.Running, c.Failed,

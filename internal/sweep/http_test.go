@@ -1,0 +1,272 @@
+package sweep
+
+// Regression tests for the monitor HTTP layer's shutdown and bind behaviour:
+// stopping a monitor must end live SSE streams cleanly (no truncated frame,
+// no leaked handler goroutines), and -monitor auto must survive the default
+// port being taken by another driver.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStopMonitorEndsSSECleanly: with a live /events subscriber attached,
+// stop() must end the stream between frames — every data: line the client
+// received parses as a complete snapshot and the body ends on a frame
+// boundary — and must not leak the handler goroutine. Formerly stop()
+// called srv.Close(), which aborted the handler mid-write and abandoned its
+// subscription.
+func TestStopMonitorEndsSSECleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m, url, stop, err := StartMonitor("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	MapNamed("sse-shutdown", 2, 3, func(i int) (int, error) { return i, nil })
+
+	resp, err := http.Get(url + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type readResult struct {
+		body []byte
+		err  error
+	}
+	got := make(chan readResult, 1)
+	go func() {
+		b, err := io.ReadAll(resp.Body) // blocks until the server ends the stream
+		got <- readResult{b, err}
+	}()
+
+	// Let the subscriber receive at least the initial frame, then stop.
+	time.Sleep(50 * time.Millisecond)
+	stop()
+
+	var res readResult
+	select {
+	case res = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after stop()")
+	}
+	if res.err != nil {
+		t.Fatalf("stream ended with transport error: %v", res.err)
+	}
+	if len(res.body) == 0 {
+		t.Fatal("no SSE data received before stop")
+	}
+	if !bytes.HasSuffix(res.body, []byte("\n\n")) {
+		t.Errorf("stream truncated mid-frame: body ends %q", tail(res.body, 40))
+	}
+	frames := 0
+	for _, line := range strings.Split(string(res.body), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+		var snap MonitorSnapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+			t.Fatalf("truncated or malformed frame %q: %v", line, err)
+		}
+		frames++
+	}
+	if frames == 0 {
+		t.Error("no complete data frames in stream")
+	}
+
+	// The monitor's Done channel is closed and the handler goroutines are
+	// gone (allow the runtime a moment to reap them).
+	select {
+	case <-m.Done():
+	default:
+		t.Error("monitor Done() not closed after stop")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after stop", before, runtime.NumGoroutine())
+}
+
+func tail(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[len(b)-n:]
+}
+
+// TestMonitorAutoFallsBackWhenPortTaken: two drivers running with
+// -monitor auto must both start. The test takes the default port itself and
+// asserts the flag still yields a working monitor on an ephemeral port, with
+// a warning naming the failure.
+func TestMonitorAutoFallsBackWhenPortTaken(t *testing.T) {
+	ln, err := net.Listen("tcp", DefaultMonitorAddr)
+	if err == nil {
+		// We hold the default port for the duration of the test; the flag
+		// must fall back. (If something else already holds it, the port is
+		// taken all the same and the fallback path is still what runs.)
+		defer ln.Close()
+	}
+
+	var warn strings.Builder
+	url, stop, err := monitorFromFlag("auto", &warn)
+	if err != nil {
+		t.Fatalf("monitorFromFlag(auto) with busy port: %v", err)
+	}
+	defer stop()
+	if url == "" || strings.HasSuffix(url, DefaultMonitorAddr) {
+		t.Fatalf("fallback url = %q, want an ephemeral port", url)
+	}
+	if !strings.Contains(warn.String(), "falling back") {
+		t.Errorf("no fallback warning printed; warn = %q", warn.String())
+	}
+
+	// The run really started: the fallback monitor serves snapshots.
+	resp, err := http.Get(url + "/snapshot")
+	if err != nil {
+		t.Fatalf("fallback monitor not serving: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap MonitorSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("fallback snapshot: %v", err)
+	}
+}
+
+// TestMonitorExplicitAddrStillFails: only "auto" falls back — a user who
+// named a specific address gets the bind error, not a silent port swap.
+func TestMonitorExplicitAddrStillFails(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var warn strings.Builder
+	_, _, err = monitorFromFlag(ln.Addr().String(), &warn)
+	if err == nil {
+		t.Fatal("explicit busy address did not error")
+	}
+	if warn.Len() != 0 {
+		t.Errorf("explicit address printed fallback warning: %q", warn.String())
+	}
+}
+
+// TestFmtDurEdgeCases covers the compact duration renderer over its three
+// formats and the degenerate inputs the progress view feeds it.
+func TestFmtDurEdgeCases(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "0.0s"},
+		{-1, "?"},
+		{-0.001, "?"},
+		{0.04, "0.0s"},
+		{1.25, "1.2s"},
+		{59.9, "59.9s"},
+		{60, "1m00s"},
+		{125, "2m05s"},
+		{3599, "59m59s"},
+		{3600, "1h00m"},
+		{3725, "1h02m"},
+		{7343, "2h02m"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.sec); got != c.want {
+			t.Errorf("fmtDur(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
+// TestRenderTextStalledETA: an unfinished campaign whose ETA estimate reads
+// exactly 0 is stalled, not about to finish — the view must say "eta ?"
+// rather than "eta 0.0s" forever. A genuinely advancing ETA still renders,
+// and a retried campaign with Finished transiently above Total must not
+// overflow the bar.
+func TestRenderTextStalledETA(t *testing.T) {
+	var sb strings.Builder
+	RenderText(&sb, MonitorSnapshot{
+		Campaigns: []CampaignSnapshot{
+			{Name: "stalled", Total: 8, Started: 8, Finished: 4, Running: 4, ElapsedSec: 10, ETASec: 0},
+			{Name: "fresh", Total: 8, Started: 1, Finished: 0, Running: 1, ElapsedSec: 1, ETASec: -1},
+			{Name: "moving", Total: 8, Started: 6, Finished: 4, Running: 2, ElapsedSec: 2, ETASec: 3.5},
+			{Name: "retried", Total: 4, Started: 6, Finished: 6, Running: 0, ElapsedSec: 2, ETASec: 0.5},
+		},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	find := func(name string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, name) {
+				return l
+			}
+		}
+		t.Fatalf("no line for %q in:\n%s", name, out)
+		return ""
+	}
+	if l := find("stalled"); !strings.Contains(l, "eta ?") || strings.Contains(l, "eta 0.0s") {
+		t.Errorf("stalled campaign line = %q, want eta ?", l)
+	}
+	if l := find("fresh"); !strings.Contains(l, "eta ?") {
+		t.Errorf("fresh campaign line = %q, want eta ?", l)
+	}
+	if l := find("moving"); !strings.Contains(l, "eta 3.5s") {
+		t.Errorf("moving campaign line = %q, want eta 3.5s", l)
+	}
+	l := find("retried")
+	if n := strings.Count(l, "="); n > 30 {
+		t.Errorf("retried campaign bar overflows: %d fill chars in %q", n, l)
+	}
+}
+
+// TestMonitorKeepPrunesDoneCampaigns: a long-running server caps retained
+// campaigns; finished ones age out oldest-first, running ones survive.
+func TestMonitorKeepPrunesDoneCampaigns(t *testing.T) {
+	m := NewMonitor()
+	m.SetKeep(3)
+	prev := Activate(m)
+	defer Activate(prev)
+
+	for i := 0; i < 5; i++ {
+		MapNamed("done-campaign", 1, 1, func(int) (int, error) { return 0, nil })
+	}
+	// A still-running campaign must never be pruned, even at the cap.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go MapNamed("running-campaign", 1, 1, func(int) (int, error) {
+		close(started)
+		<-release
+		return 0, nil
+	})
+	<-started
+	MapNamed("last", 1, 1, func(int) (int, error) { return 0, nil })
+
+	snap := m.Snapshot()
+	if len(snap.Campaigns) > 3 {
+		t.Errorf("kept %d campaigns, want <= 3: %+v", len(snap.Campaigns), snap.Campaigns)
+	}
+	foundRunning := false
+	for _, c := range snap.Campaigns {
+		if c.Name == "running-campaign" {
+			foundRunning = true
+		}
+	}
+	if !foundRunning {
+		t.Errorf("running campaign pruned: %+v", snap.Campaigns)
+	}
+	close(release)
+}

@@ -181,14 +181,67 @@ func SetChaosLabel(plan string) { chaosLabel.Store(&plan) }
 type Monitor struct {
 	start time.Time
 
+	closeOnce sync.Once
+	done      chan struct{}
+
 	mu        sync.Mutex
 	campaigns []*Campaign
+	keep      int
 	subs      map[chan struct{}]struct{}
 }
 
 // NewMonitor returns an empty monitor.
 func NewMonitor() *Monitor {
-	return &Monitor{start: time.Now(), subs: make(map[chan struct{}]struct{})}
+	return &Monitor{
+		start: time.Now(),
+		done:  make(chan struct{}),
+		subs:  make(map[chan struct{}]struct{}),
+	}
+}
+
+// Close marks the monitor as shut down: Done()'s channel closes, which tells
+// every event-stream subscriber (the /events SSE handlers) to finish its
+// current frame and end the stream cleanly. Campaign accounting keeps
+// working after Close — only the streams end. Idempotent.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() { close(m.done) })
+}
+
+// Done returns a channel closed when the monitor shuts down. Event-stream
+// handlers select on it so a server Shutdown drains them promptly instead of
+// aborting connections mid-frame.
+func (m *Monitor) Done() <-chan struct{} { return m.done }
+
+// SetKeep bounds the completed campaigns the monitor retains (0, the
+// default, retains everything — right for one-shot experiment drivers).
+// Long-running servers set a cap so thousands of requests don't grow the
+// snapshot without bound; running campaigns are never dropped.
+func (m *Monitor) SetKeep(n int) {
+	m.mu.Lock()
+	m.keep = n
+	m.pruneLocked()
+	m.mu.Unlock()
+}
+
+// pruneLocked drops the oldest finished campaigns until the list is within
+// keep. Callers hold m.mu.
+func (m *Monitor) pruneLocked() {
+	if m.keep <= 0 {
+		return
+	}
+	for len(m.campaigns) > m.keep {
+		dropped := false
+		for i, c := range m.campaigns {
+			if c.done.Load() {
+				m.campaigns = append(m.campaigns[:i], m.campaigns[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything left is still running
+		}
+	}
 }
 
 // begin registers a new campaign. Nil-safe.
@@ -202,6 +255,7 @@ func (m *Monitor) begin(name string, total int) *Campaign {
 	c := &Campaign{mon: m, name: name, total: total, begun: time.Now()}
 	m.mu.Lock()
 	m.campaigns = append(m.campaigns, c)
+	m.pruneLocked()
 	m.mu.Unlock()
 	m.notify()
 	return c

@@ -1,0 +1,190 @@
+// BenchmarkServeCampaign measures the serving layer (internal/serve) end to
+// end over real HTTP: K concurrent clients posting a mix of duplicate and
+// distinct /optimize requests against a cold server, then K duplicates
+// against the warm server. The interesting numbers are the dedupe ratio
+// (campaigns run per distinct request — exactly one), response identity
+// (duplicates read byte-identical bytes), and the warm/cold latency split:
+// answering a duplicate from the job cache must be orders of magnitude
+// cheaper than the campaign itself — the benchmark enforces >= 10x.
+//
+// Each run snapshots its numbers to BENCH_serve.json. The dedupe counters
+// and the virtual-time prediction spot checks are deterministic and diffed
+// exactly by CI; host-time fields (Sec/Seconds/Speedup/Workers) are skipped.
+package fxpar_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"fxpar/internal/mapping"
+	"fxpar/internal/serve"
+	"fxpar/internal/sweep"
+)
+
+type serveBenchFile struct {
+	// Request mix.
+	K        int // concurrent clients per round
+	Distinct int // distinct request bodies in the cold round
+	// Deterministic results (exact-diffed by CI).
+	CampaignsRun       int64 // must equal Distinct
+	DedupHits          int64 // K-Distinct cold + K warm
+	ResponsesIdentical bool  // duplicates byte-identical within every group
+	Job0PredLatency    float64
+	Job0PredThroughput float64
+	Job0Best           string
+	// Host-time results (skipped in comparisons).
+	ColdSeconds    float64 // wall-clock of the cold round
+	ColdLatencySec float64 // mean request latency, cold round
+	DupLatencySec  float64 // mean request latency, warm duplicates
+	DupSpeedup     float64 // ColdLatencySec / DupLatencySec
+	Workers        int
+}
+
+// serveBenchBodies is the cold round's request mix: 4 distinct campaigns,
+// posted by 4 clients each (the two FFT-Hist goals share cost tables but
+// are distinct response keys).
+func serveBenchBodies() [][]byte {
+	reqs := []map[string]any{
+		{"app": "ffthist", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.05},
+		{"app": "ffthist", "p": 16, "sets": 6, "quick": true, "goalRatio": 1.01},
+		{"app": "radar", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.14},
+		{"app": "stereo", "p": 16, "sets": 6, "quick": true, "goalRatio": 2.75},
+	}
+	bodies := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = data
+	}
+	return bodies
+}
+
+// fire posts every request concurrently (group i posts bodies[i%len]) and
+// returns the response bodies by request plus the mean request latency.
+func fire(b *testing.B, url string, bodies [][]byte, k int) ([][]byte, float64) {
+	b.Helper()
+	out := make([][]byte, k)
+	lats := make([]time.Duration, k)
+	var wg sync.WaitGroup
+	for c := 0; c < k; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := http.Post(url+"/optimize", "application/json",
+				bytes.NewReader(bodies[c%len(bodies)]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			lats[c] = time.Since(start)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				b.Errorf("request %d: status %d err %v: %s", c, resp.StatusCode, err, data)
+				return
+			}
+			out[c] = data
+		}(c)
+	}
+	wg.Wait()
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return out, (sum / time.Duration(k)).Seconds()
+}
+
+func BenchmarkServeCampaign(b *testing.B) {
+	const K = 16
+	bodies := serveBenchBodies()
+	var snap serveBenchFile
+
+	for i := 0; i < b.N; i++ {
+		// A genuinely cold server: fresh registry AND a cleared process-wide
+		// cost-table memo, so the cold round runs real campaigns.
+		mapping.ResetTableMemo()
+		s, err := serve.New(serve.Options{Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		coldStart := time.Now()
+		coldResp, coldLat := fire(b, ts.URL, bodies, K)
+		coldSec := time.Since(coldStart).Seconds()
+
+		// Warm round: K duplicates of body 0 against the same server.
+		warmResp, warmLat := fire(b, ts.URL, bodies[:1], K)
+
+		identical := true
+		for c := 0; c < K; c++ {
+			if !bytes.Equal(coldResp[c], coldResp[c%len(bodies)]) {
+				identical = false
+				b.Errorf("cold response %d differs from its group leader", c)
+			}
+			if !bytes.Equal(warmResp[c], coldResp[0]) {
+				identical = false
+				b.Errorf("warm response %d differs from the cached result", c)
+			}
+		}
+
+		st := s.Stats()
+		if st.Campaigns != int64(len(bodies)) {
+			b.Errorf("campaigns = %d, want %d: the singleflight leaked duplicate work", st.Campaigns, len(bodies))
+		}
+		if want := int64(K - len(bodies) + K); st.DedupHits != want {
+			b.Errorf("dedupHits = %d, want %d", st.DedupHits, want)
+		}
+		if warmLat > 0 && coldLat/warmLat < 10 {
+			b.Errorf("warm duplicates only %.1fx faster than cold campaigns (cold %.4fs, warm %.4fs); want >= 10x",
+				coldLat/warmLat, coldLat, warmLat)
+		}
+
+		var job0 serve.OptimizeResult
+		if err := json.Unmarshal(coldResp[0], &job0); err != nil {
+			b.Fatal(err)
+		}
+		snap = serveBenchFile{
+			K: K, Distinct: len(bodies),
+			CampaignsRun: st.Campaigns, DedupHits: st.DedupHits,
+			ResponsesIdentical: identical,
+			Job0PredLatency:    job0.PredLatency,
+			Job0PredThroughput: job0.PredThroughput,
+			Job0Best:           job0.Best,
+			ColdSeconds:        coldSec,
+			ColdLatencySec:     coldLat,
+			DupLatencySec:      warmLat,
+			DupSpeedup:         coldLat / warmLat,
+			Workers:            sweep.Workers(0),
+		}
+		ts.Close()
+		s.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(snap.DupSpeedup, "dup-speedup-x")
+	b.ReportMetric(snap.DupLatencySec*1e3, "dup-ms")
+
+	f, err := os.Create("BENCH_serve.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
